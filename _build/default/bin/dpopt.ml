@@ -1,0 +1,451 @@
+(* dpopt — command-line front end for the minimax-DP library.
+
+   Subcommands:
+     geometric   print or sample the geometric mechanism
+     optimal     solve the tailored optimal-mechanism LP (§2.5)
+     interact    solve a consumer's optimal interaction (§2.4.3)
+     release     multi-level collusion-resistant release (Algorithm 1)
+     verify      check a mechanism matrix for DP and derivability
+*)
+
+open Cmdliner
+
+(* ----------------------------------------------------------------- *)
+(* Argument converters                                               *)
+(* ----------------------------------------------------------------- *)
+
+let rat_conv =
+  let parse s =
+    match Rat.of_string_opt s with
+    | Some r -> Ok r
+    | None -> Error (`Msg (Printf.sprintf "not a rational: %S (use p/q or decimals)" s))
+  in
+  Arg.conv (parse, fun fmt r -> Format.pp_print_string fmt (Rat.to_string r))
+
+let alpha_arg =
+  let doc = "Privacy parameter α, a rational in (0,1); larger = more private." in
+  Arg.(value & opt rat_conv (Rat.of_ints 1 2) & info [ "a"; "alpha" ] ~docv:"ALPHA" ~doc)
+
+let n_arg =
+  let doc = "Maximum query result; mechanisms act on {0..N}." in
+  Arg.(value & opt int 5 & info [ "n"; "range" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed (runs are deterministic given the seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let decimal_arg =
+  let doc = "Print probabilities as decimals instead of exact fractions." in
+  Arg.(value & flag & info [ "decimal" ] ~doc)
+
+let loss_conv =
+  let parse s =
+    let module L = Minimax.Loss in
+    match String.split_on_char ':' s with
+    | [ "absolute" ] | [ "abs" ] -> Ok L.absolute
+    | [ "squared" ] | [ "sq" ] -> Ok L.squared
+    | [ "zero-one" ] | [ "01" ] -> Ok L.zero_one
+    | [ "deadzone"; w ] -> (
+      match int_of_string_opt w with
+      | Some w when w >= 0 -> Ok (L.deadzone ~width:w)
+      | _ -> Error (`Msg "deadzone:<width> needs a non-negative integer"))
+    | [ "capped"; c ] -> (
+      match int_of_string_opt c with
+      | Some c when c >= 1 -> Ok (L.capped ~cap:c)
+      | _ -> Error (`Msg "capped:<cap> needs a positive integer"))
+    | [ "asym"; ou ] -> (
+      match String.split_on_char ',' ou with
+      | [ o; u ] -> (
+        match (Rat.of_string_opt o, Rat.of_string_opt u) with
+        | Some over, Some under -> Ok (L.asymmetric ~over ~under)
+        | _ -> Error (`Msg "asym:<over>,<under> needs two rationals"))
+      | _ -> Error (`Msg "asym:<over>,<under>"))
+    | _ ->
+      Error
+        (`Msg
+           "unknown loss (choose absolute | squared | zero-one | deadzone:<w> | capped:<c> | \
+            asym:<over>,<under>)")
+  in
+  Arg.conv (parse, fun fmt l -> Format.pp_print_string fmt (Minimax.Loss.name l))
+
+let loss_arg =
+  let doc =
+    "Loss function: absolute, squared, zero-one, deadzone:<w>, capped:<c>, or \
+     asym:<over>,<under>."
+  in
+  Arg.(value & opt loss_conv Minimax.Loss.absolute & info [ "l"; "loss" ] ~docv:"LOSS" ~doc)
+
+(* side information: "full", "lo-hi", ">=k", "<=k", or "1,3,5" *)
+let side_info_of_string ~n s =
+  let fail msg = Error (`Msg msg) in
+  try
+    if s = "full" then Ok (Minimax.Side_info.full n)
+    else if String.length s > 2 && String.sub s 0 2 = ">=" then
+      Ok (Minimax.Side_info.at_least ~n (int_of_string (String.sub s 2 (String.length s - 2))))
+    else if String.length s > 2 && String.sub s 0 2 = "<=" then
+      Ok (Minimax.Side_info.at_most ~n (int_of_string (String.sub s 2 (String.length s - 2))))
+    else if String.contains s '-' then
+      match String.split_on_char '-' s with
+      | [ lo; hi ] -> Ok (Minimax.Side_info.interval ~n (int_of_string lo) (int_of_string hi))
+      | _ -> fail "range must be lo-hi"
+    else Ok (Minimax.Side_info.make ~n (List.map int_of_string (String.split_on_char ',' s)))
+  with
+  | Failure _ -> fail (Printf.sprintf "cannot parse side information %S" s)
+  | Invalid_argument msg -> fail msg
+
+let side_arg =
+  let doc = "Side information: full, lo-hi, >=k, <=k, or a comma list of members." in
+  Arg.(value & opt string "full" & info [ "s"; "side" ] ~docv:"SIDE" ~doc)
+
+let print_mechanism ~decimal m =
+  let table =
+    if decimal then Report.Table.of_mechanism ~places:4 m else Report.Table.of_mechanism m
+  in
+  Report.Table.print table
+
+let consumer_of ~n ~loss ~side =
+  match side_info_of_string ~n side with
+  | Error (`Msg m) -> Error m
+  | Ok side_info -> Ok (Minimax.Consumer.make ~loss ~side_info ())
+
+(* ----------------------------------------------------------------- *)
+(* geometric                                                         *)
+(* ----------------------------------------------------------------- *)
+
+let geometric_cmd =
+  let input =
+    let doc = "If set, sample the mechanism at this true result instead of printing it." in
+    Arg.(value & opt (some int) None & info [ "input" ] ~docv:"I" ~doc)
+  in
+  let samples =
+    let doc = "Number of samples to draw (with --input)." in
+    Arg.(value & opt int 1 & info [ "samples" ] ~docv:"K" ~doc)
+  in
+  let run n alpha input samples seed decimal =
+    let g = Mech.Geometric.matrix ~n ~alpha in
+    match input with
+    | None ->
+      Printf.printf "G(%d, %s) — α-differentially private: %b\n" n (Rat.to_string alpha)
+        (Mech.Mechanism.is_dp ~alpha g);
+      print_mechanism ~decimal g;
+      `Ok ()
+    | Some i when i < 0 || i > n -> `Error (false, "input out of {0..n}")
+    | Some i ->
+      let rng = Prob.Rng.of_int seed in
+      let out = List.init samples (fun _ -> Mech.Mechanism.sample g ~input:i rng) in
+      print_endline (String.concat " " (List.map string_of_int out));
+      `Ok ()
+  in
+  let term = Term.(ret (const run $ n_arg $ alpha_arg $ input $ samples $ seed_arg $ decimal_arg)) in
+  Cmd.v
+    (Cmd.info "geometric" ~doc:"Print or sample the range-restricted geometric mechanism.")
+    term
+
+(* ----------------------------------------------------------------- *)
+(* optimal                                                           *)
+(* ----------------------------------------------------------------- *)
+
+let optimal_cmd =
+  let structured =
+    let doc = "Use the Lemma-5 structured tie-break (slower; canonical form)." in
+    Arg.(value & flag & info [ "structured" ] ~doc)
+  in
+  let lfp =
+    let doc = "Also print the least-favorable prior (the minimax LP's duals)." in
+    Arg.(value & flag & info [ "lfp" ] ~doc)
+  in
+  let run n alpha loss side structured lfp decimal =
+    match consumer_of ~n ~loss ~side with
+    | Error m -> `Error (false, m)
+    | Ok consumer ->
+      let result =
+        if structured then Minimax.Optimal_mechanism.solve_structured ~alpha consumer
+        else Minimax.Optimal_mechanism.solve ~alpha consumer
+      in
+      Printf.printf "consumer      : %s\n" (Minimax.Consumer.label consumer);
+      Printf.printf "minimax loss  : %s (= %s)\n"
+        (Rat.to_string result.Minimax.Optimal_mechanism.loss)
+        (Rat.to_decimal_string ~places:6 result.Minimax.Optimal_mechanism.loss);
+      print_mechanism ~decimal result.Minimax.Optimal_mechanism.mechanism;
+      if lfp then begin
+        match Minimax.Optimal_mechanism.least_favorable_prior ~alpha consumer with
+        | None -> print_endline "least-favorable prior: degenerate (zero loss)"
+        | Some (prior, _) ->
+          Printf.printf "least-favorable prior: [%s]\n"
+            (String.concat "; " (Array.to_list (Array.map Rat.to_string prior)))
+      end;
+      `Ok ()
+  in
+  let term =
+    Term.(
+      ret (const run $ n_arg $ alpha_arg $ loss_arg $ side_arg $ structured $ lfp $ decimal_arg))
+  in
+  Cmd.v
+    (Cmd.info "optimal"
+       ~doc:"Solve the tailored optimal α-DP mechanism LP for a known consumer (§2.5).")
+    term
+
+(* ----------------------------------------------------------------- *)
+(* interact                                                          *)
+(* ----------------------------------------------------------------- *)
+
+let interact_cmd =
+  let run n alpha loss side decimal =
+    match consumer_of ~n ~loss ~side with
+    | Error m -> `Error (false, m)
+    | Ok consumer ->
+      let deployed = Mech.Geometric.matrix ~n ~alpha in
+      let r = Minimax.Optimal_interaction.solve ~deployed consumer in
+      let tailored = Minimax.Optimal_mechanism.solve ~alpha consumer in
+      Printf.printf "consumer            : %s\n" (Minimax.Consumer.label consumer);
+      Printf.printf "loss via interaction: %s\n" (Rat.to_string r.Minimax.Optimal_interaction.loss);
+      Printf.printf "tailored LP optimum : %s\n"
+        (Rat.to_string tailored.Minimax.Optimal_mechanism.loss);
+      Printf.printf "universality holds  : %b\n"
+        (Rat.equal r.Minimax.Optimal_interaction.loss tailored.Minimax.Optimal_mechanism.loss);
+      print_endline "optimal interaction T (rows = received output):";
+      Report.Table.print
+        (if decimal then Report.Table.of_rat_matrix_decimal ~places:4 r.Minimax.Optimal_interaction.interaction
+         else Report.Table.of_rat_matrix r.Minimax.Optimal_interaction.interaction);
+      `Ok ()
+  in
+  let term = Term.(ret (const run $ n_arg $ alpha_arg $ loss_arg $ side_arg $ decimal_arg)) in
+  Cmd.v
+    (Cmd.info "interact"
+       ~doc:
+         "Compute a consumer's optimal interaction with the deployed geometric mechanism \
+          (§2.4.3) and check Theorem 1.")
+    term
+
+(* ----------------------------------------------------------------- *)
+(* release                                                           *)
+(* ----------------------------------------------------------------- *)
+
+let release_cmd =
+  let levels =
+    let doc = "Comma-separated increasing privacy levels, e.g. 1/4,1/2,3/4." in
+    Arg.(value & opt string "1/4,1/2,3/4" & info [ "levels" ] ~docv:"LEVELS" ~doc)
+  in
+  let true_result =
+    let doc = "The true query result to protect." in
+    Arg.(required & opt (some int) None & info [ "true-result" ] ~docv:"R" ~doc)
+  in
+  let run n levels true_result seed =
+    let parsed =
+      List.filter_map Rat.of_string_opt (String.split_on_char ',' levels)
+    in
+    if List.length parsed <> List.length (String.split_on_char ',' levels) then
+      `Error (false, "could not parse all privacy levels")
+    else if true_result < 0 || true_result > n then `Error (false, "true result out of {0..n}")
+    else
+      match Minimax.Multi_level.make_plan ~n ~levels:parsed with
+      | exception Invalid_argument m -> `Error (false, m)
+      | plan ->
+        let rng = Prob.Rng.of_int seed in
+        let out = Minimax.Multi_level.release plan ~true_result rng in
+        List.iteri
+          (fun i alpha -> Printf.printf "level %d (α=%s): %d\n" (i + 1) (Rat.to_string alpha) out.(i))
+          parsed;
+        `Ok ()
+  in
+  let term = Term.(ret (const run $ n_arg $ levels $ true_result $ seed_arg)) in
+  Cmd.v
+    (Cmd.info "release"
+       ~doc:"Release a result at multiple privacy levels, collusion-resistantly (Algorithm 1).")
+    term
+
+(* ----------------------------------------------------------------- *)
+(* verify                                                            *)
+(* ----------------------------------------------------------------- *)
+
+let verify_cmd =
+  let file =
+    let doc = "File with one mechanism row per line, entries as rationals (default: stdin)." in
+    Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+  in
+  let run alpha file =
+    let read_lines ic =
+      let rec go acc = match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go []
+    in
+    let lines =
+      match file with
+      | Some f ->
+        let ic = open_in f in
+        let l = read_lines ic in
+        close_in ic;
+        l
+      | None -> read_lines stdin
+    in
+    let lines = List.filter (fun l -> String.trim l <> "") lines in
+    let parse_row line =
+      line
+      |> String.split_on_char ' '
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s ->
+             match Rat.of_string_opt s with
+             | Some r -> r
+             | None -> failwith (Printf.sprintf "bad entry %S" s))
+    in
+    match List.map parse_row lines with
+    | exception Failure m -> `Error (false, m)
+    | rows -> (
+      match Mech.Mechanism.of_rows rows with
+      | exception Mech.Mechanism.Not_stochastic m -> `Error (false, "not a mechanism: " ^ m)
+      | m ->
+        let level = Mech.Mechanism.privacy_level m in
+        Printf.printf "rows            : %d\n" (Mech.Mechanism.size m);
+        Printf.printf "privacy level   : %s (strongest α for which the matrix is α-DP)\n"
+          (Rat.to_string level);
+        Printf.printf "is %s-DP        : %b\n" (Rat.to_string alpha)
+          (Mech.Mechanism.is_dp ~alpha m);
+        (match Mech.Derivability.derive ~alpha m with
+         | Mech.Derivability.Derivable _ ->
+           Printf.printf "derivable from G(%d,%s): true\n" (Mech.Mechanism.n m) (Rat.to_string alpha)
+         | Mech.Derivability.Not_derivable vs ->
+           Printf.printf "derivable from G(%d,%s): false (%d Theorem-2 violations)\n"
+             (Mech.Mechanism.n m) (Rat.to_string alpha) (List.length vs));
+        `Ok ())
+  in
+  let term = Term.(ret (const run $ alpha_arg $ file)) in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Check a mechanism matrix: stochasticity, differential privacy, and Theorem-2 \
+          derivability from the geometric mechanism.")
+    term
+
+(* ----------------------------------------------------------------- *)
+(* query                                                             *)
+(* ----------------------------------------------------------------- *)
+
+let query_cmd =
+  let csv =
+    let doc = "CSV database (header: name:type,... with types int|text|bool)." in
+    Arg.(required & opt (some file) None & info [ "csv" ] ~docv:"FILE" ~doc)
+  in
+  let where =
+    let doc = "Predicate, e.g. \"age >= 18 AND city = 'San Diego'\"." in
+    Arg.(value & opt string "true" & info [ "where" ] ~docv:"PRED" ~doc)
+  in
+  let levels =
+    let doc =
+      "Release at these increasing privacy levels (comma-separated), \
+       collusion-resistantly. Default: a single release at --alpha."
+    in
+    Arg.(value & opt (some string) None & info [ "levels" ] ~docv:"LEVELS" ~doc)
+  in
+  let show_true =
+    let doc = "Also print the true (unperturbed) count — for demos only." in
+    Arg.(value & flag & info [ "show-true" ] ~doc)
+  in
+  let run csv where alpha levels seed show_true =
+    match Dpdb.Query_parser.parse_opt where with
+    | None -> `Error (false, Printf.sprintf "cannot parse predicate %S" where)
+    | Some pred -> (
+      let db = try Ok (Dpdb.Csv.load csv) with Invalid_argument m -> Error m in
+      match db with
+      | Error m -> `Error (false, m)
+      | Ok db -> (
+        match Dpdb.Query_parser.type_check (Dpdb.Database.schema db) pred with
+        | Some m -> `Error (false, "predicate does not fit the data: " ^ m)
+        | None ->
+          let n = Dpdb.Database.size db in
+          let true_count = Dpdb.Database.count db pred in
+          let rng = Prob.Rng.of_int seed in
+          Printf.printf "database        : %s (%d rows)\n" csv n;
+          Printf.printf "query           : COUNT WHERE %s\n" (Dpdb.Predicate.to_string pred);
+          if show_true then Printf.printf "true count      : %d\n" true_count;
+          let release_at lvls =
+            match Minimax.Multi_level.make_plan ~n ~levels:lvls with
+            | exception Invalid_argument m -> `Error (false, m)
+            | plan ->
+              let out = Minimax.Multi_level.release plan ~true_result:true_count rng in
+              List.iteri
+                (fun i a ->
+                  Printf.printf "released (α=%s) : %d\n" (Rat.to_string a) out.(i))
+                lvls;
+              `Ok ()
+          in
+          (match levels with
+           | None -> release_at [ alpha ]
+           | Some spec ->
+             let parsed = List.filter_map Rat.of_string_opt (String.split_on_char ',' spec) in
+             if List.length parsed <> List.length (String.split_on_char ',' spec) then
+               `Error (false, "could not parse all privacy levels")
+             else release_at parsed)))
+  in
+  let term =
+    Term.(ret (const run $ csv $ where $ alpha_arg $ levels $ seed_arg $ show_true))
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Run a count query over a CSV database and release the result under differential \
+          privacy (optionally at several collusion-resistant levels).")
+    term
+
+(* ----------------------------------------------------------------- *)
+(* infer                                                             *)
+(* ----------------------------------------------------------------- *)
+
+let infer_cmd =
+  let observed =
+    let doc = "The released (observed) value." in
+    Arg.(required & opt (some int) None & info [ "observed" ] ~docv:"R" ~doc)
+  in
+  let level =
+    let doc = "Credible-set level, a rational in [0,1]." in
+    Arg.(value & opt rat_conv (Rat.of_ints 9 10) & info [ "level" ] ~docv:"L" ~doc)
+  in
+  let run n alpha observed level =
+    if observed < 0 || observed > n then `Error (false, "observed value out of {0..n}")
+    else begin
+      let deployed = Mech.Geometric.matrix ~n ~alpha in
+      match Minimax.Inference.posterior ~deployed ~observed () with
+      | None -> `Error (false, "observation has zero probability")
+      | Some p ->
+        Printf.printf "deployed: G(%d, %s); observed: %d\n" n (Rat.to_string alpha) observed;
+        print_endline "posterior over the true count (uniform prior):";
+        Array.iteri
+          (fun i m -> Printf.printf "  %2d : %s\n" i (Rat.to_decimal_string ~places:6 m))
+          p;
+        (match Minimax.Inference.map_estimate ~deployed ~observed () with
+         | Some m -> Printf.printf "MAP estimate   : %d\n" m
+         | None -> ());
+        (match Minimax.Inference.posterior_mean ~deployed ~observed () with
+         | Some m -> Printf.printf "posterior mean : %s\n" (Rat.to_decimal_string ~places:4 m)
+         | None -> ());
+        (match Minimax.Inference.credible_set ~deployed ~observed ~level () with
+         | Some (members, mass) ->
+           Printf.printf "%s-credible set: {%s} (mass %s)\n" (Rat.to_string level)
+             (String.concat "," (List.map string_of_int members))
+             (Rat.to_decimal_string ~places:4 mass)
+         | None -> ());
+        Printf.printf "adjacent posterior odds within [α, 1/α]: %b\n"
+          (Minimax.Inference.posterior_odds_bounded ~alpha ~deployed ~observed ());
+        `Ok ()
+    end
+  in
+  let term = Term.(ret (const run $ n_arg $ alpha_arg $ observed $ level)) in
+  Cmd.v
+    (Cmd.info "infer"
+       ~doc:
+         "What a reader can exactly infer from a released value: posterior, MAP, mean, \
+          credible set — and the DP bound on posterior odds.")
+    term
+
+(* ----------------------------------------------------------------- *)
+(* main                                                              *)
+(* ----------------------------------------------------------------- *)
+
+let main =
+  let doc = "universally optimal privacy mechanisms for minimax agents (PODS 2010)" in
+  Cmd.group
+    (Cmd.info "dpopt" ~version:"1.0.0" ~doc)
+    [ geometric_cmd; optimal_cmd; interact_cmd; release_cmd; verify_cmd; query_cmd; infer_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/bayesian_vs_minimax.ml: Array Fun List Mech Minimax Printf Rat Report

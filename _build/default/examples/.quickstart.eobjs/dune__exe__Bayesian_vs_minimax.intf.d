@@ -1,0 +1,1 @@
+examples/bayesian_vs_minimax.mli:

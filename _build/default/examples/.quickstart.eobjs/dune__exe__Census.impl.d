@@ -1,0 +1,1 @@
+examples/census.ml: Array Bigint Dpdb List Mech Minimax Printf Prob Rat String

@@ -1,0 +1,1 @@
+examples/drug_company.ml: Array Dpdb Mech Minimax Printf Prob Rat

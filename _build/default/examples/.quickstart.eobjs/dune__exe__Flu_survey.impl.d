@@ -1,0 +1,1 @@
+examples/flu_survey.ml: Array Dpdb List Minimax Printf Prob Rat

@@ -1,0 +1,1 @@
+examples/flu_survey.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dpdb Mech Minimax Printf Prob Rat

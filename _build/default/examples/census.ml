@@ -1,0 +1,78 @@
+(* A data-curator walkthrough on CSV data: load a (synthetic) census
+   extract, run a parsed SQL-ish count query, release it privately,
+   and show what a reader can and cannot infer from the release.
+
+   Run with:  dune exec examples/census.exe *)
+
+let q = Rat.of_ints
+
+let census_csv =
+  "name:text,age:int,city:text,has_flu:bool\n\
+   ann,34,San Diego,true\n\
+   bob,17,San Diego,true\n\
+   carol,52,Fresno,false\n\
+   dan,41,San Diego,false\n\
+   eve,29,San Diego,true\n\
+   frank,66,Sacramento,true\n\
+   grace,23,San Diego,false\n\
+   heidi,58,San Diego,true\n\
+   ivan,31,Fresno,true\n\
+   judy,45,San Diego,false\n"
+
+let () =
+  (* 1. Load the data and type-check a query written as text. *)
+  let db = Dpdb.Csv.of_string census_csv in
+  let predicate_text = "has_flu = true AND age >= 18 AND city = 'San Diego'" in
+  let predicate = Dpdb.Query_parser.parse predicate_text in
+  (match Dpdb.Query_parser.type_check (Dpdb.Database.schema db) predicate with
+   | None -> ()
+   | Some err -> failwith err);
+  let n = Dpdb.Database.size db in
+  let true_count = Dpdb.Database.count db predicate in
+  Printf.printf "rows       : %d\n" n;
+  Printf.printf "query      : COUNT WHERE %s\n" predicate_text;
+  Printf.printf "true count : %d  (the curator's secret)\n\n" true_count;
+
+  (* 2. Choose a privacy level from an ε target. ε = 0.7 becomes a
+        small exact rational via continued fractions. *)
+  let alpha = Mech.Accounting.alpha_of_epsilon_approx ~max_den:(Bigint.of_int 50) 0.7 in
+  Printf.printf "privacy    : ε=0.7 → α=%s (ε back: %.4f)\n" (Rat.to_string alpha)
+    (Mech.Accounting.epsilon_of_alpha alpha);
+
+  (* 3. Release. *)
+  let mech = Mech.Geometric.matrix ~n ~alpha in
+  let rng = Prob.Rng.of_int 2026 in
+  let released = Mech.Mechanism.sample mech ~input:true_count rng in
+  Printf.printf "released   : %d\n\n" released;
+
+  (* 4. A reader's exact inference from the published number. *)
+  (match Minimax.Inference.posterior ~deployed:mech ~observed:released () with
+   | None -> assert false
+   | Some p ->
+     print_endline "reader's posterior over the true count (uniform prior):";
+     Array.iteri
+       (fun i m ->
+         if Rat.compare m (q 1 100) > 0 then
+           Printf.printf "  count=%d : %s\n" i (Rat.to_decimal_string ~places:4 m))
+       p);
+  (match
+     Minimax.Inference.credible_set ~deployed:mech ~observed:released ~level:(q 9 10) ()
+   with
+   | None -> assert false
+   | Some (members, mass) ->
+     Printf.printf "90%% credible set: {%s} (mass %s)\n"
+       (String.concat "," (List.map string_of_int members))
+       (Rat.to_decimal_string ~places:4 mass));
+
+  (* 5. What the reader canNOT do: single out an individual. The
+        posterior odds between adjacent counts are α-bounded, which is
+        exactly the DP guarantee in inferential form. *)
+  Printf.printf "adjacent posterior odds stay within [α, 1/α]: %b\n"
+    (Minimax.Inference.posterior_odds_bounded ~alpha ~deployed:mech ~observed:released ());
+
+  (* 6. Releasing k related queries costs multiplicatively: budget for
+        three queries at this α. *)
+  let joint = Mech.Accounting.compose_k ~k:3 alpha in
+  Printf.printf "\nthree such releases jointly guarantee only α=%s (ε=%.3f)\n"
+    (Rat.to_string joint)
+    (Mech.Accounting.epsilon_of_alpha joint)

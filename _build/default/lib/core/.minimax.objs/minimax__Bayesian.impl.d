@@ -1,0 +1,1 @@
+lib/core/bayesian.ml: Array Fun List Loss Lp Mech Printf Rat

@@ -1,0 +1,1 @@
+lib/core/bayesian.mli: Loss Mech Rat

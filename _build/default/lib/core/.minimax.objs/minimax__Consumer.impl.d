@@ -1,0 +1,1 @@
+lib/core/consumer.ml: Format Loss Mech Printf Side_info

@@ -1,0 +1,1 @@
+lib/core/consumer.mli: Format Loss Mech Rat Side_info

@@ -1,0 +1,1 @@
+lib/core/inference.ml: Array Fun List Mech Rat

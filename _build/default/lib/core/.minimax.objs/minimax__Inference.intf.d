@@ -1,0 +1,1 @@
+lib/core/inference.mli: Mech Rat

@@ -1,0 +1,1 @@
+lib/core/loss.ml: Array Format Printf Rat

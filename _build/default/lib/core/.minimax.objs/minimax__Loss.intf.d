@@ -1,0 +1,1 @@
+lib/core/loss.mli: Format Rat

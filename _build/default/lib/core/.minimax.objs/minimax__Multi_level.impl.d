@@ -1,0 +1,1 @@
+lib/core/multi_level.ml: Array Linalg List Mech Prob Rat

@@ -1,0 +1,1 @@
+lib/core/multi_level.mli: Mech Prob Rat

@@ -1,0 +1,1 @@
+lib/core/multi_query.ml: Array List Mech Optimal_interaction Rat Universal

@@ -1,0 +1,1 @@
+lib/core/multi_query.mli: Consumer Mech Prob Rat

@@ -1,0 +1,1 @@
+lib/core/oblivious.ml: Array Consumer Fun List Loss Mech Prob Rat Side_info

@@ -1,0 +1,1 @@
+lib/core/oblivious.mli: Consumer Mech Prob Rat

@@ -1,0 +1,1 @@
+lib/core/optimal_interaction.ml: Array Consumer Fun List Loss Lp Mech Printf Rat Side_info

@@ -1,0 +1,1 @@
+lib/core/optimal_interaction.mli: Consumer Mech Rat

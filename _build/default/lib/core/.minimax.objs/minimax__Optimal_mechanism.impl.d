@@ -1,0 +1,1 @@
+lib/core/optimal_mechanism.ml: Array Consumer Fun List Loss Lp Mech Optimal_interaction Printf Rat Side_info

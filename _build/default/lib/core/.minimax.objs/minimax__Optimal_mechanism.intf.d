@@ -1,0 +1,1 @@
+lib/core/optimal_mechanism.mli: Consumer Lp Mech Rat

@@ -1,0 +1,1 @@
+lib/core/side_info.ml: Format Fun List Printf String

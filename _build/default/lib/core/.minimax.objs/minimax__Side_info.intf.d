@@ -1,0 +1,1 @@
+lib/core/side_info.mli: Format

@@ -1,0 +1,1 @@
+lib/core/universal.ml: Consumer Fun List Mech Optimal_interaction Optimal_mechanism Rat Side_info

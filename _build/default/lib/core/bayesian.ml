@@ -1,0 +1,131 @@
+(** Bayesian information consumers — the Ghosh–Roughgarden–Sundararajan
+    (STOC'09) model the paper compares against in §2.7.
+
+    A Bayesian consumer has a prior [p] over true results and minimizes
+    {i expected} (not worst-case) loss. Its optimal post-processing of
+    a deployed mechanism is deterministic: each output [r] is remapped
+    to [argmin_{r'} Σ_i p_i·y_{i,r}·l(i,r')]. The contrast with the
+    minimax consumer's {i randomized} optimal interaction (Table 1(c)
+    has a random row) is one of the paper's talking points. *)
+
+type prior = Rat.t array
+
+let uniform_prior n : prior = Array.make (n + 1) (Rat.of_ints 1 (n + 1))
+
+let normalize_prior (weights : Rat.t array) : prior =
+  let total = Array.fold_left Rat.add Rat.zero weights in
+  if Rat.sign total <= 0 then invalid_arg "Bayesian.normalize_prior";
+  Array.map (fun w -> Rat.div w total) weights
+
+(** Geometric-shaped prior concentrated at [peak]. *)
+let peaked_prior ~n ~peak ~decay : prior =
+  if peak < 0 || peak > n then invalid_arg "Bayesian.peaked_prior";
+  normalize_prior (Array.init (n + 1) (fun i -> Rat.pow decay (abs (i - peak))))
+
+type t = { label : string; prior : prior; loss : Loss.t }
+
+let make ?(label = "bayesian") ~prior ~loss () =
+  let total = Array.fold_left Rat.add Rat.zero prior in
+  if not (Rat.is_one total) then invalid_arg "Bayesian.make: prior does not sum to 1";
+  Array.iter (fun p -> if Rat.sign p < 0 then invalid_arg "Bayesian.make: negative prior") prior;
+  { label; prior; loss }
+
+(** Expected loss of a mechanism under the prior. *)
+let expected_loss t mech =
+  let n = Mech.Mechanism.n mech in
+  let acc = ref Rat.zero in
+  for i = 0 to n do
+    if not (Rat.is_zero t.prior.(i)) then
+      acc :=
+        Rat.add !acc
+          (Rat.mul t.prior.(i)
+             (Mech.Mechanism.expected_loss mech ~loss:(fun i r -> Loss.eval t.loss i r) i))
+  done;
+  !acc
+
+(** Optimal deterministic remap of a deployed mechanism: for each
+    output column [r], the posterior-expected-loss-minimizing
+    relabel. Ties broken toward the smaller output. *)
+let optimal_remap t (deployed : Mech.Mechanism.t) =
+  let n = Mech.Mechanism.n deployed in
+  Array.init (n + 1) (fun r ->
+      let score r' =
+        let acc = ref Rat.zero in
+        for i = 0 to n do
+          acc :=
+            Rat.add !acc
+              (Rat.mul t.prior.(i)
+                 (Rat.mul (Mech.Mechanism.prob deployed ~input:i ~output:r) (Loss.eval t.loss i r')))
+        done;
+        !acc
+      in
+      let best = ref 0 and best_score = ref (score 0) in
+      for r' = 1 to n do
+        let s = score r' in
+        if Rat.compare s !best_score < 0 then begin
+          best := r';
+          best_score := s
+        end
+      done;
+      !best)
+
+(** The remap as a (deterministic) stochastic matrix. *)
+let remap_matrix ~n remap =
+  Array.init (n + 1) (fun r ->
+      Array.init (n + 1) (fun r' -> if remap.(r) = r' then Rat.one else Rat.zero))
+
+(** Deploy mechanism + optimal remap = induced mechanism; returns it
+    with its Bayesian expected loss. *)
+let post_process t deployed =
+  let n = Mech.Mechanism.n deployed in
+  let remap = optimal_remap t deployed in
+  let induced = Mech.Mechanism.compose deployed (remap_matrix ~n remap) in
+  (induced, expected_loss t induced)
+
+(** The Bayesian-optimal α-DP mechanism for this consumer (the §2.5
+    analogue; linear objective, so a plain LP without the minimax
+    linearization). *)
+let optimal_mechanism ~alpha t ~n =
+  Mech.Geometric.check_alpha alpha;
+  let p = Lp.make () in
+  let x = Array.init (n + 1) (fun i -> Array.init (n + 1) (fun r -> Lp.fresh_var ~name:(Printf.sprintf "x_%d_%d" i r) p)) in
+  for i = 0 to n do
+    Lp.add_eq p (Lp.Expr.sum (List.init (n + 1) (fun r -> Lp.Expr.var x.(i).(r)))) Rat.one
+  done;
+  for i = 0 to n - 1 do
+    for r = 0 to n do
+      Lp.add_ge p (Lp.Expr.sub (Lp.Expr.var x.(i + 1).(r)) (Lp.Expr.term alpha x.(i).(r))) Rat.zero;
+      Lp.add_ge p (Lp.Expr.sub (Lp.Expr.var x.(i).(r)) (Lp.Expr.term alpha x.(i + 1).(r))) Rat.zero
+    done
+  done;
+  let objective =
+    Lp.Expr.sum
+      (List.concat_map
+         (fun i ->
+           List.filter_map
+             (fun r ->
+               let c = Rat.mul t.prior.(i) (Loss.eval t.loss i r) in
+               if Rat.is_zero c then None else Some (Lp.Expr.term c x.(i).(r)))
+             (List.init (n + 1) Fun.id))
+         (List.init (n + 1) Fun.id))
+  in
+  Lp.set_objective p Lp.Minimize objective;
+  match Lp.solve p with
+  | Lp.Optimal sol ->
+    let mech =
+      Mech.Mechanism.make
+        (Array.init (n + 1) (fun i -> Array.init (n + 1) (fun r -> sol.values.(x.(i).(r)))))
+    in
+    (mech, sol.objective)
+  | Lp.Infeasible | Lp.Unbounded -> assert false
+
+(** Is a post-processing matrix deterministic (every row a point
+    mass)? Minimax consumers genuinely need randomization; Bayesian
+    ones never do. *)
+let is_deterministic (t_matrix : Rat.t array array) =
+  Array.for_all
+    (fun row ->
+      let ones = Array.fold_left (fun acc v -> if Rat.is_one v then acc + 1 else acc) 0 row in
+      let zeros = Array.fold_left (fun acc v -> if Rat.is_zero v then acc + 1 else acc) 0 row in
+      ones = 1 && zeros = Array.length row - 1)
+    t_matrix

@@ -1,0 +1,45 @@
+(** Bayesian information consumers — the Ghosh–Roughgarden–Sundararajan
+    (STOC'09) model the paper compares against in §2.7.
+
+    A Bayesian consumer holds a prior over true results and minimizes
+    expected (not worst-case) loss; its optimal post-processing is a
+    deterministic remap of outputs. *)
+
+type prior = Rat.t array
+(** Masses over [{0..n}], summing to one. *)
+
+val uniform_prior : int -> prior
+
+val normalize_prior : Rat.t array -> prior
+(** @raise Invalid_argument on a non-positive total. *)
+
+val peaked_prior : n:int -> peak:int -> decay:Rat.t -> prior
+(** Mass [∝ decay^{|i−peak|}]. *)
+
+type t
+
+val make : ?label:string -> prior:prior -> loss:Loss.t -> unit -> t
+(** @raise Invalid_argument when the prior is not a distribution. *)
+
+val expected_loss : t -> Mech.Mechanism.t -> Rat.t
+(** Prior-weighted expected loss. *)
+
+val optimal_remap : t -> Mech.Mechanism.t -> int array
+(** For each output [r], the posterior-expected-loss-minimizing
+    relabel (ties toward the smaller output). *)
+
+val remap_matrix : n:int -> int array -> Rat.t array array
+(** A remap as a 0/1 row-stochastic matrix. *)
+
+val post_process : t -> Mech.Mechanism.t -> Mech.Mechanism.t * Rat.t
+(** Deployed mechanism composed with the optimal remap, and its
+    Bayesian expected loss. *)
+
+val optimal_mechanism : alpha:Rat.t -> t -> n:int -> Mech.Mechanism.t * Rat.t
+(** The Bayesian-optimal α-DP mechanism (the §2.5 analogue with a
+    linear objective). *)
+
+val is_deterministic : Rat.t array array -> bool
+(** Is a post-processing matrix a deterministic remap (every row a
+    point mass)? Bayesian optima always are; minimax optima genuinely
+    are not (§2.7). *)

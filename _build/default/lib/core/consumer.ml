@@ -1,0 +1,30 @@
+(** A minimax information consumer: loss function + side information
+    (+ the privacy level at which it receives data).
+
+    Its dis-utility for a mechanism [x] is Equation (1):
+    [L(x) = max_{i∈S} Σ_r l(i,r)·x_{i,r}]. *)
+
+type t = { label : string; loss : Loss.t; side_info : Side_info.t }
+
+let make ?(label = "") ~loss ~side_info () =
+  let label =
+    if label <> "" then label
+    else Printf.sprintf "%s on %s" (Loss.name loss) (Side_info.to_string side_info)
+  in
+  { label; loss; side_info }
+
+let label t = t.label
+let loss t = t.loss
+let side_info t = t.side_info
+let n t = Side_info.n t.side_info
+
+(** Equation (1): worst-case expected loss over the side information. *)
+let minimax_loss t mech =
+  Mech.Mechanism.minimax_loss mech
+    ~loss:(fun i r -> Loss.eval t.loss i r)
+    ~side_info:(Side_info.members t.side_info)
+
+(** Expected loss at a single input. *)
+let expected_loss t mech i = Mech.Mechanism.expected_loss mech ~loss:(fun i r -> Loss.eval t.loss i r) i
+
+let pp fmt t = Format.pp_print_string fmt t.label

@@ -1,0 +1,23 @@
+(** A minimax information consumer: loss function + side information.
+
+    Its dis-utility for a mechanism [x] is Equation (1):
+    [L(x) = max_{i∈S} Σ_r l(i,r)·x_{i,r}]. *)
+
+type t
+
+val make : ?label:string -> loss:Loss.t -> side_info:Side_info.t -> unit -> t
+
+val label : t -> string
+val loss : t -> Loss.t
+val side_info : t -> Side_info.t
+
+val n : t -> int
+(** The result range shared with the mechanisms it can face. *)
+
+val minimax_loss : t -> Mech.Mechanism.t -> Rat.t
+(** Equation (1). *)
+
+val expected_loss : t -> Mech.Mechanism.t -> int -> Rat.t
+(** Expected loss at a single true input. *)
+
+val pp : Format.formatter -> t -> unit

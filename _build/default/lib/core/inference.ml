@@ -1,0 +1,105 @@
+(** Consumer-side inference from a released value.
+
+    Beyond the minimax interaction LPs, a consumer holding a prior can
+    do plain Bayesian inference on the deployed mechanism's output —
+    exact over ℚ, since the mechanism matrix is exact. This module
+    provides the posterior, point estimates, and credible sets; the
+    collusion analysis of {!Multi_level} builds on the same
+    computation. *)
+
+(** Exact posterior over true results given one observation.
+    [prior] defaults to uniform. [None] when the observation has zero
+    probability under the prior. *)
+let posterior ?prior ~(deployed : Mech.Mechanism.t) ~observed () =
+  let n = Mech.Mechanism.n deployed in
+  if observed < 0 || observed > n then invalid_arg "Inference.posterior: observation out of range";
+  let prior =
+    match prior with
+    | Some p ->
+      if Array.length p <> n + 1 then invalid_arg "Inference.posterior: prior length";
+      p
+    | None -> Array.make (n + 1) (Rat.of_ints 1 (n + 1))
+  in
+  let raw =
+    Array.init (n + 1) (fun i ->
+        Rat.mul prior.(i) (Mech.Mechanism.prob deployed ~input:i ~output:observed))
+  in
+  let total = Array.fold_left Rat.add Rat.zero raw in
+  if Rat.is_zero total then None else Some (Array.map (fun x -> Rat.div x total) raw)
+
+(** Maximum-a-posteriori estimate (smallest index on ties). *)
+let map_estimate ?prior ~deployed ~observed () =
+  match posterior ?prior ~deployed ~observed () with
+  | None -> None
+  | Some p ->
+    let best = ref 0 in
+    Array.iteri (fun i v -> if Rat.compare v p.(!best) > 0 then best := i) p;
+    Some !best
+
+(** Posterior mean, as an exact rational. *)
+let posterior_mean ?prior ~deployed ~observed () =
+  match posterior ?prior ~deployed ~observed () with
+  | None -> None
+  | Some p ->
+    Some
+      (Array.to_list p
+      |> List.mapi (fun i m -> Rat.mul_int m i)
+      |> List.fold_left Rat.add Rat.zero)
+
+(** Smallest credible set at the given level: inputs added greedily by
+    decreasing posterior mass until the accumulated mass reaches
+    [level]. Returns the sorted member list and its exact mass.
+    @raise Invalid_argument when [level] is outside [0,1]. *)
+let credible_set ?prior ~deployed ~observed ~level () =
+  if Rat.sign level < 0 || Rat.compare level Rat.one > 0 then
+    invalid_arg "Inference.credible_set: level must lie in [0,1]";
+  match posterior ?prior ~deployed ~observed () with
+  | None -> None
+  | Some p ->
+    let order =
+      List.init (Array.length p) Fun.id
+      |> List.sort (fun i j ->
+             match Rat.compare p.(j) p.(i) with 0 -> compare i j | c -> c)
+    in
+    let rec take acc mass = function
+      | [] -> (acc, mass)
+      | i :: rest ->
+        if Rat.compare mass level >= 0 then (acc, mass)
+        else take (i :: acc) (Rat.add mass p.(i)) rest
+    in
+    let members, mass = take [] Rat.zero order in
+    Some (List.sort compare members, mass)
+
+(** Inputs whose likelihood of producing [observed] is at least
+    [ratio] times the maximum likelihood — a prior-free alternative to
+    {!credible_set}. *)
+let likelihood_set ~(deployed : Mech.Mechanism.t) ~observed ~ratio =
+  let n = Mech.Mechanism.n deployed in
+  if observed < 0 || observed > n then invalid_arg "Inference.likelihood_set";
+  if Rat.sign ratio < 0 || Rat.compare ratio Rat.one > 0 then
+    invalid_arg "Inference.likelihood_set: ratio must lie in [0,1]";
+  let lik = Array.init (n + 1) (fun i -> Mech.Mechanism.prob deployed ~input:i ~output:observed) in
+  let best = Array.fold_left Rat.max Rat.zero lik in
+  List.filter
+    (fun i -> Rat.compare lik.(i) (Rat.mul ratio best) >= 0)
+    (List.init (n + 1) Fun.id)
+
+(** The differential-privacy semantics, inferential form: for any
+    prior, the posterior odds of adjacent inputs move by at most a
+    [1/α] factor relative to the prior odds. Verified exactly; used by
+    tests and the docs. *)
+let posterior_odds_bounded ~alpha ~deployed ~observed () =
+  let n = Mech.Mechanism.n deployed in
+  match posterior ~deployed ~observed () with
+  | None -> true
+  | Some p ->
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      (* uniform prior: posterior odds = likelihood odds *)
+      let a = p.(i) and b = p.(i + 1) in
+      if not (Rat.is_zero a || Rat.is_zero b) then begin
+        let odds = Rat.div a b in
+        if Rat.compare odds (Rat.inv alpha) > 0 || Rat.compare odds alpha < 0 then ok := false
+      end
+    done;
+    !ok

@@ -1,0 +1,36 @@
+(** Consumer-side inference from a released value: exact posteriors,
+    point estimates, and credible sets over the deployed mechanism. *)
+
+val posterior :
+  ?prior:Rat.t array -> deployed:Mech.Mechanism.t -> observed:int -> unit -> Rat.t array option
+(** Exact posterior over true results given one observation; uniform
+    prior by default. [None] for probability-zero observations.
+    @raise Invalid_argument on range or prior-length errors. *)
+
+val map_estimate :
+  ?prior:Rat.t array -> deployed:Mech.Mechanism.t -> observed:int -> unit -> int option
+(** Maximum-a-posteriori estimate (smallest index on ties). *)
+
+val posterior_mean :
+  ?prior:Rat.t array -> deployed:Mech.Mechanism.t -> observed:int -> unit -> Rat.t option
+
+val credible_set :
+  ?prior:Rat.t array ->
+  deployed:Mech.Mechanism.t ->
+  observed:int ->
+  level:Rat.t ->
+  unit ->
+  (int list * Rat.t) option
+(** Smallest credible set at the given level (greedy by posterior
+    mass): sorted members and their exact accumulated mass.
+    @raise Invalid_argument when [level] is outside [0,1]. *)
+
+val likelihood_set : deployed:Mech.Mechanism.t -> observed:int -> ratio:Rat.t -> int list
+(** Inputs whose likelihood is at least [ratio] × the maximum — a
+    prior-free confidence set. *)
+
+val posterior_odds_bounded :
+  alpha:Rat.t -> deployed:Mech.Mechanism.t -> observed:int -> unit -> bool
+(** The inferential form of α-DP: adjacent-input posterior odds under
+    a uniform prior stay within [α, 1/α]. True for every α-DP
+    mechanism; exposed for tests. *)

@@ -1,0 +1,95 @@
+(** Loss functions of information consumers (§2.3).
+
+    A loss [l(i, r)] is the consumer's disutility when the mechanism
+    outputs [r] and the true count is [i]. The paper's only assumption
+    is monotonicity: non-decreasing in [|i − r|] for each fixed [i]
+    ([is_monotone] checks it on a concrete range). *)
+
+type t = { name : string; f : int -> int -> Rat.t }
+
+let make ~name f = { name; f }
+
+let name t = t.name
+let eval t i r = t.f i r
+
+(** [l(i,r) = |i−r|] — mean error (the paper's government consumer). *)
+let absolute = make ~name:"absolute" (fun i r -> Rat.of_int (abs (i - r)))
+
+(** [l(i,r) = (i−r)²] — error variance (the drug company). *)
+let squared =
+  make ~name:"squared" (fun i r ->
+      let d = i - r in
+      Rat.of_int (d * d))
+
+(** [l(i,r) = 1{i ≠ r}] — frequency of error. *)
+let zero_one = make ~name:"zero-one" (fun i r -> if i = r then Rat.zero else Rat.one)
+
+(** Asymmetric linear loss: overestimates cost [over] per unit,
+    underestimates cost [under] per unit. Models, e.g., a producer for
+    whom over-production is cheaper than shortage. *)
+let asymmetric ~over ~under =
+  make
+    ~name:(Printf.sprintf "asymmetric(%s,%s)" (Rat.to_string over) (Rat.to_string under))
+    (fun i r ->
+      if r >= i then Rat.mul_int over (r - i) else Rat.mul_int under (i - r))
+
+(** Hinge loss: free within a tolerance band of [width], linear
+    beyond. *)
+let deadzone ~width =
+  if width < 0 then invalid_arg "Loss.deadzone: negative width";
+  make ~name:(Printf.sprintf "deadzone(%d)" width) (fun i r ->
+      let d = abs (i - r) in
+      if d <= width then Rat.zero else Rat.of_int (d - width))
+
+(** Capped absolute loss: |i−r| saturating at [cap]. *)
+let capped ~cap =
+  if cap < 1 then invalid_arg "Loss.capped: cap must be >= 1";
+  make ~name:(Printf.sprintf "capped(%d)" cap) (fun i r -> Rat.of_int (min cap (abs (i - r))))
+
+let scale k t = make ~name:(Printf.sprintf "%s*%s" (Rat.to_string k) t.name) (fun i r -> Rat.mul k (t.f i r))
+
+(* Row-weighted loss: scenario i's losses scaled by weights.(i).
+   Monotonicity in |i-r| is per fixed i, so positive row weights keep
+   the loss a valid minimax loss — which makes "weighted worst case"
+   consumers (caring more about some scenarios) a special case of the
+   paper's model, with Theorem 1 applying verbatim. *)
+let row_weighted ~weights t =
+  Array.iter
+    (fun w -> if Rat.sign w <= 0 then invalid_arg "Loss.row_weighted: weights must be positive")
+    weights;
+  make
+    ~name:(Printf.sprintf "row-weighted(%s)" t.name)
+    (fun i r ->
+      if i < 0 || i >= Array.length weights then invalid_arg "Loss.row_weighted: index out of range";
+      Rat.mul weights.(i) (t.f i r))
+
+(** Monotone non-decreasing in [|i − r|] for every [i], over
+    [{0..n}²] — the paper's validity requirement. *)
+let is_monotone t ~n =
+  let ok = ref true in
+  for i = 0 to n do
+    (* Walk outward on each side of i. *)
+    for r = i + 1 to n - 1 do
+      if Rat.compare (t.f i r) (t.f i (r + 1)) > 0 then ok := false
+    done;
+    for r = 1 to i do
+      if Rat.compare (t.f i r) (t.f i (r - 1)) > 0 then ok := false
+    done
+  done;
+  !ok
+
+(** Nonnegative on [{0..n}²] with [l(i,i) = 0]? Not required by the
+    paper, but true of all standard losses; some tests assume it. *)
+let is_proper t ~n =
+  let ok = ref true in
+  for i = 0 to n do
+    if not (Rat.is_zero (t.f i i)) then ok := false;
+    for r = 0 to n do
+      if Rat.sign (t.f i r) < 0 then ok := false
+    done
+  done;
+  !ok
+
+let standard_suite = [ absolute; squared; zero_one ]
+
+let pp fmt t = Format.pp_print_string fmt t.name

@@ -1,0 +1,60 @@
+(** Loss functions of information consumers (§2.3).
+
+    A loss [l(i, r)] is the consumer's disutility when the mechanism
+    outputs [r] and the true count is [i]. The paper's only assumption
+    is monotonicity in [|i − r|] for each fixed [i]. *)
+
+type t
+
+val make : name:string -> (int -> int -> Rat.t) -> t
+(** Custom loss: [f i r] where [i] is the true result, [r] the
+    output. *)
+
+val name : t -> string
+val eval : t -> int -> int -> Rat.t
+
+(** {1 The paper's examples} *)
+
+val absolute : t
+(** [|i−r|] — mean error (the government consumer). *)
+
+val squared : t
+(** [(i−r)²] — error variance (the drug company). *)
+
+val zero_one : t
+(** [1{i ≠ r}] — frequency of error. *)
+
+(** {1 Further monotone losses} *)
+
+val asymmetric : over:Rat.t -> under:Rat.t -> t
+(** Linear with different unit costs for over- and under-estimates. *)
+
+val deadzone : width:int -> t
+(** Zero within a tolerance band, linear beyond.
+    @raise Invalid_argument on negative width. *)
+
+val capped : cap:int -> t
+(** [min cap |i−r|]. @raise Invalid_argument when [cap < 1]. *)
+
+val scale : Rat.t -> t -> t
+
+val row_weighted : weights:Rat.t array -> t -> t
+(** Scale scenario [i]'s losses by [weights.(i)] (all positive). Still
+    monotone per fixed [i], so weighted-worst-case consumers are valid
+    minimax consumers and Theorem 1 applies to them verbatim.
+    @raise Invalid_argument on non-positive weights or out-of-range
+    scenarios. *)
+
+(** {1 Validity checks} *)
+
+val is_monotone : t -> n:int -> bool
+(** Non-decreasing in [|i−r|] for every [i] over [{0..n}²] — the
+    paper's requirement on losses. *)
+
+val is_proper : t -> n:int -> bool
+(** Non-negative with [l(i,i) = 0] — true of all standard losses. *)
+
+val standard_suite : t list
+(** [absolute; squared; zero_one]. *)
+
+val pp : Format.formatter -> t -> unit

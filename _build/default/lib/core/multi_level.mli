@@ -1,0 +1,38 @@
+(** Algorithm 1: releasing the query result at multiple privacy levels
+    in a collusion-resistant way (§2.6, §4.1).
+
+    The cascade applies the strongest-utility geometric mechanism
+    first, then adds privacy stage by stage through the stochastic
+    matrices of Lemma 3; each stage's marginal is exactly its own
+    geometric mechanism, while colluders learn nothing beyond the
+    least-private release (Lemma 4). *)
+
+val transition : n:int -> alpha:Rat.t -> beta:Rat.t -> Rat.t array array
+(** Lemma 3's [T_{α,β} = G(n,α)⁻¹·G(n,β)], row-stochastic whenever
+    [α ≤ β]. @raise Invalid_argument on bad levels or [α > β]. *)
+
+type plan = {
+  n : int;
+  levels : Rat.t array;  (** strictly increasing α's *)
+  first : Mech.Mechanism.t;  (** [G(n, α₁)] *)
+  stages : Rat.t array array array;  (** [stages.(i)] maps level [i] to [i+1] *)
+}
+
+val make_plan : n:int -> levels:Rat.t list -> plan
+(** @raise Invalid_argument when levels are empty, invalid, or not
+    strictly increasing. *)
+
+val release : plan -> true_result:int -> Prob.Rng.t -> int array
+(** Run Algorithm 1: one correlated result per level, least private
+    first. @raise Invalid_argument on an out-of-range result. *)
+
+val stage_marginal : plan -> int -> Mech.Mechanism.t
+(** Exact marginal of stage [i] — equal to [G(n, αᵢ)] by Lemma 3;
+    exposed so tests can assert the equality. *)
+
+val posterior : plan -> observed:(int * int) list -> Rat.t array option
+(** Exact posterior over the true result (uniform prior) given joint
+    observations [(level, value)]. [None] for probability-zero
+    observations. Lemma 4 manifests as: the posterior given any
+    observation set equals the posterior given its least-private
+    element alone. *)

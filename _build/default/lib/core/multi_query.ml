@@ -1,0 +1,78 @@
+(** Multiple count queries — the paper's closing open question, built
+    from its single-query machinery plus standard composition.
+
+    The paper's results are per-query. To answer [k] fixed count
+    queries under a total privacy budget [α_total], release each query
+    through its own geometric mechanism at level [αᵢ] with
+    [Π αᵢ >= α_total] (sequential composition in the multiplicative
+    scale — see {!Mech.Accounting}). Theorem 1 then applies to each
+    coordinate: every consumer of query [i] still extracts its tailored
+    optimum for that query.
+
+    Two budget-splitting policies are provided:
+
+    - {b uniform}: every query gets the same level; requires a rational
+      k-th root of the budget, so we take the caller's per-query level
+      and expose the induced total instead;
+    - {b weighted}: each query receives an integer number of {e budget
+      shares} — query [i] is released at [α_base^{wᵢ}], so a heavier
+      weight means a {e smaller} α (weaker privacy for that query, more
+      accuracy for its consumers), while the joint release costs
+      [α_base^{Σwᵢ}] of budget. Integer weights keep everything
+      rational. *)
+
+type plan = {
+  levels : Rat.t array;  (** per-query privacy levels *)
+  total : Rat.t;  (** joint guarantee under sequential composition *)
+  mechanisms : Mech.Mechanism.t array;
+}
+
+(** Same level for every query. [total = alpha^k]. *)
+let uniform ~n ~k ~alpha =
+  if k < 1 then invalid_arg "Multi_query.uniform: k must be >= 1";
+  Mech.Geometric.check_alpha alpha;
+  let g = Mech.Geometric.matrix ~n ~alpha in
+  {
+    levels = Array.make k alpha;
+    total = Mech.Accounting.compose_k ~k alpha;
+    mechanisms = Array.make k g;
+  }
+
+(** Integer-weighted split of a base level: query [i] is released at
+    [base^{w_i}] (larger weight = more budget shares = more accurate,
+    less private), and the joint level is [base^{Σ w_i}]. *)
+let weighted ~n ~base ~weights =
+  Mech.Geometric.check_alpha base;
+  if weights = [] then invalid_arg "Multi_query.weighted: no queries";
+  List.iter (fun w -> if w < 1 then invalid_arg "Multi_query.weighted: weights must be >= 1") weights;
+  let levels = Array.of_list (List.map (fun w -> Rat.pow base w) weights) in
+  let total = Rat.pow base (List.fold_left ( + ) 0 weights) in
+  { levels; total; mechanisms = Array.map (fun alpha -> Mech.Geometric.matrix ~n ~alpha) levels }
+
+let k t = Array.length t.levels
+let level t i = t.levels.(i)
+let total_level t = t.total
+let mechanism t i = t.mechanisms.(i)
+
+(** Release all query results (independent randomness per query —
+    queries are different, so the Algorithm-1 correlation trick does
+    not apply across queries; it still applies per query across
+    consumers, via {!Multi_level}). *)
+let release t ~true_results rng =
+  if Array.length true_results <> k t then
+    invalid_arg "Multi_query.release: wrong number of results";
+  Array.mapi (fun i r -> Mech.Mechanism.sample t.mechanisms.(i) ~input:r rng) true_results
+
+(** Per-query Theorem-1 check: every consumer of query [i] attains its
+    tailored optimum at level [levels.(i)]. *)
+let universality_holds_for t ~query consumer =
+  if query < 0 || query >= k t then invalid_arg "Multi_query.universality_holds_for";
+  let cmp = Universal.compare_for ~alpha:t.levels.(query) consumer in
+  Universal.universality_holds cmp
+
+(** Worst-case loss a consumer suffers on its query, by level. Useful
+    for choosing weights: utility degrades as the level grows. *)
+let consumer_loss t ~query consumer =
+  if query < 0 || query >= k t then invalid_arg "Multi_query.consumer_loss";
+  let inter = Optimal_interaction.solve ~deployed:t.mechanisms.(query) consumer in
+  inter.Optimal_interaction.loss

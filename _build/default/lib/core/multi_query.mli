@@ -1,0 +1,36 @@
+(** Multiple count queries — the paper's closing open question, built
+    from its single-query machinery plus sequential composition
+    ({!Mech.Accounting}): each query is released through its own
+    geometric mechanism, levels multiply into the joint budget, and
+    Theorem 1 applies per coordinate. *)
+
+type plan = {
+  levels : Rat.t array;  (** per-query privacy levels *)
+  total : Rat.t;  (** joint guarantee under sequential composition *)
+  mechanisms : Mech.Mechanism.t array;
+}
+
+val uniform : n:int -> k:int -> alpha:Rat.t -> plan
+(** Same level for every query; [total = α^k].
+    @raise Invalid_argument when [k < 1] or [alpha] invalid. *)
+
+val weighted : n:int -> base:Rat.t -> weights:int list -> plan
+(** Query [i] receives [wᵢ] budget shares: level [base^{wᵢ}] (heavier
+    weight = more accurate, less private); joint level
+    [base^{Σwᵢ}]. @raise Invalid_argument on empty or non-positive
+    weights. *)
+
+val k : plan -> int
+val level : plan -> int -> Rat.t
+val total_level : plan -> Rat.t
+val mechanism : plan -> int -> Mech.Mechanism.t
+
+val release : plan -> true_results:int array -> Prob.Rng.t -> int array
+(** Independent randomness per query. @raise Invalid_argument on an
+    arity mismatch. *)
+
+val universality_holds_for : plan -> query:int -> Consumer.t -> bool
+(** Theorem 1 at the query's own level. *)
+
+val consumer_loss : plan -> query:int -> Consumer.t -> Rat.t
+(** The consumer's optimal-interaction loss for its query. *)

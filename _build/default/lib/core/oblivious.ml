@@ -1,0 +1,134 @@
+(** Appendix A: restricting attention to oblivious mechanisms is
+    without loss of generality.
+
+    A non-oblivious mechanism may give different output distributions
+    to two databases with the same count. Lemma 6 shows that averaging
+    the rows within each count class yields an oblivious mechanism
+    that is still α-DP and no worse for any minimax consumer.
+
+    To make this executable we materialize a {e binary world}: rows are
+    single bits (does the row satisfy the predicate?), databases are
+    the [2^n] bit-vectors, the count query is the Hamming weight, and
+    neighbors differ in exactly one position. This is the smallest
+    world exhibiting the full neighbor structure of count queries. *)
+
+type world = {
+  n : int;  (** rows per database; counts range over 0..n *)
+  databases : int array;  (** each database encoded as an n-bit mask *)
+  count : int -> int;  (** Hamming weight of a mask *)
+}
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+let binary_world n =
+  if n < 1 || n > 20 then invalid_arg "Oblivious.binary_world: n out of range";
+  { n; databases = Array.init (1 lsl n) Fun.id; count = popcount }
+
+let are_neighbors _w d1 d2 = popcount (d1 lxor d2) = 1
+
+(** A non-oblivious mechanism: one output distribution per database
+    (indexed by bitmask), outputs in [{0..n}]. *)
+type nonoblivious = Rat.t array array
+
+let validate w (m : nonoblivious) =
+  if Array.length m <> Array.length w.databases then invalid_arg "Oblivious: wrong database count";
+  Array.iter
+    (fun row ->
+      if Array.length row <> w.n + 1 then invalid_arg "Oblivious: wrong output range";
+      let s = Array.fold_left Rat.add Rat.zero row in
+      if not (Rat.is_one s) then invalid_arg "Oblivious: row not stochastic";
+      Array.iter (fun p -> if Rat.sign p < 0 then invalid_arg "Oblivious: negative mass") row)
+    m
+
+(** α-DP over the explicit neighbor relation. *)
+let is_dp w ~alpha (m : nonoblivious) =
+  let ok = ref true in
+  let num = Array.length w.databases in
+  for d1 = 0 to num - 1 do
+    for bit = 0 to w.n - 1 do
+      let d2 = d1 lxor (1 lsl bit) in
+      if d2 > d1 then
+        for r = 0 to w.n do
+          let a = m.(d1).(r) and b = m.(d2).(r) in
+          if Rat.compare (Rat.mul alpha a) b > 0 || Rat.compare (Rat.mul alpha b) a > 0 then
+            ok := false
+        done
+    done
+  done;
+  !ok
+
+(** The Lemma-6 reduction: average the rows of each count class. *)
+let make_oblivious w (m : nonoblivious) : Mech.Mechanism.t =
+  validate w m;
+  let class_size = Array.make (w.n + 1) 0 in
+  let sums = Array.make_matrix (w.n + 1) (w.n + 1) Rat.zero in
+  Array.iteri
+    (fun idx mask ->
+      let c = w.count mask in
+      class_size.(c) <- class_size.(c) + 1;
+      for r = 0 to w.n do
+        sums.(c).(r) <- Rat.add sums.(c).(r) m.(idx).(r)
+      done)
+    w.databases;
+  Mech.Mechanism.make
+    (Array.init (w.n + 1) (fun c ->
+         Array.init (w.n + 1) (fun r -> Rat.div_int sums.(c).(r) class_size.(c))))
+
+(** Worst-case loss of a non-oblivious mechanism for a consumer whose
+    side information constrains the {e count} (Equation 5). *)
+let nonoblivious_loss w (m : nonoblivious) (consumer : Consumer.t) =
+  let loss = Consumer.loss consumer in
+  let side = Side_info.members (Consumer.side_info consumer) in
+  let worst = ref Rat.zero and first = ref true in
+  Array.iteri
+    (fun idx mask ->
+      let c = w.count mask in
+      if List.mem c side then begin
+        let l = ref Rat.zero in
+        for r = 0 to w.n do
+          l := Rat.add !l (Rat.mul m.(idx).(r) (Loss.eval loss c r))
+        done;
+        if !first || Rat.compare !l !worst > 0 then begin
+          worst := !l;
+          first := false
+        end
+      end)
+    w.databases;
+  !worst
+
+(** A random non-oblivious α-DP mechanism (for tests): start from the
+    geometric row for each database's count and mix in a small
+    database-specific perturbation that provably keeps α-DP. *)
+let random_nonoblivious w ~alpha rng : nonoblivious =
+  let g = Mech.Geometric.matrix ~n:w.n ~alpha in
+  (* Mix with a database-keyed deterministic-ish distribution. We blend
+     the geometric row with the uniform row: blending weights differ by
+     database but by at most a factor respecting DP headroom. Simplest
+     safe construction: convex combination  (1-λ)·G_row + λ·U  with a
+     single global λ drawn once per *column block* — still oblivious.
+     To be genuinely non-oblivious we perturb based on one designated
+     bit of the database, which changes the count class neighbor
+     structure by at most the blend; we then *verify* DP and retry with
+     halved λ until it holds. *)
+  let uniform = Array.make (w.n + 1) (Rat.of_ints 1 (w.n + 1)) in
+  let build lambda =
+    Array.map
+      (fun mask ->
+        let c = w.count mask in
+        let l = if mask land 1 = 1 then lambda else Rat.div_int lambda 2 in
+        Array.init (w.n + 1) (fun r ->
+            Rat.add
+              (Rat.mul (Rat.sub Rat.one l) (Mech.Mechanism.prob g ~input:c ~output:r))
+              (Rat.mul l uniform.(r))))
+      w.databases
+  in
+  let rec search lambda attempts =
+    if attempts = 0 then build Rat.zero
+    else
+      let candidate = build lambda in
+      if is_dp w ~alpha candidate then candidate else search (Rat.div_int lambda 2) (attempts - 1)
+  in
+  let seed = Rat.of_ints (1 + Prob.Rng.int rng 8) 64 in
+  search seed 12

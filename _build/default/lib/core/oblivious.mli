@@ -1,0 +1,43 @@
+(** Appendix A: restricting attention to oblivious mechanisms is
+    without loss of generality (Lemma 6).
+
+    Materialized over a {e binary world}: databases are the [2^n]
+    n-bit masks, the count query is the Hamming weight, neighbors
+    differ in one bit. *)
+
+type world = {
+  n : int;  (** rows per database; counts range over 0..n *)
+  databases : int array;  (** all databases, as n-bit masks *)
+  count : int -> int;  (** the count query: Hamming weight *)
+}
+
+val binary_world : int -> world
+(** @raise Invalid_argument outside 1..20. *)
+
+val are_neighbors : world -> int -> int -> bool
+(** Hamming distance exactly 1. *)
+
+type nonoblivious = Rat.t array array
+(** One output distribution per database (indexed by mask), outputs in
+    [{0..n}]. *)
+
+val validate : world -> nonoblivious -> unit
+(** @raise Invalid_argument unless every row is a distribution over
+    the right range. *)
+
+val is_dp : world -> alpha:Rat.t -> nonoblivious -> bool
+(** α-DP over the explicit neighbor relation. *)
+
+val make_oblivious : world -> nonoblivious -> Mech.Mechanism.t
+(** The Lemma-6 reduction: average the rows of each count class.
+    Preserves α-DP and never increases any minimax consumer's loss
+    (verified by tests and the OBL bench). *)
+
+val nonoblivious_loss : world -> nonoblivious -> Consumer.t -> Rat.t
+(** Worst-case loss over databases whose count lies in the consumer's
+    side information (Equation 5). *)
+
+val random_nonoblivious : world -> alpha:Rat.t -> Prob.Rng.t -> nonoblivious
+(** A random genuinely non-oblivious α-DP mechanism, for tests: a
+    database-keyed blend of the geometric row with the uniform row,
+    with the blend weight halved until DP verifiably holds. *)

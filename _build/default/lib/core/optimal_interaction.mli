@@ -1,0 +1,15 @@
+(** The consumer's optimal interaction with a deployed mechanism
+    (§2.4.3): the row-stochastic reinterpretation [T] minimizing the
+    minimax loss of the induced mechanism [x = y·T], found by exact
+    LP. *)
+
+type result = {
+  interaction : Rat.t array array;  (** the optimal [T*] *)
+  induced : Mech.Mechanism.t;  (** [x = y·T*] *)
+  loss : Rat.t;  (** minimax loss of the induced mechanism *)
+}
+
+val solve : deployed:Mech.Mechanism.t -> Consumer.t -> result
+(** @raise Invalid_argument when consumer and mechanism ranges
+    mismatch. Always succeeds otherwise (the identity interaction is
+    feasible). *)

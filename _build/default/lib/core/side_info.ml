@@ -1,0 +1,42 @@
+(** Side information of an information consumer (§2.3): a non-empty
+    subset [S ⊆ {0..n}] that the consumer knows contains the true
+    result (e.g. population of San Diego ⇒ an upper bound; the drug
+    company's own sales ⇒ a lower bound). *)
+
+type t = { n : int; members : int list (** sorted, distinct, non-empty *) }
+
+let make ~n members =
+  let members = List.sort_uniq compare members in
+  if members = [] then invalid_arg "Side_info.make: empty side information";
+  List.iter
+    (fun i ->
+      if i < 0 || i > n then invalid_arg "Side_info.make: member outside {0..n}")
+    members;
+  { n; members }
+
+(** No side information: the full range [{0..n}]. *)
+let full n = make ~n (List.init (n + 1) Fun.id)
+
+(** Contiguous range [ {lo..hi} ]. *)
+let interval ~n lo hi =
+  if lo > hi then invalid_arg "Side_info.interval: empty";
+  make ~n (List.init (hi - lo + 1) (fun i -> lo + i))
+
+(** Lower bound [l]: the drug company's [S = {l..n}] from Example 1. *)
+let at_least ~n l = interval ~n l n
+
+(** Upper bound [u]: population bound, [S = {0..u}]. *)
+let at_most ~n u = interval ~n 0 u
+
+let singleton ~n i = make ~n [ i ]
+
+let n t = t.n
+let members t = t.members
+let cardinal t = List.length t.members
+let mem t i = List.mem i t.members
+let is_full t = cardinal t = t.n + 1
+
+let to_string t =
+  Printf.sprintf "{%s}" (String.concat "," (List.map string_of_int t.members))
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

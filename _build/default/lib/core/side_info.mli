@@ -1,0 +1,30 @@
+(** Side information of an information consumer (§2.3): a non-empty
+    subset [S ⊆ {0..n}] known to contain the true result. *)
+
+type t
+
+val make : n:int -> int list -> t
+(** Sorted, deduplicated. @raise Invalid_argument when empty or out of
+    [{0..n}]. *)
+
+val full : int -> t
+(** No side information: all of [{0..n}]. *)
+
+val interval : n:int -> int -> int -> t
+(** [{lo..hi}]. @raise Invalid_argument when empty. *)
+
+val at_least : n:int -> int -> t
+(** Lower bound: [{l..n}] (the drug company of Example 1). *)
+
+val at_most : n:int -> int -> t
+(** Upper bound: [{0..u}] (a population bound). *)
+
+val singleton : n:int -> int -> t
+
+val n : t -> int
+val members : t -> int list
+val cardinal : t -> int
+val mem : t -> int -> bool
+val is_full : t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

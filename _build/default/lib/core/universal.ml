@@ -1,0 +1,63 @@
+(** Theorem 1, part 2 — the universality pipeline.
+
+    Deploy the geometric mechanism once; every rational minimax
+    consumer recovers, by optimal interaction (an LP it can solve
+    itself), exactly the utility of the α-DP mechanism tailored to it.
+    This module wires the two LPs together and reports both sides of
+    the equality, so tests and benches can assert it across grids of
+    consumers. *)
+
+type comparison = {
+  consumer : Consumer.t;
+  alpha : Rat.t;
+  tailored_loss : Rat.t;  (** optimum of the §2.5 LP *)
+  universal_loss : Rat.t;  (** geometric + optimal interaction (§2.4.3) *)
+  naive_loss : Rat.t;  (** geometric taken at face value *)
+  interaction : Rat.t array array;
+  induced : Mech.Mechanism.t;
+}
+
+(** Run both sides for one consumer. *)
+let compare_for ~alpha (consumer : Consumer.t) =
+  let n = Consumer.n consumer in
+  let geometric = Mech.Geometric.matrix ~n ~alpha in
+  let tailored = Optimal_mechanism.solve ~alpha consumer in
+  let inter = Optimal_interaction.solve ~deployed:geometric consumer in
+  {
+    consumer;
+    alpha;
+    tailored_loss = tailored.Optimal_mechanism.loss;
+    universal_loss = inter.Optimal_interaction.loss;
+    naive_loss = Consumer.minimax_loss consumer geometric;
+    interaction = inter.Optimal_interaction.interaction;
+    induced = inter.Optimal_interaction.induced;
+  }
+
+(** Theorem 1(2) holds for this consumer? (Exact equality — both sides
+    are exact rationals.) *)
+let universality_holds c = Rat.equal c.tailored_loss c.universal_loss
+
+(** The induced mechanism must itself be α-DP (it is a post-processing
+    of an α-DP mechanism). *)
+let induced_is_private c = Mech.Mechanism.is_dp ~alpha:c.alpha c.induced
+
+(** Sweep a grid of consumers; returns all comparisons. Used by the
+    THM1 bench and the property tests. *)
+let sweep ~alpha ~losses ~side_infos =
+  List.concat_map
+    (fun loss ->
+      List.map
+        (fun side_info -> compare_for ~alpha (Consumer.make ~loss ~side_info ()))
+        side_infos)
+    losses
+
+(** Convenient default side-information grid for range n. *)
+let default_side_infos n =
+  List.filter_map Fun.id
+    [
+      Some (Side_info.full n);
+      (if n >= 2 then Some (Side_info.at_least ~n (n / 2)) else None);
+      (if n >= 2 then Some (Side_info.at_most ~n (n / 2)) else None);
+      (if n >= 3 then Some (Side_info.interval ~n 1 (n - 1)) else None);
+      (if n >= 4 then Some (Side_info.make ~n [ 0; n / 2; n ]) else None);
+    ]

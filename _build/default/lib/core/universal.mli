@@ -1,0 +1,31 @@
+(** Theorem 1, part 2 — the universality pipeline: deploy the geometric
+    mechanism once; every rational minimax consumer recovers exactly
+    the utility of the mechanism tailored to it. *)
+
+type comparison = {
+  consumer : Consumer.t;
+  alpha : Rat.t;
+  tailored_loss : Rat.t;  (** optimum of the §2.5 LP *)
+  universal_loss : Rat.t;  (** geometric + optimal interaction (§2.4.3) *)
+  naive_loss : Rat.t;  (** geometric taken at face value *)
+  interaction : Rat.t array array;
+  induced : Mech.Mechanism.t;
+}
+
+val compare_for : alpha:Rat.t -> Consumer.t -> comparison
+(** Solve both sides for one consumer. *)
+
+val universality_holds : comparison -> bool
+(** Exact rational equality of the tailored and universal losses. *)
+
+val induced_is_private : comparison -> bool
+(** The induced mechanism is itself α-DP (post-processing cannot leak). *)
+
+val sweep :
+  alpha:Rat.t -> losses:Loss.t list -> side_infos:Side_info.t list -> comparison list
+(** Cartesian grid of consumers; used by the THM1 bench and property
+    tests. *)
+
+val default_side_infos : int -> Side_info.t list
+(** A representative side-information grid for range [n]: full,
+    lower-bound, upper-bound, interval, and a sparse set. *)

@@ -1,0 +1,1 @@
+lib/dpdb/count_query.ml: Database Format List Predicate

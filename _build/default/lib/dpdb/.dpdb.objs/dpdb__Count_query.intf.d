@@ -1,0 +1,1 @@
+lib/dpdb/count_query.mli: Database Format Predicate Value

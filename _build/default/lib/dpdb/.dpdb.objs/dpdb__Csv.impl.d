@@ -1,0 +1,1 @@
+lib/dpdb/csv.ml: Array Buffer Database List Printf Schema String Value

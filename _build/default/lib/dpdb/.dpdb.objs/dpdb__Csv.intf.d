@@ -1,0 +1,1 @@
+lib/dpdb/csv.mli: Database

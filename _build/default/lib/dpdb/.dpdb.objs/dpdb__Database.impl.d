@@ -1,0 +1,1 @@
+lib/dpdb/database.ml: Array Format List Predicate Schema Stdlib String Value

@@ -1,0 +1,1 @@
+lib/dpdb/database.mli: Format Predicate Schema Value

@@ -1,0 +1,1 @@
+lib/dpdb/generator.ml: Array Count_query Database List Predicate Printf Prob Schema Value

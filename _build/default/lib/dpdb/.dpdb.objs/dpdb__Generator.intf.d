@@ -1,0 +1,1 @@
+lib/dpdb/generator.mli: Count_query Database Prob Schema Value

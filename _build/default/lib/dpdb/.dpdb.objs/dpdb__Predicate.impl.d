@@ -1,0 +1,1 @@
+lib/dpdb/predicate.ml: Array Format List Printf Schema String Value

@@ -1,0 +1,1 @@
+lib/dpdb/predicate.mli: Format Schema Value

@@ -1,0 +1,1 @@
+lib/dpdb/query_parser.ml: Buffer Count_query List Predicate Printf Schema String Value

@@ -1,0 +1,1 @@
+lib/dpdb/query_parser.mli: Count_query Predicate Schema

@@ -1,0 +1,1 @@
+lib/dpdb/schema.ml: Array Format Hashtbl List Printf String Value

@@ -1,0 +1,1 @@
+lib/dpdb/schema.mli: Format Value

@@ -1,0 +1,1 @@
+lib/dpdb/value.mli: Format

@@ -1,0 +1,38 @@
+(** Count queries and their sensitivity.
+
+    A count query maps a database of size [n] into [{0..n}]. Its global
+    sensitivity is 1: changing one row changes the count by at most
+    one — the fact that lets Definition 2 replace the general DP
+    constraint with the adjacent-input form. [sensitivity_bound]
+    verifies this empirically for any predicate. *)
+
+type t = { name : string; predicate : Predicate.t }
+
+let make ?(name = "count") predicate = { name; predicate }
+
+let name t = t.name
+let predicate t = t.predicate
+
+(** Evaluate: the true (unperturbed) query result. *)
+let eval t db = Database.count db t.predicate
+
+(** Range of the query on databases of size [n]: [{0..n}]. *)
+let range_max _t db = Database.size db
+
+(** Largest |q(d) − q(d′)| observed over all single-row replacements of
+    [db] with rows drawn from [candidates]. Always ≤ 1 for count
+    queries; exercised by tests as an empirical sensitivity check. *)
+let sensitivity_bound t db ~candidates =
+  let base = eval t db in
+  let worst = ref 0 in
+  for i = 0 to Database.size db - 1 do
+    List.iter
+      (fun r ->
+        let altered = Database.replace db i r in
+        let delta = abs (eval t altered - base) in
+        if delta > !worst then worst := delta)
+      candidates
+  done;
+  !worst
+
+let pp fmt t = Format.fprintf fmt "COUNT WHERE %a" Predicate.pp t.predicate

@@ -1,0 +1,25 @@
+(** Count queries and their sensitivity.
+
+    A count query maps a database of size [n] into [{0..n}]. Its global
+    sensitivity is 1 — the fact that lets Definition 2 of the paper
+    state differential privacy over adjacent inputs only. *)
+
+type t
+
+val make : ?name:string -> Predicate.t -> t
+
+val name : t -> string
+val predicate : t -> Predicate.t
+
+val eval : t -> Database.t -> int
+(** The true (unperturbed) query result. *)
+
+val range_max : t -> Database.t -> int
+(** Upper end of the query's range on this database (its size). *)
+
+val sensitivity_bound : t -> Database.t -> candidates:Value.t array list -> int
+(** Largest |q(d) − q(d′)| over all single-row replacements of [d] by
+    rows from [candidates]. Always ≤ 1 for count queries; used as an
+    empirical sensitivity check. *)
+
+val pp : Format.formatter -> t -> unit

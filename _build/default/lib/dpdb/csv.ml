@@ -1,0 +1,118 @@
+(** CSV import/export for databases.
+
+    Format: first line is the header [name:type,...] with types
+    [int], [text], [bool]; subsequent lines are rows. Quoting: a field
+    may be wrapped in double quotes, with [""] as an escaped quote —
+    enough for names containing commas; no embedded newlines. *)
+
+let split_csv_line line =
+  let buf = Buffer.create 16 in
+  let fields = ref [] in
+  let in_quotes = ref false in
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n do
+    let c = line.[!i] in
+    (if !in_quotes then
+       match c with
+       | '"' ->
+         if !i + 1 < n && line.[!i + 1] = '"' then begin
+           Buffer.add_char buf '"';
+           incr i
+         end
+         else in_quotes := false
+       | _ -> Buffer.add_char buf c
+     else
+       match c with
+       | '"' -> in_quotes := true
+       | ',' ->
+         fields := Buffer.contents buf :: !fields;
+         Buffer.clear buf
+       | _ -> Buffer.add_char buf c);
+    incr i
+  done;
+  if !in_quotes then invalid_arg "Csv: unterminated quote";
+  fields := Buffer.contents buf :: !fields;
+  List.rev !fields
+
+let needs_quoting s = String.exists (fun c -> c = ',' || c = '"') s
+
+let quote_field s =
+  if needs_quoting s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let parse_header line =
+  let col spec =
+    match String.split_on_char ':' spec with
+    | [ name; "int" ] -> (String.trim name, Value.Tint)
+    | [ name; "text" ] -> (String.trim name, Value.Ttext)
+    | [ name; "bool" ] -> (String.trim name, Value.Tbool)
+    | _ -> invalid_arg (Printf.sprintf "Csv: bad column spec %S (want name:int|text|bool)" spec)
+  in
+  Schema.make (List.map col (split_csv_line line))
+
+let parse_value ty s =
+  let s = String.trim s in
+  match ty with
+  | Value.Tint -> (
+    match int_of_string_opt s with
+    | Some n -> Value.Int n
+    | None -> invalid_arg (Printf.sprintf "Csv: not an int: %S" s))
+  | Value.Ttext -> Value.Text s
+  | Value.Tbool -> (
+    match String.lowercase_ascii s with
+    | "true" | "1" | "yes" -> Value.Bool true
+    | "false" | "0" | "no" -> Value.Bool false
+    | _ -> invalid_arg (Printf.sprintf "Csv: not a bool: %S" s))
+
+(** Parse a whole CSV document into a database. *)
+let of_string text =
+  match String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "") with
+  | [] -> invalid_arg "Csv: empty document"
+  | header :: body ->
+    let schema = parse_header header in
+    let arity = Schema.arity schema in
+    let types =
+      List.map (fun name -> Schema.column_type schema name) (Schema.column_names schema)
+    in
+    let row line =
+      let fields = split_csv_line line in
+      if List.length fields <> arity then
+        invalid_arg (Printf.sprintf "Csv: row has %d fields, want %d" (List.length fields) arity);
+      Array.of_list (List.map2 parse_value types fields)
+    in
+    Database.of_rows schema (List.map row body)
+
+(** Serialize a database back to CSV (inverse of {!of_string}). *)
+let to_string db =
+  let schema = Database.schema db in
+  let buf = Buffer.create 256 in
+  let header =
+    List.map
+      (fun name ->
+        let ty = Schema.column_type schema name in
+        Printf.sprintf "%s:%s" name (Value.ty_to_string ty))
+      (Schema.column_names schema)
+  in
+  Buffer.add_string buf (String.concat "," header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      let cells = Array.to_list (Array.map (fun v -> quote_field (Value.to_string v)) row) in
+      Buffer.add_string buf (String.concat "," cells);
+      Buffer.add_char buf '\n')
+    (Database.rows db);
+  Buffer.contents buf
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string text
+
+let save path db =
+  let oc = open_out path in
+  output_string oc (to_string db);
+  close_out oc

@@ -1,0 +1,17 @@
+(** CSV import/export for databases.
+
+    Format: first line is a typed header [name:type,...] with types
+    [int], [text], [bool]; subsequent lines are rows. Fields may be
+    double-quoted, with [""] escaping a quote; no embedded newlines. *)
+
+val of_string : string -> Database.t
+(** @raise Invalid_argument on malformed documents (bad header, wrong
+    arity, untyped cells, empty input). *)
+
+val to_string : Database.t -> string
+(** Inverse of {!of_string} (round-trip tested). *)
+
+val load : string -> Database.t
+(** Read a database from a file path. *)
+
+val save : string -> Database.t -> unit

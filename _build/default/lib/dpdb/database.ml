@@ -1,0 +1,70 @@
+(** Immutable in-memory row store.
+
+    A database is a multiset of rows over a fixed schema — exactly the
+    object the differential-privacy definition quantifies over. The
+    [neighbors] machinery materializes the "differ in one individual's
+    data" relation used throughout the paper. *)
+
+type t = { schema : Schema.t; rows : Value.t array array }
+
+let create schema = { schema; rows = [||] }
+
+let of_rows schema rows =
+  let rows = Array.of_list rows in
+  Array.iter
+    (fun r -> if not (Schema.validate_row schema r) then invalid_arg "Database.of_rows: row does not match schema")
+    rows;
+  { schema; rows }
+
+let schema t = t.schema
+let size t = Array.length t.rows
+let rows t = Array.to_list (Array.map Array.copy t.rows)
+let row t i = Array.copy t.rows.(i)
+
+let insert t r =
+  if not (Schema.validate_row t.schema r) then invalid_arg "Database.insert: row does not match schema";
+  { t with rows = Array.append t.rows [| r |] }
+
+let remove t i =
+  if i < 0 || i >= size t then invalid_arg "Database.remove: index out of range";
+  { t with rows = Array.append (Array.sub t.rows 0 i) (Array.sub t.rows (i + 1) (size t - i - 1)) }
+
+(** Replace row [i] — the canonical "change one individual's data"
+    operation of differential privacy. *)
+let replace t i r =
+  if i < 0 || i >= size t then invalid_arg "Database.replace: index out of range";
+  if not (Schema.validate_row t.schema r) then invalid_arg "Database.replace: row does not match schema";
+  let rows = Array.map Array.copy t.rows in
+  rows.(i) <- r;
+  { t with rows }
+
+(** Two databases are neighbors when they have the same size and differ
+    in at most one row (order-sensitive: rows carry identity of the
+    individual). *)
+let are_neighbors a b =
+  Stdlib.( = ) (Schema.column_names a.schema) (Schema.column_names b.schema)
+  && size a = size b
+  &&
+  let diff = ref 0 in
+  for i = 0 to size a - 1 do
+    if not (Array.for_all2 Value.equal a.rows.(i) b.rows.(i)) then incr diff
+  done;
+  !diff <= 1
+
+(** Number of rows satisfying a predicate — the paper's count query. *)
+let count t pred =
+  Array.fold_left (fun acc r -> if Predicate.eval t.schema r pred then acc + 1 else acc) 0 t.rows
+
+let select t pred =
+  t.rows |> Array.to_list
+  |> List.filter (fun r -> Predicate.eval t.schema r pred)
+  |> List.map Array.copy
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%a@," Schema.pp t.schema;
+  Array.iter
+    (fun r ->
+      Format.fprintf fmt "| %s@,"
+        (String.concat " | " (Array.to_list (Array.map Value.to_string r))))
+    t.rows;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,39 @@
+(** Immutable in-memory row store.
+
+    A database is a sequence of rows over a fixed schema — exactly the
+    object the differential-privacy definition quantifies over. Rows
+    carry the identity of individuals positionally, so "one individual
+    changes their data" is {!replace}. *)
+
+type t
+
+val create : Schema.t -> t
+(** Empty database. *)
+
+val of_rows : Schema.t -> Value.t array list -> t
+(** @raise Invalid_argument when a row does not match the schema. *)
+
+val schema : t -> Schema.t
+val size : t -> int
+
+val rows : t -> Value.t array list
+(** Fresh copies; mutating them does not affect the database. *)
+
+val row : t -> int -> Value.t array
+(** Fresh copy of row [i]. *)
+
+val insert : t -> Value.t array -> t
+val remove : t -> int -> t
+
+val replace : t -> int -> Value.t array -> t
+(** Replace row [i] — the canonical neighboring-database move. *)
+
+val are_neighbors : t -> t -> bool
+(** Same schema, same size, and at most one differing row. *)
+
+val count : t -> Predicate.t -> int
+(** The paper's count query: rows satisfying the predicate. *)
+
+val select : t -> Predicate.t -> Value.t array list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+(** Synthetic population generator.
+
+    The paper's running example — flu counts in San Diego published by
+    a health agency — relies on survey data we do not have; this
+    generator produces populations with the same shape (per DESIGN.md's
+    substitution table). Only the count [f(d)] reaches the mechanism
+    stack, so any generator covering counts 0..n exercises the same
+    code paths as the real data.
+
+    Schema: [(name, age, city, has_flu, bought_drug)]. *)
+
+let schema =
+  Schema.make
+    [
+      ("name", Value.Ttext);
+      ("age", Value.Tint);
+      ("city", Value.Ttext);
+      ("has_flu", Value.Tbool);
+      ("bought_drug", Value.Tbool);
+    ]
+
+let cities = [| "San Diego"; "Los Angeles"; "Sacramento"; "Fresno" |]
+
+let random_row rng ~flu_rate ~drug_rate_given_flu i =
+  let has_flu = Prob.Rng.float rng < flu_rate in
+  let bought = has_flu && Prob.Rng.float rng < drug_rate_given_flu in
+  [|
+    Value.Text (Printf.sprintf "person-%04d" i);
+    Value.Int (18 + Prob.Rng.int rng 70);
+    Value.Text cities.(Prob.Rng.int rng (Array.length cities));
+    Value.Bool has_flu;
+    Value.Bool bought;
+  |]
+
+(** A random population of [n] adults with the given flu rate. *)
+let population rng ?(flu_rate = 0.2) ?(drug_rate_given_flu = 0.5) n =
+  Database.of_rows schema (List.init n (random_row rng ~flu_rate ~drug_rate_given_flu))
+
+(** A population engineered so the flu count is exactly [count]. *)
+let population_with_count rng ~n ~count =
+  if count < 0 || count > n then invalid_arg "Generator.population_with_count";
+  let rows =
+    List.init n (fun i ->
+        let r = random_row rng ~flu_rate:0.0 ~drug_rate_given_flu:0.0 i in
+        if i < count then begin
+          let r = Array.copy r in
+          r.(3) <- Value.Bool true;
+          r
+        end
+        else r)
+  in
+  Database.of_rows schema rows
+
+(** The paper's query Q: adults from San Diego who contracted the flu. *)
+let flu_query =
+  Count_query.make ~name:"flu-san-diego"
+    Predicate.(
+      Eq ("city", Value.Text "San Diego")
+      &&& Eq ("has_flu", Value.Bool true)
+      &&& Ge ("age", Value.Int 18))
+
+(** Flu count regardless of city (used when the whole population is the
+    cohort). *)
+let flu_anywhere = Count_query.make ~name:"flu" (Predicate.Eq ("has_flu", Value.Bool true))
+
+(** Drug purchases — the drug company's side information (a lower bound
+    on the flu count in its own records). *)
+let drug_query = Count_query.make ~name:"drug" (Predicate.Eq ("bought_drug", Value.Bool true))

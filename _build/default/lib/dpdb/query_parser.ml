@@ -1,0 +1,239 @@
+(** A small predicate language for count queries.
+
+    Grammar (case-insensitive keywords):
+
+    {v
+      pred   ::= or
+      or     ::= and ( OR and )*
+      and    ::= unary ( AND unary )*
+      unary  ::= NOT unary | '(' pred ')' | atom | TRUE | FALSE
+      atom   ::= ident op literal | ident IN '(' literal, ... ')'
+      op     ::= = | != | < | <= | > | >=
+      literal::= integer | 'single-quoted text' | true | false
+    v}
+
+    Example: [age >= 18 AND city = 'San Diego' AND has_flu = true]. *)
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Text_lit of string
+  | Kw_and
+  | Kw_or
+  | Kw_not
+  | Kw_in
+  | Kw_true
+  | Kw_false
+  | Op of string
+  | Lparen
+  | Rparen
+  | Comma
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let tokenize s =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' then incr i
+    else if c = '(' then begin
+      out := Lparen :: !out;
+      incr i
+    end
+    else if c = ')' then begin
+      out := Rparen :: !out;
+      incr i
+    end
+    else if c = ',' then begin
+      out := Comma :: !out;
+      incr i
+    end
+    else if c = '\'' then begin
+      (* quoted text literal, '' escapes a quote *)
+      let buf = Buffer.create 8 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if s.[!i] = '\'' then
+          if !i + 1 < n && s.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf s.[!i];
+          incr i
+        end
+      done;
+      if not !closed then fail "unterminated string literal";
+      out := Text_lit (Buffer.contents buf) :: !out
+    end
+    else if c = '=' then begin
+      out := Op "=" :: !out;
+      incr i
+    end
+    else if c = '!' && !i + 1 < n && s.[!i + 1] = '=' then begin
+      out := Op "!=" :: !out;
+      i := !i + 2
+    end
+    else if c = '<' || c = '>' then begin
+      if !i + 1 < n && s.[!i + 1] = '=' then begin
+        out := Op (String.make 1 c ^ "=") :: !out;
+        i := !i + 2
+      end
+      else begin
+        out := Op (String.make 1 c) :: !out;
+        incr i
+      end
+    end
+    else if (c >= '0' && c <= '9') || (c = '-' && !i + 1 < n && s.[!i + 1] >= '0' && s.[!i + 1] <= '9')
+    then begin
+      let start = !i in
+      incr i;
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+        incr i
+      done;
+      out := Int_lit (int_of_string (String.sub s start (!i - start))) :: !out
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do
+        incr i
+      done;
+      let word = String.sub s start (!i - start) in
+      let tok =
+        match String.lowercase_ascii word with
+        | "and" -> Kw_and
+        | "or" -> Kw_or
+        | "not" -> Kw_not
+        | "in" -> Kw_in
+        | "true" -> Kw_true
+        | "false" -> Kw_false
+        | _ -> Ident word
+      in
+      out := tok :: !out
+    end
+    else fail "unexpected character %C" c
+  done;
+  List.rev !out
+
+(* Recursive-descent parser over a mutable token stream. *)
+type stream = { mutable tokens : token list }
+
+let peek st = match st.tokens with [] -> None | t :: _ -> Some t
+
+let advance st =
+  match st.tokens with
+  | [] -> fail "unexpected end of input"
+  | t :: rest ->
+    st.tokens <- rest;
+    t
+
+let expect st tok what =
+  let got = advance st in
+  if got <> tok then fail "expected %s" what
+
+let literal st =
+  match advance st with
+  | Int_lit n -> Value.Int n
+  | Text_lit s -> Value.Text s
+  | Kw_true -> Value.Bool true
+  | Kw_false -> Value.Bool false
+  | _ -> fail "expected a literal (integer, 'text', true, false)"
+
+let atom_of st name =
+  match advance st with
+  | Op "=" -> Predicate.Eq (name, literal st)
+  | Op "!=" -> Predicate.Not (Predicate.Eq (name, literal st))
+  | Op "<" -> Predicate.Lt (name, literal st)
+  | Op "<=" -> Predicate.Le (name, literal st)
+  | Op ">" -> Predicate.Gt (name, literal st)
+  | Op ">=" -> Predicate.Ge (name, literal st)
+  | Kw_in ->
+    expect st Lparen "'(' after IN";
+    let rec items acc =
+      let v = literal st in
+      match advance st with
+      | Comma -> items (v :: acc)
+      | Rparen -> List.rev (v :: acc)
+      | _ -> fail "expected ',' or ')' in IN list"
+    in
+    Predicate.In (name, items [])
+  | _ -> fail "expected a comparison operator or IN after %S" name
+
+let rec parse_or st =
+  let left = parse_and st in
+  match peek st with
+  | Some Kw_or ->
+    ignore (advance st);
+    Predicate.Or (left, parse_or st)
+  | _ -> left
+
+and parse_and st =
+  let left = parse_unary st in
+  match peek st with
+  | Some Kw_and ->
+    ignore (advance st);
+    Predicate.And (left, parse_and st)
+  | _ -> left
+
+and parse_unary st =
+  match advance st with
+  | Kw_not -> Predicate.Not (parse_unary st)
+  | Lparen ->
+    let p = parse_or st in
+    expect st Rparen "')'";
+    p
+  | Kw_true -> Predicate.True
+  | Kw_false -> Predicate.False
+  | Ident name -> atom_of st name
+  | _ -> fail "expected a predicate"
+
+(** Parse a predicate expression.
+    @raise Parse_error on malformed input. *)
+let parse s =
+  let st = { tokens = tokenize s } in
+  let p = parse_or st in
+  (match st.tokens with
+   | [] -> ()
+   | _ -> fail "trailing input after predicate");
+  p
+
+let parse_opt s = try Some (parse s) with Parse_error _ -> None
+
+(** Parse directly into a count query. *)
+let parse_query ?name s = Count_query.make ?name (parse s)
+
+(** Validate the predicate's column references and literal types
+    against a schema; returns the offending description on failure. *)
+let type_check schema pred =
+  let check_col name ty_wanted =
+    match Schema.column_type schema name with
+    | ty when ty = ty_wanted -> None
+    | ty ->
+      Some
+        (Printf.sprintf "column %s has type %s, literal has type %s" name (Value.ty_to_string ty)
+           (Value.ty_to_string ty_wanted))
+    | exception Invalid_argument _ -> Some (Printf.sprintf "unknown column %s" name)
+  in
+  let rec go = function
+    | Predicate.True | Predicate.False -> None
+    | Predicate.Eq (c, v) | Predicate.Lt (c, v) | Predicate.Le (c, v)
+    | Predicate.Gt (c, v) | Predicate.Ge (c, v) ->
+      check_col c (Value.type_of v)
+    | Predicate.In (c, vs) ->
+      List.fold_left (fun acc v -> if acc <> None then acc else check_col c (Value.type_of v)) None vs
+    | Predicate.Not p -> go p
+    | Predicate.And (a, b) | Predicate.Or (a, b) -> ( match go a with None -> go b | e -> e)
+  in
+  go pred

@@ -1,0 +1,30 @@
+(** A small predicate language for count queries.
+
+    Grammar (case-insensitive keywords):
+
+    {v
+      pred   ::= or
+      or     ::= and ( OR and )*
+      and    ::= unary ( AND unary )*
+      unary  ::= NOT unary | '(' pred ')' | atom | TRUE | FALSE
+      atom   ::= ident op literal | ident IN '(' literal, ... ')'
+      op     ::= = | != | < | <= | > | >=
+      literal::= integer | 'single-quoted text' | true | false
+    v}
+
+    Example: [age >= 18 AND city = 'San Diego' AND has_flu = true]. *)
+
+exception Parse_error of string
+
+val parse : string -> Predicate.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_opt : string -> Predicate.t option
+
+val parse_query : ?name:string -> string -> Count_query.t
+(** Parse directly into a count query.
+    @raise Parse_error on malformed input. *)
+
+val type_check : Schema.t -> Predicate.t -> string option
+(** [None] when every referenced column exists with the literal's
+    type; otherwise a description of the first mismatch. *)

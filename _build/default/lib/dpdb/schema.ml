@@ -1,0 +1,36 @@
+(** Table schemas: ordered, named, typed columns. *)
+
+type column = { name : string; ty : Value.ty }
+
+type t = { columns : column array; index : (string, int) Hashtbl.t }
+
+let make cols =
+  let columns = Array.of_list (List.map (fun (name, ty) -> { name; ty }) cols) in
+  let index = Hashtbl.create (Array.length columns) in
+  Array.iteri
+    (fun i c ->
+      if Hashtbl.mem index c.name then invalid_arg ("Schema.make: duplicate column " ^ c.name);
+      Hashtbl.add index c.name i)
+    columns;
+  { columns; index }
+
+let arity t = Array.length t.columns
+
+let column_index t name =
+  match Hashtbl.find_opt t.index name with
+  | Some i -> i
+  | None -> invalid_arg ("Schema: unknown column " ^ name)
+
+let column_type t name = t.columns.(column_index t name).ty
+
+let column_names t = Array.to_list (Array.map (fun c -> c.name) t.columns)
+
+let validate_row t (row : Value.t array) =
+  Array.length row = arity t
+  && Array.for_all2 (fun c v -> Value.type_of v = c.ty) t.columns row
+
+let pp fmt t =
+  Format.fprintf fmt "(%s)"
+    (String.concat ", "
+       (Array.to_list
+          (Array.map (fun c -> Printf.sprintf "%s:%s" c.name (Value.ty_to_string c.ty)) t.columns)))

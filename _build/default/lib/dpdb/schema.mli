@@ -1,0 +1,24 @@
+(** Table schemas: ordered, named, typed columns. *)
+
+type column = { name : string; ty : Value.ty }
+
+type t
+
+val make : (string * Value.ty) list -> t
+(** @raise Invalid_argument on duplicate column names. *)
+
+val arity : t -> int
+
+val column_index : t -> string -> int
+(** @raise Invalid_argument on an unknown column. *)
+
+val column_type : t -> string -> Value.ty
+(** @raise Invalid_argument on an unknown column. *)
+
+val column_names : t -> string list
+(** In declaration order. *)
+
+val validate_row : t -> Value.t array -> bool
+(** Arity and per-column types all match. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+(** Cell values for the toy row store. *)
+
+type t = Int of int | Text of string | Bool of bool
+
+type ty = Tint | Ttext | Tbool
+
+let type_of = function Int _ -> Tint | Text _ -> Ttext | Bool _ -> Tbool
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Text x, Text y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | (Int _ | Text _ | Bool _), _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Stdlib.compare x y
+  | Text x, Text y -> String.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Int _, (Text _ | Bool _) -> -1
+  | Text _, Bool _ -> -1
+  | Text _, Int _ -> 1
+  | Bool _, (Int _ | Text _) -> 1
+
+let to_string = function
+  | Int n -> string_of_int n
+  | Text s -> s
+  | Bool b -> string_of_bool b
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let ty_to_string = function Tint -> "int" | Ttext -> "text" | Tbool -> "bool"

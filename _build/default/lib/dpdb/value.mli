@@ -1,0 +1,18 @@
+(** Cell values for the toy row store. *)
+
+type t = Int of int | Text of string | Bool of bool
+
+type ty = Tint | Ttext | Tbool
+
+val type_of : t -> ty
+
+val equal : t -> t -> bool
+(** Values of different types are unequal (no coercion). *)
+
+val compare : t -> t -> int
+(** Total order: within a type, the natural order; across types,
+    [Int < Text < Bool]. *)
+
+val to_string : t -> string
+val ty_to_string : ty -> string
+val pp : Format.formatter -> t -> unit

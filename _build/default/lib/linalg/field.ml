@@ -1,0 +1,59 @@
+(** Algebraic field signature shared by the exact (rational) and
+    floating-point instantiations of the linear-algebra and LP stacks. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_int : int -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+
+  val div : t -> t -> t
+  (** @raise Division_by_zero on exact fields when the divisor is zero. *)
+
+  val neg : t -> t
+  val abs : t -> t
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val is_zero : t -> bool
+
+  val sign : t -> int
+  (** [-1], [0], or [1]; floating-point instantiations may use a
+      tolerance for [0]. *)
+
+  val to_float : t -> float
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Exact rationals as a field. *)
+module Rational : S with type t = Rat.t = struct
+  include Rat
+end
+
+(** Floats as an (approximate) field, with a small zero tolerance used
+    only for sign classification. *)
+module Float_field : S with type t = float = struct
+  type t = float
+
+  let eps = 1e-9
+  let zero = 0.0
+  let one = 1.0
+  let of_int = float_of_int
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let div = ( /. )
+  let neg x = -.x
+  let abs = Float.abs
+  let equal (a : float) b = a = b
+  let compare = Float.compare
+  let is_zero x = Float.abs x <= eps
+  let sign x = if Float.abs x <= eps then 0 else if x > 0.0 then 1 else -1
+  let to_float x = x
+  let to_string = string_of_float
+  let pp = Format.pp_print_float
+end

@@ -1,0 +1,1 @@
+lib/lp/lp.ml: Array Format Hashtbl List Option Printf Rat Simplex

@@ -1,0 +1,290 @@
+(** Linear-programming front end.
+
+    A small modelling layer (named variables, linear-expression DSL,
+    [<=]/[>=]/[=] constraints, min/max objective) over the exact
+    two-phase simplex in {!Simplex}. All coefficients are exact
+    rationals; see DESIGN.md for why exactness matters here. *)
+
+module Simplex = Simplex
+
+type var = int
+
+type linexpr = { terms : (var * Rat.t) list; const : Rat.t }
+
+module Expr = struct
+  type t = linexpr
+
+  let const c = { terms = []; const = c }
+  let zero = const Rat.zero
+  let var v = { terms = [ (v, Rat.one) ]; const = Rat.zero }
+  let term c v = { terms = [ (v, c) ]; const = Rat.zero }
+
+  let add a b = { terms = a.terms @ b.terms; const = Rat.add a.const b.const }
+
+  let scale k a =
+    { terms = List.map (fun (v, c) -> (v, Rat.mul k c)) a.terms; const = Rat.mul k a.const }
+
+  let neg = scale Rat.minus_one
+  let sub a b = add a (neg b)
+  let sum xs = List.fold_left add zero xs
+  let add_const a c = { a with const = Rat.add a.const c }
+
+  (* Collapse duplicate variables; drop zero coefficients. *)
+  let normalize a =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (v, c) ->
+        let cur = Option.value ~default:Rat.zero (Hashtbl.find_opt tbl v) in
+        Hashtbl.replace tbl v (Rat.add cur c))
+      a.terms;
+    let terms =
+      Hashtbl.fold (fun v c acc -> if Rat.is_zero c then acc else (v, c) :: acc) tbl []
+      |> List.sort (fun (v1, _) (v2, _) -> compare v1 v2)
+    in
+    { terms; const = a.const }
+
+  let eval (values : Rat.t array) a =
+    List.fold_left (fun acc (v, c) -> Rat.add acc (Rat.mul c values.(v))) a.const a.terms
+end
+
+type relation = Le | Ge | Eq
+
+type cstr = { cexpr : linexpr; rel : relation; rhs : Rat.t; cname : string }
+
+type sense = Minimize | Maximize
+
+type problem = {
+  mutable nvars : int;
+  mutable var_names : string list;  (** reversed *)
+  mutable lower : Rat.t option list;  (** reversed; None = free *)
+  mutable constraints : cstr list;  (** reversed *)
+  mutable objective : linexpr;
+  mutable obj_sense : sense;
+}
+
+let make () =
+  {
+    nvars = 0;
+    var_names = [];
+    lower = [];
+    constraints = [];
+    objective = Expr.zero;
+    obj_sense = Minimize;
+  }
+
+let fresh_var ?(name = "") ?(lb = Some Rat.zero) p =
+  let v = p.nvars in
+  p.nvars <- v + 1;
+  p.var_names <- (if name = "" then Printf.sprintf "x%d" v else name) :: p.var_names;
+  p.lower <- lb :: p.lower;
+  v
+
+let n_vars p = p.nvars
+let n_constraints p = List.length p.constraints
+
+let var_name p v =
+  let names = Array.of_list (List.rev p.var_names) in
+  names.(v)
+
+let add_constraint ?(name = "") p expr rel rhs =
+  p.constraints <- { cexpr = Expr.normalize expr; rel; rhs; cname = name } :: p.constraints
+
+let add_le ?name p expr rhs = add_constraint ?name p expr Le rhs
+let add_ge ?name p expr rhs = add_constraint ?name p expr Ge rhs
+let add_eq ?name p expr rhs = add_constraint ?name p expr Eq rhs
+
+let set_objective p sense expr =
+  p.obj_sense <- sense;
+  p.objective <- Expr.normalize expr
+
+type solution = { objective : Rat.t; values : Rat.t array }
+type outcome = Optimal of solution | Infeasible | Unbounded
+
+(* Compile the model to standard form  min c.x', A x' = b, x' >= 0:
+   - variable with lower bound l:  x = x' + l;
+   - free variable:                x = x⁺ − x⁻;
+   - Le row gains a slack, Ge row a surplus, Eq rows none. *)
+type compiled = {
+  ca : Rat.t array array;
+  cb : Rat.t array;
+  cc : Rat.t array;
+  c_col_of_var : int array;
+  c_neg_col_of_var : int array;
+  c_lower : Rat.t option array;
+  c_flip : bool;
+  c_obj_shift : Rat.t;
+}
+
+let compile p =
+  let nv = p.nvars in
+  let lower = Array.of_list (List.rev p.lower) in
+  let constraints = List.rev p.constraints in
+  let m = List.length constraints in
+  (* Column layout: for each model var, either one shifted column or a
+     (plus, minus) pair; then one slack/surplus column per inequality. *)
+  let col_of_var = Array.make nv (-1) in
+  let neg_col_of_var = Array.make nv (-1) in
+  let next = ref 0 in
+  Array.iteri
+    (fun v lb ->
+      col_of_var.(v) <- !next;
+      incr next;
+      if lb = None then begin
+        neg_col_of_var.(v) <- !next;
+        incr next
+      end)
+    lower;
+  let n_ineq = List.length (List.filter (fun c -> c.rel <> Eq) constraints) in
+  let total = !next + n_ineq in
+  let a = Array.make_matrix m total Rat.zero in
+  let b = Array.make m Rat.zero in
+  let slack = ref !next in
+  List.iteri
+    (fun i c ->
+      (* rhs adjusted for lower-bound shifts: Σ coef*(x'+l) rel rhs. *)
+      let shift = ref Rat.zero in
+      List.iter
+        (fun (v, coef) ->
+          a.(i).(col_of_var.(v)) <- Rat.add a.(i).(col_of_var.(v)) coef;
+          if neg_col_of_var.(v) >= 0 then
+            a.(i).(neg_col_of_var.(v)) <- Rat.sub a.(i).(neg_col_of_var.(v)) coef;
+          match lower.(v) with
+          | Some l when not (Rat.is_zero l) -> shift := Rat.add !shift (Rat.mul coef l)
+          | _ -> ())
+        c.cexpr.terms;
+      b.(i) <- Rat.sub (Rat.sub c.rhs c.cexpr.const) !shift;
+      (match c.rel with
+       | Le ->
+         a.(i).(!slack) <- Rat.one;
+         incr slack
+       | Ge ->
+         a.(i).(!slack) <- Rat.minus_one;
+         incr slack
+       | Eq -> ()))
+    constraints;
+  (* Objective. *)
+  let cvec = Array.make total Rat.zero in
+  let obj = Expr.normalize p.objective in
+  let obj_shift = ref obj.const in
+  List.iter
+    (fun (v, coef) ->
+      cvec.(col_of_var.(v)) <- Rat.add cvec.(col_of_var.(v)) coef;
+      if neg_col_of_var.(v) >= 0 then
+        cvec.(neg_col_of_var.(v)) <- Rat.sub cvec.(neg_col_of_var.(v)) coef;
+      match lower.(v) with
+      | Some l when not (Rat.is_zero l) -> obj_shift := Rat.add !obj_shift (Rat.mul coef l)
+      | _ -> ())
+    obj.terms;
+  let flip = p.obj_sense = Maximize in
+  let cvec = if flip then Array.map Rat.neg cvec else cvec in
+  {
+    ca = a;
+    cb = b;
+    cc = cvec;
+    c_col_of_var = col_of_var;
+    c_neg_col_of_var = neg_col_of_var;
+    c_lower = lower;
+    c_flip = flip;
+    c_obj_shift = !obj_shift;
+  }
+
+let solve_internal ?pricing ?crash ~want_duals p =
+  let nv = p.nvars in
+  let { ca; cb; cc; c_col_of_var; c_neg_col_of_var; c_lower; c_flip; c_obj_shift } = compile p in
+  let result, duals =
+    if want_duals then Simplex.Exact.solve_standard_with_duals ?pricing ?crash ~a:ca ~b:cb ~c:cc ()
+    else (Simplex.Exact.solve_standard ?pricing ?crash ~a:ca ~b:cb ~c:cc (), None)
+  in
+  let duals =
+    (* Standard form minimizes; for a Maximize model (costs negated)
+       the caller-facing duals flip sign. *)
+    match duals with
+    | Some y when c_flip -> Some (Array.map Rat.neg y)
+    | d -> d
+  in
+  match result with
+  | Simplex.Exact.Infeasible -> (Infeasible, None)
+  | Simplex.Exact.Unbounded -> (Unbounded, None)
+  | Simplex.Exact.Optimal (raw_obj, x) ->
+    let values =
+      Array.init nv (fun v ->
+          let base = x.(c_col_of_var.(v)) in
+          let value =
+            if c_neg_col_of_var.(v) >= 0 then Rat.sub base x.(c_neg_col_of_var.(v)) else base
+          in
+          match c_lower.(v) with Some l -> Rat.add value l | None -> value)
+    in
+    let objective =
+      let signed = if c_flip then Rat.neg raw_obj else raw_obj in
+      Rat.add signed c_obj_shift
+    in
+    (Optimal { objective; values }, duals)
+
+let solve ?pricing ?crash p = fst (solve_internal ?pricing ?crash ~want_duals:false p)
+
+(* Per-constraint dual values (shadow prices), in the order constraints
+   were added. For a Minimize model: a Ge constraint's dual is >= 0, a
+   Le constraint's is <= 0; for Maximize the signs swap; Eq duals are
+   free. *)
+let solve_with_duals ?pricing ?crash p =
+  match solve_internal ?pricing ?crash ~want_duals:true p with
+  | (Optimal _ as o), Some duals -> (o, Some duals)
+  | o, _ -> (o, None)
+
+type float_solution = { fobjective : float; fvalues : float array }
+type float_outcome = Foptimal of float_solution | Finfeasible | Funbounded
+
+(* The same compiled model, solved in floating point. Exists for the
+   exact-vs-float ablation: optimal-mechanism LPs are degenerate enough
+   that the float path's verdicts cannot be trusted without the exact
+   reference this module also provides. *)
+let solve_float ?pricing p =
+  ignore pricing;
+  let nv = p.nvars in
+  let { ca; cb; cc; c_col_of_var; c_neg_col_of_var; c_lower; c_flip; c_obj_shift } = compile p in
+  let fa = Array.map (Array.map Rat.to_float) ca in
+  let fb = Array.map Rat.to_float cb in
+  let fc = Array.map Rat.to_float cc in
+  match Simplex.Floating.solve_standard ~a:fa ~b:fb ~c:fc () with
+  | Simplex.Floating.Infeasible -> Finfeasible
+  | Simplex.Floating.Unbounded -> Funbounded
+  | Simplex.Floating.Optimal (raw_obj, x) ->
+    let fvalues =
+      Array.init nv (fun v ->
+          let base = x.(c_col_of_var.(v)) in
+          let value = if c_neg_col_of_var.(v) >= 0 then base -. x.(c_neg_col_of_var.(v)) else base in
+          match c_lower.(v) with Some l -> value +. Rat.to_float l | None -> value)
+    in
+    let fobjective =
+      (if c_flip then -.raw_obj else raw_obj) +. Rat.to_float c_obj_shift
+    in
+    Foptimal { fobjective; fvalues }
+
+(* ------------------------------------------------------------------ *)
+(* Verification helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** [check_solution p sol] re-evaluates every constraint and the bound
+    of every variable against the claimed values; used by tests as an
+    independent certificate. *)
+let check_solution p (sol : solution) =
+  let lower = Array.of_list (List.rev p.lower) in
+  let bounds_ok =
+    Array.for_all2
+      (fun lb v -> match lb with None -> true | Some l -> Rat.compare v l >= 0)
+      lower sol.values
+  in
+  let cstr_ok c =
+    let lhs = Expr.eval sol.values c.cexpr in
+    match c.rel with
+    | Le -> Rat.compare lhs c.rhs <= 0
+    | Ge -> Rat.compare lhs c.rhs >= 0
+    | Eq -> Rat.equal lhs c.rhs
+  in
+  let obj_ok = Rat.equal (Expr.eval sol.values p.objective) sol.objective in
+  bounds_ok && List.for_all cstr_ok p.constraints && obj_ok
+
+let pp_outcome fmt = function
+  | Optimal { objective; _ } -> Format.fprintf fmt "Optimal(%a)" Rat.pp objective
+  | Infeasible -> Format.fprintf fmt "Infeasible"
+  | Unbounded -> Format.fprintf fmt "Unbounded"

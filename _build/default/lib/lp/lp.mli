@@ -1,0 +1,98 @@
+(** Linear-programming front end.
+
+    A small modelling layer — named variables, a linear-expression DSL,
+    [<=]/[>=]/[=] constraints, min/max objectives — compiled to
+    standard form and solved by the exact two-phase simplex in
+    {!Simplex}. All coefficients are exact rationals; see DESIGN.md for
+    why exactness matters in this repository. *)
+
+module Simplex = Simplex
+
+type var = int
+(** Variable id, scoped to the problem that created it; indexes the
+    [values] array of a {!solution}. *)
+
+type linexpr
+
+(** Linear-expression combinators. *)
+module Expr : sig
+  type t = linexpr
+
+  val zero : t
+  val const : Rat.t -> t
+  val var : var -> t
+
+  val term : Rat.t -> var -> t
+  (** [term c v] is [c·v]. *)
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val scale : Rat.t -> t -> t
+  val sum : t list -> t
+  val add_const : t -> Rat.t -> t
+
+  val normalize : t -> t
+  (** Collapse duplicate variables, drop zero coefficients. *)
+
+  val eval : Rat.t array -> t -> Rat.t
+  (** Evaluate against an assignment indexed by variable id. *)
+end
+
+type relation = Le | Ge | Eq
+
+type sense = Minimize | Maximize
+
+type problem
+
+val make : unit -> problem
+(** Fresh empty problem (mutable builder). *)
+
+val fresh_var : ?name:string -> ?lb:Rat.t option -> problem -> var
+(** New decision variable. [lb] defaults to [Some Rat.zero]
+    (non-negative); [None] makes the variable free. *)
+
+val n_vars : problem -> int
+val n_constraints : problem -> int
+val var_name : problem -> var -> string
+
+val add_constraint : ?name:string -> problem -> linexpr -> relation -> Rat.t -> unit
+val add_le : ?name:string -> problem -> linexpr -> Rat.t -> unit
+val add_ge : ?name:string -> problem -> linexpr -> Rat.t -> unit
+val add_eq : ?name:string -> problem -> linexpr -> Rat.t -> unit
+
+val set_objective : problem -> sense -> linexpr -> unit
+
+type solution = { objective : Rat.t; values : Rat.t array (** indexed by variable id *) }
+
+type outcome = Optimal of solution | Infeasible | Unbounded
+
+val solve : ?pricing:Simplex.Exact.pricing -> ?crash:bool -> problem -> outcome
+(** Exact solve. The optional solver knobs exist for the ablation
+    bench; the defaults are right for all other callers. *)
+
+val solve_with_duals :
+  ?pricing:Simplex.Exact.pricing -> ?crash:bool -> problem -> outcome * Rat.t array option
+(** Like {!solve} but also returns, on optimality, one dual value per
+    constraint (in the order added) — the shadow prices. Sign
+    conventions: minimizing, a [Ge] constraint's dual is non-negative
+    and a [Le] constraint's non-positive; maximizing swaps the signs;
+    [Eq] duals are unrestricted. The §2.5 minimax LP's loss-bound duals
+    are the adversary's {e least-favorable prior} (see
+    {!Minimax.Optimal_mechanism}). *)
+
+val check_solution : problem -> solution -> bool
+(** Independent certificate: every constraint, bound, and the claimed
+    objective re-evaluated against the solution values. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** {1 Floating-point mirror (for the numeric ablation)} *)
+
+type float_solution = { fobjective : float; fvalues : float array }
+type float_outcome = Foptimal of float_solution | Finfeasible | Funbounded
+
+val solve_float : ?pricing:Simplex.Exact.pricing -> problem -> float_outcome
+(** The same compiled model, solved by the float simplex. Fast but
+    untrustworthy on degenerate instances — see the ABL2 bench. The
+    [pricing] argument is accepted for symmetry and ignored. *)

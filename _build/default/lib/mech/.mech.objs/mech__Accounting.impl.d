@@ -1,0 +1,1 @@
+lib/mech/accounting.ml: Bigint List Mechanism Rat

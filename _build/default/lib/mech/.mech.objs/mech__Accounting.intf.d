@@ -1,0 +1,1 @@
+lib/mech/accounting.mli: Bigint Mechanism Rat

@@ -1,0 +1,1 @@
+lib/mech/baselines.ml: Array Float Geometric Mechanism Option Prob Rat

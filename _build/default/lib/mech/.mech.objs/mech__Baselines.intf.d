@@ -1,0 +1,1 @@
+lib/mech/baselines.mli: Mechanism Prob Rat

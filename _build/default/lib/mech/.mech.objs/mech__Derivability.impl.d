@@ -1,0 +1,1 @@
+lib/mech/derivability.ml: Geometric Linalg List Mechanism Rat

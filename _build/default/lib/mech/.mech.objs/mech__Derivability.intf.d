@@ -1,0 +1,1 @@
+lib/mech/derivability.mli: Mechanism Rat

@@ -1,0 +1,1 @@
+lib/mech/geometric.ml: Array Float Mechanism Prob Rat

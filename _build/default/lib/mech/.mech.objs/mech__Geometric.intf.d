@@ -1,0 +1,1 @@
+lib/mech/geometric.mli: Mechanism Prob Rat

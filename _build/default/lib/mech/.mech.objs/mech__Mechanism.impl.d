@@ -1,0 +1,1 @@
+lib/mech/mechanism.ml: Array Format Linalg List Printf Prob Rat String

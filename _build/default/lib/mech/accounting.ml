@@ -1,0 +1,103 @@
+(** Privacy accounting in the paper's multiplicative [α] scale.
+
+    The paper parametrizes differential privacy by [α ∈ [0,1]]: a
+    mechanism is α-DP when neighboring databases induce output
+    probabilities within a factor [1/α] of each other. In the standard
+    [ε] parametrization, [α = e^{-ε}]; composition laws become
+    {e products} in α where they are sums in ε:
+
+    - sequential composition of α₁- and α₂-DP releases is (α₁·α₂)-DP;
+    - k-fold composition of α-DP is α^k-DP;
+    - group privacy for groups of size g degrades α-DP to α^g-DP;
+    - post-processing preserves the level (Lemma 3 territory).
+
+    All exact, no approximation — one more payoff of the rational
+    parametrization. *)
+
+let check alpha =
+  if Rat.sign alpha < 0 || Rat.compare alpha Rat.one > 0 then
+    invalid_arg "Accounting: privacy level must lie in [0,1]"
+
+(** Level of the joint release of two independent mechanisms. *)
+let sequential a b =
+  check a;
+  check b;
+  Rat.mul a b
+
+(** Level of [k] independent releases of an [alpha]-DP mechanism. *)
+let compose_k ~k alpha =
+  if k < 0 then invalid_arg "Accounting.compose_k: negative k";
+  check alpha;
+  Rat.pow alpha k
+
+(** Parallel composition: mechanisms run on {e disjoint} sub-databases
+    jointly enjoy the worst (smallest... careful: strongest privacy =
+    largest α; the joint guarantee is the weakest of the parts, the
+    minimum α). *)
+let parallel levels =
+  match levels with
+  | [] -> invalid_arg "Accounting.parallel: no mechanisms"
+  | first :: rest ->
+    List.iter check levels;
+    List.fold_left Rat.min first rest
+
+(** Group privacy: protection for a coalition of [g] individuals. *)
+let group ~g alpha =
+  if g < 1 then invalid_arg "Accounting.group: group size must be >= 1";
+  check alpha;
+  Rat.pow alpha g
+
+(** Largest per-release level α (i.e. strongest per-release privacy)
+    such that [k] releases still meet a total budget [total]:
+    the exact rational α with α^k ≤ total, as the k-th root is
+    irrational in general we return the budget check function instead:
+    [fits ~k ~per_release ~total]. *)
+let fits ~k ~per_release ~total =
+  check per_release;
+  check total;
+  Rat.compare (compose_k ~k per_release) total >= 0
+
+(** Convert to/from the additive ε scale (floating point, for
+    reporting only — the library's source of truth is α). *)
+let epsilon_of_alpha alpha =
+  check alpha;
+  if Rat.is_zero alpha then infinity else -.log (Rat.to_float alpha)
+
+let alpha_of_epsilon eps =
+  if eps < 0.0 then invalid_arg "Accounting.alpha_of_epsilon: negative epsilon";
+  Rat.of_float_dyadic (exp (-.eps))
+
+(** Like {!alpha_of_epsilon} but with a small denominator (best
+    continued-fraction approximation): [ε = ln 2] becomes [1/2]-ish
+    instead of a 53-bit dyadic. The result is clamped into [0,1]. *)
+let alpha_of_epsilon_approx ?(max_den = Bigint.of_int 1000) eps =
+  let raw = alpha_of_epsilon eps in
+  let approx = Rat.approximate ~max_den raw in
+  Rat.max Rat.zero (Rat.min Rat.one approx)
+
+(** Empirical composition check: the joint mechanism releasing
+    independent samples [(x(i), y(i))] of two oblivious mechanisms has
+    joint output probabilities [x_{i,r}·y_{i,s}]; verify the
+    (α₁·α₂)-DP bound column-by-column. Used by tests to validate the
+    sequential law against the matrix semantics. *)
+let sequential_law_holds m1 m2 =
+  let n = Mechanism.n m1 in
+  if Mechanism.n m2 <> n then invalid_arg "Accounting.sequential_law_holds: size mismatch";
+  let a1 = Mechanism.privacy_level m1 and a2 = Mechanism.privacy_level m2 in
+  let bound = Rat.mul a1 a2 in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for r = 0 to n do
+      for s = 0 to n do
+        let p = Rat.mul (Mechanism.prob m1 ~input:i ~output:r) (Mechanism.prob m2 ~input:i ~output:s) in
+        let p' =
+          Rat.mul
+            (Mechanism.prob m1 ~input:(i + 1) ~output:r)
+            (Mechanism.prob m2 ~input:(i + 1) ~output:s)
+        in
+        if Rat.compare (Rat.mul bound p) p' > 0 || Rat.compare (Rat.mul bound p') p > 0 then
+          ok := false
+      done
+    done
+  done;
+  !ok

@@ -1,0 +1,40 @@
+(** Privacy accounting in the paper's multiplicative [α] scale
+    ([α = e^{−ε}]): composition laws are products where the ε scale has
+    sums, and everything stays exactly rational. *)
+
+val sequential : Rat.t -> Rat.t -> Rat.t
+(** Joint level of two independent releases: the product.
+    @raise Invalid_argument when a level is outside [0,1]. *)
+
+val compose_k : k:int -> Rat.t -> Rat.t
+(** Level of [k] independent releases: [α^k].
+    @raise Invalid_argument on negative [k]. *)
+
+val parallel : Rat.t list -> Rat.t
+(** Joint level of mechanisms over disjoint sub-databases: the minimum
+    (weakest guarantee). @raise Invalid_argument on an empty list. *)
+
+val group : g:int -> Rat.t -> Rat.t
+(** Group privacy for coalitions of [g] individuals: [α^g].
+    @raise Invalid_argument when [g < 1]. *)
+
+val fits : k:int -> per_release:Rat.t -> total:Rat.t -> bool
+(** Do [k] releases at [per_release] respect a [total] budget, i.e.
+    [per_release^k >= total]? *)
+
+val epsilon_of_alpha : Rat.t -> float
+(** Report in the additive ε scale; [infinity] at [α = 0]. *)
+
+val alpha_of_epsilon : float -> Rat.t
+(** Exact dyadic rational for [e^{−ε}]'s float value.
+    @raise Invalid_argument on negative ε. *)
+
+val sequential_law_holds : Mechanism.t -> Mechanism.t -> bool
+(** Verify the sequential law on concrete matrices: the joint release
+    of independent samples is [(α₁·α₂)]-DP, checked entrywise on
+    product probabilities. Used by tests. *)
+
+val alpha_of_epsilon_approx : ?max_den:Bigint.t -> float -> Rat.t
+(** Like {!alpha_of_epsilon} but rounded to the best rational with a
+    small denominator (default ≤ 1000) and clamped into [0,1] —
+    convenient for human-readable privacy levels. *)

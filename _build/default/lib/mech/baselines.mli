@@ -1,0 +1,32 @@
+(** Baseline mechanisms the reproduction compares against: truncated
+    discrete Laplace, randomized response, and the exponential
+    mechanism of McSherry–Talwar. *)
+
+val truncated_laplace : n:int -> alpha:Rat.t -> Mechanism.t
+(** Mass [∝ α^{|i−r|}] renormalized per row. Renormalization (rather
+    than the geometric's clamping) makes it weaker than α-DP at the
+    nominal level — measurable via {!Mechanism.privacy_level}. *)
+
+val randomized_response : n:int -> p:Rat.t -> Mechanism.t
+(** Release the true count with probability [p], otherwise uniform on
+    [{0..n}]. @raise Invalid_argument unless [0 <= p <= 1]. *)
+
+val rr_max_p : n:int -> alpha:Rat.t -> Rat.t
+(** Largest [p] keeping randomized response [alpha]-DP:
+    [(1−α)/(α·n + 1)]. *)
+
+val randomized_response_dp : n:int -> alpha:Rat.t -> Mechanism.t
+(** Randomized response tuned to exactly privacy level [alpha]. *)
+
+val exponential : n:int -> beta:Rat.t -> Mechanism.t
+(** Exponential mechanism with utility [−|i−r|]: mass [∝ β^{|i−r|}],
+    renormalized per row; guarantees [β²]-DP for sensitivity-1 scores. *)
+
+val exponential_dp : n:int -> alpha:Rat.t -> Mechanism.t option
+(** The exponential mechanism tuned for [alpha]-DP, i.e. with
+    [β = √α]; [None] when [α] has no rational square root. *)
+
+val sample_rounded_laplace : n:int -> alpha:Rat.t -> input:int -> Prob.Rng.t -> int
+(** Continuous Laplace noise rounded to the nearest integer and
+    clamped — the float-world baseline a practitioner would deploy.
+    Sampler only (the matrix involves transcendentals). *)

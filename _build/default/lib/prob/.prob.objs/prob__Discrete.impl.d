@@ -1,0 +1,1 @@
+lib/prob/discrete.ml: Array Float Format Hashtbl List Option Queue Rat Rng

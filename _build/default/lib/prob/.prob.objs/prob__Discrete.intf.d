@@ -1,0 +1,1 @@
+lib/prob/discrete.mli: Format Rat Rng

@@ -1,0 +1,139 @@
+(** Empirical statistics for validating samplers against their target
+    distributions: empirical pmf, moments, χ² goodness-of-fit, and
+    distances between empirical and exact distributions. *)
+
+type summary = { count : int; mean : float; variance : float; min : int; max : int }
+
+let summarize (xs : int array) =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty sample";
+  let sum = Array.fold_left (fun acc x -> acc +. float_of_int x) 0.0 xs in
+  let mean = sum /. float_of_int n in
+  let var =
+    Array.fold_left
+      (fun acc x ->
+        let d = float_of_int x -. mean in
+        acc +. (d *. d))
+      0.0 xs
+    /. float_of_int n
+  in
+  let mn = Array.fold_left min xs.(0) xs and mx = Array.fold_left max xs.(0) xs in
+  { count = n; mean; variance = var; min = mn; max = mx }
+
+(** Empirical distribution of a sample. *)
+let empirical (xs : int array) : Discrete.t =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun x -> Hashtbl.replace tbl x (1.0 +. Option.value ~default:0.0 (Hashtbl.find_opt tbl x)))
+    xs;
+  Discrete.of_assoc (Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl [])
+
+(** Pearson χ² statistic of [xs] against target distribution [d].
+    Cells with expected count below [min_expected] (default 5) are
+    pooled into their neighbour to keep the statistic valid. Returns
+    [(statistic, degrees_of_freedom)]. *)
+let chi_square ?(min_expected = 5.0) (xs : int array) (d : Discrete.t) =
+  let n = float_of_int (Array.length xs) in
+  let counts = Hashtbl.create 64 in
+  Array.iter
+    (fun x -> Hashtbl.replace counts x (1 + Option.value ~default:0 (Hashtbl.find_opt counts x)))
+    xs;
+  let support = Discrete.support d in
+  (* Pool consecutive cells until the expected mass is large enough. *)
+  let cells = ref [] in
+  let acc_obs = ref 0.0 and acc_exp = ref 0.0 in
+  Array.iter
+    (fun v ->
+      acc_obs := !acc_obs +. float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts v));
+      acc_exp := !acc_exp +. (n *. Discrete.mass d v);
+      if !acc_exp >= min_expected then begin
+        cells := (!acc_obs, !acc_exp) :: !cells;
+        acc_obs := 0.0;
+        acc_exp := 0.0
+      end)
+    support;
+  (* Fold any trailing partial cell into the last complete one. *)
+  (match !cells with
+   | (o, e) :: rest when !acc_exp > 0.0 ->
+     cells := (o +. !acc_obs, e +. !acc_exp) :: rest
+   | _ -> ());
+  let cells = !cells in
+  let stat =
+    List.fold_left
+      (fun acc (obs, exp) ->
+        let d = obs -. exp in
+        acc +. (d *. d /. exp))
+      0.0 cells
+  in
+  (stat, max 1 (List.length cells - 1))
+
+(** Conservative critical value of the χ² distribution at significance
+    level ~0.001 via the Wilson–Hilferty cube approximation. Good
+    enough for pass/fail sampler tests. *)
+let chi_square_critical_p001 df =
+  let z = 3.09 in
+  let dff = float_of_int df in
+  let t = 1.0 -. (2.0 /. (9.0 *. dff)) +. (z *. sqrt (2.0 /. (9.0 *. dff))) in
+  dff *. t *. t *. t
+
+(** Does the sample pass a χ² goodness-of-fit test against [d] at the
+    ~0.1% significance level? *)
+let fits ?(min_expected = 5.0) (xs : int array) (d : Discrete.t) =
+  let stat, df = chi_square ~min_expected xs d in
+  stat <= chi_square_critical_p001 df
+
+(** Total-variation distance between a sample and a target. *)
+let empirical_tv (xs : int array) (d : Discrete.t) =
+  Discrete.total_variation (empirical xs) d
+
+(** Draw [n] samples from a distribution. *)
+let draw (d : Discrete.t) rng n = Array.init n (fun _ -> Discrete.sample d rng)
+
+(** Kolmogorov–Smirnov statistic of a sample against a target
+    distribution: the sup-distance between empirical and target CDFs
+    over the union of supports. *)
+let ks_statistic (xs : int array) (d : Discrete.t) =
+  let n = float_of_int (Array.length xs) in
+  if n = 0.0 then invalid_arg "Stats.ks_statistic: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let values =
+    Array.to_list (Discrete.support d) @ Array.to_list sorted |> List.sort_uniq compare
+  in
+  (* empirical CDF at v: #(xs <= v)/n via binary search over sorted *)
+  let ecdf v =
+    let lo = ref 0 and hi = ref (Array.length sorted) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if sorted.(mid) <= v then lo := mid + 1 else hi := mid
+    done;
+    float_of_int !lo /. n
+  in
+  let cdf = ref 0.0 and worst = ref 0.0 in
+  List.iter
+    (fun v ->
+      cdf := !cdf +. Discrete.mass d v;
+      let diff = Float.abs (ecdf v -. !cdf) in
+      if diff > !worst then worst := diff)
+    values;
+  !worst
+
+(** KS acceptance at significance ≈0.001: statistic below
+    [c(0.001)/√n] with [c ≈ 1.95] (asymptotic critical value). *)
+let ks_fits (xs : int array) (d : Discrete.t) =
+  let n = float_of_int (Array.length xs) in
+  ks_statistic xs d <= 1.95 /. sqrt n
+
+(** Wilson score interval for a Bernoulli proportion: given [successes]
+    out of [trials], the ~99.9% confidence interval (z = 3.29). Used to
+    bound Monte-Carlo estimates in experiments. *)
+let wilson_interval ~successes ~trials =
+  if trials <= 0 || successes < 0 || successes > trials then
+    invalid_arg "Stats.wilson_interval";
+  let z = 3.29 in
+  let n = float_of_int trials and p = float_of_int successes /. float_of_int trials in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let centre = (p +. (z2 /. (2.0 *. n))) /. denom in
+  let half = z *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n))) /. denom in
+  (Float.max 0.0 (centre -. half), Float.min 1.0 (centre +. half))

@@ -1,0 +1,187 @@
+(* Exact rationals: normalized pairs of Bigints.
+   Invariant: den > 0 and gcd(|num|, den) = 1; zero is 0/1. *)
+
+module B = Bigint
+
+type t = { num : B.t; den : B.t }
+
+let make num den =
+  if B.is_zero den then raise Division_by_zero;
+  if B.is_zero num then { num = B.zero; den = B.one }
+  else begin
+    let num, den = if B.is_negative den then (B.neg num, B.neg den) else (num, den) in
+    let g = B.gcd num den in
+    if B.is_one g then { num; den } else { num = B.div num g; den = B.div den g }
+  end
+
+let of_bigint n = { num = n; den = B.one }
+let of_int n = of_bigint (B.of_int n)
+let of_ints a b = make (B.of_int a) (B.of_int b)
+
+let zero = of_int 0
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+let half = of_ints 1 2
+
+let num t = t.num
+let den t = t.den
+
+let sign t = B.sign t.num
+let is_zero t = B.is_zero t.num
+let is_one t = B.is_one t.num && B.is_one t.den
+let is_integer t = B.is_one t.den
+
+let equal a b = B.equal a.num b.num && B.equal a.den b.den
+
+let compare a b =
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den
+     (both denominators positive). *)
+  B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let hash t = Hashtbl.hash (B.hash t.num, B.hash t.den)
+
+let neg t = { t with num = B.neg t.num }
+let abs t = { t with num = B.abs t.num }
+
+let add a b =
+  if B.equal a.den b.den then make (B.add a.num b.num) a.den
+  else make (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make (B.mul a.num b.num) (B.mul a.den b.den)
+
+let inv t =
+  if is_zero t then raise Division_by_zero;
+  if B.is_negative t.num then { num = B.neg t.den; den = B.neg t.num }
+  else { num = t.den; den = t.num }
+
+let div a b = mul a (inv b)
+
+let pow t e =
+  if e >= 0 then { num = B.pow t.num e; den = B.pow t.den e }
+  else inv { num = B.pow t.num (-e); den = B.pow t.den (-e) }
+
+let mul_int t n = make (B.mul_int t.num n) t.den
+let div_int t n = make t.num (B.mul_int t.den n)
+
+let floor t = fst (B.ediv t.num t.den)
+let ceil t = B.neg (fst (B.ediv (B.neg t.num) t.den))
+
+let round t =
+  (* Ties away from zero: round(|t|) = floor(|t| + 1/2). *)
+  let r = floor (add (abs t) half) in
+  if sign t < 0 then B.neg r else r
+
+let sum = List.fold_left add zero
+
+let to_float t = B.to_float t.num /. B.to_float t.den
+
+let to_string t =
+  if is_integer t then B.to_string t.num
+  else B.to_string t.num ^ "/" ^ B.to_string t.den
+
+let to_decimal_string ?(places = 6) t =
+  let scale = B.pow (B.of_int 10) places in
+  let scaled = round (mul t (of_bigint scale)) in
+  let s = B.to_string (B.abs scaled) in
+  let s = if String.length s <= places then String.make (places + 1 - String.length s) '0' ^ s else s in
+  let cut = String.length s - places in
+  let body =
+    if places = 0 then s
+    else String.sub s 0 cut ^ "." ^ String.sub s cut places
+  in
+  if B.is_negative scaled then "-" ^ body else body
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+    let n = B.of_string (String.sub s 0 i) in
+    let d = B.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    make n d
+  | None ->
+    (match String.index_opt s '.' with
+     | None -> of_bigint (B.of_string s)
+     | Some i ->
+       let int_part = String.sub s 0 i in
+       let frac = String.sub s (i + 1) (String.length s - i - 1) in
+       if frac = "" then invalid_arg "Rat.of_string: trailing dot";
+       String.iter (function '0' .. '9' -> () | _ -> invalid_arg "Rat.of_string: bad fraction digits") frac;
+       let negative = String.length int_part > 0 && int_part.[0] = '-' in
+       let int_value = if int_part = "" || int_part = "-" || int_part = "+" then B.zero else B.of_string int_part in
+       let scale = B.pow (B.of_int 10) (String.length frac) in
+       let frac_value = B.of_string frac in
+       let total = B.add (B.mul (B.abs int_value) scale) frac_value in
+       let total = if negative then B.neg total else total in
+       make total scale)
+
+let of_string_opt s = try Some (of_string s) with Invalid_argument _ | Failure _ -> None
+
+let of_float_dyadic f =
+  match Float.classify_float f with
+  | FP_nan | FP_infinite -> invalid_arg "Rat.of_float_dyadic: not finite"
+  | FP_zero -> zero
+  | FP_normal | FP_subnormal ->
+    let mantissa, exponent = Float.frexp f in
+    (* mantissa * 2^53 is integral for any finite float. *)
+    let scaled = Int64.of_float (Float.ldexp mantissa 53) in
+    let n = B.of_string (Int64.to_string scaled) in
+    let e = exponent - 53 in
+    if e >= 0 then of_bigint (B.shift_left n e)
+    else make n (B.shift_left B.one (-e))
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end
+
+let approximate ~max_den x =
+  if B.compare max_den B.one < 0 then invalid_arg "Rat.approximate: max_den must be >= 1";
+  if B.compare (den x) max_den <= 0 then x
+  else begin
+    let target = abs x in
+    (* Convergent recurrence h_k = a_k h_{k-1} + h_{k-2} (same for k),
+       seeded with (1,0) and (0,1). On denominator overflow, compare
+       the last convergent against the best semiconvergent. *)
+    let best =
+      let rec go p q (h1, k1) (h2, k2) =
+        if B.is_zero q then make h1 k1
+        else begin
+          let a, r = B.ediv p q in
+          let h = B.add (B.mul a h1) h2 and k = B.add (B.mul a k1) k2 in
+          if B.compare k max_den > 0 then begin
+            let a' = B.div (B.sub max_den k2) k1 in
+            let prev = make h1 k1 in
+            if B.is_zero a' && B.is_zero k2 then prev
+            else begin
+              let semi = make (B.add (B.mul a' h1) h2) (B.add (B.mul a' k1) k2) in
+              let d_prev = abs (sub target prev) and d_semi = abs (sub target semi) in
+              if compare d_semi d_prev <= 0 then semi else prev
+            end
+          end
+          else go q r (h, k) (h1, k1)
+        end
+      in
+      go (num target) (den target) (B.one, B.zero) (B.zero, B.one)
+    in
+    if sign x < 0 then neg best else best
+  end
+
+let sqrt_exact x =
+  if sign x < 0 then None
+  else
+    match (B.sqrt_exact (num x), B.sqrt_exact (den x)) with
+    | Some a, Some b -> Some (make a b)
+    | _ -> None

@@ -1,0 +1,49 @@
+(** Experiment harness: named, self-describing reproduction units.
+
+    Each experiment corresponds to one artifact of the paper (a table,
+    a figure, a lemma, or a synthesized evaluation — see the index in
+    DESIGN.md) and reports a pass/fail verdict plus free-form detail
+    that the bench binary prints and EXPERIMENTS.md summarizes. *)
+
+type verdict = Pass | Fail of string | Info
+
+type t = {
+  id : string;  (** e.g. "T1", "F1", "THM1" *)
+  title : string;
+  paper_claim : string;  (** what the paper reports *)
+  run : unit -> verdict * string;  (** measured detail *)
+}
+
+let make ~id ~title ~paper_claim run = { id; title; paper_claim; run }
+
+let run_one t =
+  Printf.printf "=== [%s] %s ===\n" t.id t.title;
+  Printf.printf "paper: %s\n" t.paper_claim;
+  let started = Unix.gettimeofday () in
+  let verdict, detail = t.run () in
+  let elapsed = Unix.gettimeofday () -. started in
+  print_string detail;
+  if detail <> "" && detail.[String.length detail - 1] <> '\n' then print_newline ();
+  (match verdict with
+   | Pass -> Printf.printf "verdict: PASS (%.2fs)\n" elapsed
+   | Info -> Printf.printf "verdict: INFO (%.2fs)\n" elapsed
+   | Fail why -> Printf.printf "verdict: FAIL — %s (%.2fs)\n" why elapsed);
+  print_newline ();
+  verdict
+
+let run_all experiments =
+  let failed = ref [] in
+  List.iter
+    (fun e ->
+      match run_one e with
+      | Fail why -> failed := (e.id, why) :: !failed
+      | Pass | Info -> ())
+    experiments;
+  match List.rev !failed with
+  | [] ->
+    Printf.printf "All %d experiments passed.\n" (List.length experiments);
+    true
+  | fs ->
+    Printf.printf "%d/%d experiments FAILED:\n" (List.length fs) (List.length experiments);
+    List.iter (fun (id, why) -> Printf.printf "  [%s] %s\n" id why) fs;
+    false

@@ -1,0 +1,27 @@
+(** Experiment harness: named, self-describing reproduction units.
+
+    Each experiment corresponds to one artifact of the paper (a table,
+    a figure, a lemma, or a synthesized evaluation — see the index in
+    DESIGN.md). The bench binary runs them and EXPERIMENTS.md records
+    the outcomes. *)
+
+type verdict =
+  | Pass  (** every check of the artifact succeeded *)
+  | Fail of string  (** at least one check failed, with a reason *)
+  | Info  (** descriptive output only, nothing to check *)
+
+type t = {
+  id : string;  (** short id, e.g. "T1", "F1", "THM1" *)
+  title : string;
+  paper_claim : string;  (** what the paper reports *)
+  run : unit -> verdict * string;  (** produces the measured detail *)
+}
+
+val make : id:string -> title:string -> paper_claim:string -> (unit -> verdict * string) -> t
+
+val run_one : t -> verdict
+(** Run and print one experiment (header, detail, verdict, timing). *)
+
+val run_all : t list -> bool
+(** Run a batch; prints a summary and returns whether everything
+    passed. *)

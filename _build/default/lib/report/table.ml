@@ -1,0 +1,70 @@
+(** ASCII table rendering for the experiment harness. *)
+
+type align = Left | Right
+
+type t = { headers : string list; rows : string list list; aligns : align list option }
+
+let make ?aligns ~headers rows = { headers; rows; aligns }
+
+let render t =
+  let all = t.headers :: t.rows in
+  let ncols = List.length t.headers in
+  List.iter
+    (fun r -> if List.length r <> ncols then invalid_arg "Table.render: ragged row")
+    t.rows;
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let aligns =
+    match t.aligns with
+    | Some a when List.length a = ncols -> Array.of_list a
+    | _ -> Array.make ncols Left
+  in
+  let pad i cell =
+    let w = widths.(i) in
+    let fill = String.make (w - String.length cell) ' ' in
+    match aligns.(i) with Left -> cell ^ fill | Right -> fill ^ cell
+  in
+  let render_row r = "| " ^ String.concat " | " (List.mapi pad r) ^ " |" in
+  let sep =
+    "+" ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths)) ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_row t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (render_row r);
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.add_string buf sep;
+  Buffer.contents buf
+
+let print t = print_endline (render t)
+
+(** Render a rational matrix with exact fractions. *)
+let of_rat_matrix ?(headers = []) (m : Rat.t array array) =
+  let ncols = if Array.length m = 0 then 0 else Array.length m.(0) in
+  let headers = if headers <> [] then headers else List.init ncols (Printf.sprintf "r=%d") in
+  make ~headers
+    (Array.to_list (Array.map (fun row -> Array.to_list (Array.map Rat.to_string row)) m))
+    ~aligns:(List.init (List.length headers) (fun _ -> Right))
+
+(** Render a rational matrix in fixed-point decimal. *)
+let of_rat_matrix_decimal ?(places = 4) ?(headers = []) (m : Rat.t array array) =
+  let ncols = if Array.length m = 0 then 0 else Array.length m.(0) in
+  let headers = if headers <> [] then headers else List.init ncols (Printf.sprintf "r=%d") in
+  make ~headers
+    (Array.to_list
+       (Array.map (fun row -> Array.to_list (Array.map (Rat.to_decimal_string ~places) row)) m))
+    ~aligns:(List.init (List.length headers) (fun _ -> Right))
+
+let of_mechanism ?places m =
+  match places with
+  | None -> of_rat_matrix (Mech.Mechanism.matrix m)
+  | Some places -> of_rat_matrix_decimal ~places (Mech.Mechanism.matrix m)

@@ -1,0 +1,26 @@
+(** ASCII table rendering for the experiment harness and CLI. *)
+
+type align = Left | Right
+
+type t
+
+val make : ?aligns:align list -> headers:string list -> string list list -> t
+(** [make ~headers rows]; [aligns] defaults to all-left. *)
+
+val render : t -> string
+(** Multi-line box-drawing rendering.
+    @raise Invalid_argument when a row's width differs from the
+    header's. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val of_rat_matrix : ?headers:string list -> Rat.t array array -> t
+(** Matrix rendered with exact fractions, right-aligned; default
+    headers are [r=0, r=1, …]. *)
+
+val of_rat_matrix_decimal : ?places:int -> ?headers:string list -> Rat.t array array -> t
+(** Matrix rendered in fixed-point decimal (default 4 places). *)
+
+val of_mechanism : ?places:int -> Mech.Mechanism.t -> t
+(** A mechanism's matrix; exact fractions unless [places] is given. *)

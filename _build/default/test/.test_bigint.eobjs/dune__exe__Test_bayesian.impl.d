@@ -1,0 +1,1 @@
+test/test_bayesian.ml: Alcotest Array List Mech Minimax Printf QCheck QCheck_alcotest Rat String

@@ -1,0 +1,1 @@
+test/test_dpdb.ml: Alcotest Array Dpdb List Printf Prob QCheck QCheck_alcotest

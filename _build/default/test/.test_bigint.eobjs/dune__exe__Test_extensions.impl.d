@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Dpdb Filename List Lp Mech Minimax Prob Rat Sys

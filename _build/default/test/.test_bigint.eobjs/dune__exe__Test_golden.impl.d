@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Array Fun Linalg List Mech Minimax Printf Rat

@@ -1,0 +1,1 @@
+test/test_inference.ml: Alcotest Array Bigint Int64 List Mech Minimax QCheck QCheck_alcotest Rat

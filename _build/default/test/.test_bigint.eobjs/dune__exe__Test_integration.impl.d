@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Dpdb Float List Mech Minimax Printf Prob Rat

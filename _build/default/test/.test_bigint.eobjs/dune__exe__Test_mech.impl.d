@@ -1,0 +1,1 @@
+test/test_mech.ml: Alcotest Array Fun Linalg List Mech Printf Prob QCheck QCheck_alcotest Rat

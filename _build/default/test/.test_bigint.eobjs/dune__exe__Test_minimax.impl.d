@@ -1,0 +1,1 @@
+test/test_minimax.ml: Alcotest Linalg List Mech Minimax Printf QCheck QCheck_alcotest Rat String

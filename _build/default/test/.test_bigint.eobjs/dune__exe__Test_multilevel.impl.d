@@ -1,0 +1,1 @@
+test/test_multilevel.ml: Alcotest Array Linalg List Mech Minimax Printf Prob QCheck QCheck_alcotest Rat

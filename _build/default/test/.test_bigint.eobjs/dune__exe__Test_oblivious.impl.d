@@ -1,0 +1,1 @@
+test/test_oblivious.ml: Alcotest Array List Mech Minimax Prob QCheck QCheck_alcotest Rat

@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Array Float List Printf Prob QCheck QCheck_alcotest Rat String

@@ -1,0 +1,1 @@
+test/test_simplex.ml: Alcotest Array Float List Lp Printf Prob Rat

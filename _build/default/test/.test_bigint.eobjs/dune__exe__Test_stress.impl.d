@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Bigint Char Fun Linalg List Lp Mech Minimax Prob Rat String

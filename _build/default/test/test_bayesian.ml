@@ -1,0 +1,185 @@
+(* Tests for the Bayesian-consumer baseline (§2.7 / Ghosh et al.):
+   priors, deterministic optimal remaps, the Bayesian optimal-mechanism
+   LP, and the Bayesian analogue of universality. *)
+
+module M = Mech.Mechanism
+module Geo = Mech.Geometric
+module Bay = Minimax.Bayesian
+module L = Minimax.Loss
+
+let q = Rat.of_ints
+let rat = Alcotest.testable Rat.pp Rat.equal
+let half = q 1 2
+
+(* --------------------------------------------------------------- *)
+(* Priors                                                           *)
+(* --------------------------------------------------------------- *)
+
+let test_uniform_prior () =
+  let p = Bay.uniform_prior 3 in
+  Alcotest.(check int) "length" 4 (Array.length p);
+  Alcotest.check rat "entry" (q 1 4) p.(0);
+  Alcotest.check rat "sums to 1" Rat.one (Array.fold_left Rat.add Rat.zero p)
+
+let test_peaked_prior () =
+  let p = Bay.peaked_prior ~n:4 ~peak:2 ~decay:half in
+  Alcotest.check rat "sums to 1" Rat.one (Array.fold_left Rat.add Rat.zero p);
+  Alcotest.(check bool) "peak largest" true (Rat.compare p.(2) p.(0) > 0);
+  Alcotest.check rat "symmetric" p.(1) p.(3)
+
+let test_make_validates () =
+  Alcotest.check_raises "not normalized" (Invalid_argument "Bayesian.make: prior does not sum to 1")
+    (fun () -> ignore (Bay.make ~prior:[| half; half; half |] ~loss:L.absolute ()))
+
+(* --------------------------------------------------------------- *)
+(* Expected loss and remap                                          *)
+(* --------------------------------------------------------------- *)
+
+let bayes ?(n = 3) ?prior ?(loss = L.absolute) () =
+  let prior = match prior with Some p -> p | None -> Bay.uniform_prior n in
+  Bay.make ~prior ~loss ()
+
+let test_expected_loss_identity () =
+  (* Identity mechanism: zero expected loss for any proper loss. *)
+  let b = bayes () in
+  Alcotest.check rat "zero" Rat.zero (Bay.expected_loss b (M.identity 3))
+
+let test_remap_is_deterministic_matrix () =
+  let b = bayes () in
+  let g = Geo.matrix ~n:3 ~alpha:half in
+  let remap = Bay.optimal_remap b g in
+  let matrix = Bay.remap_matrix ~n:3 remap in
+  Alcotest.(check bool) "deterministic" true (Bay.is_deterministic matrix)
+
+let test_remap_monotone () =
+  (* For symmetric priors/losses the remap should be monotone in r. *)
+  let b = bayes () in
+  let g = Geo.matrix ~n:3 ~alpha:half in
+  let remap = Bay.optimal_remap b g in
+  for r = 0 to 2 do
+    Alcotest.(check bool) "monotone" true (remap.(r) <= remap.(r + 1))
+  done
+
+let test_remap_skewed_prior () =
+  (* A prior concentrated at n drags every output toward n. *)
+  let prior = Bay.peaked_prior ~n:3 ~peak:3 ~decay:(q 1 10) in
+  let b = bayes ~prior () in
+  let g = Geo.matrix ~n:3 ~alpha:half in
+  let remap = Bay.optimal_remap b g in
+  Alcotest.(check bool) "output 0 pulled up" true (remap.(0) >= 2)
+
+let test_post_process_improves () =
+  let b = bayes ~loss:L.squared () in
+  let g = Geo.matrix ~n:3 ~alpha:half in
+  let _, processed_loss = Bay.post_process b g in
+  Alcotest.(check bool) "no worse" true (Rat.compare processed_loss (Bay.expected_loss b g) <= 0)
+
+(* --------------------------------------------------------------- *)
+(* Bayesian optimal mechanism LP                                    *)
+(* --------------------------------------------------------------- *)
+
+let test_optimal_mechanism_dp () =
+  let b = bayes () in
+  let mech, _ = Bay.optimal_mechanism ~alpha:half b ~n:3 in
+  Alcotest.(check bool) "dp" true (M.is_dp ~alpha:half mech)
+
+let test_optimal_loss_consistent () =
+  let b = bayes () in
+  let mech, loss = Bay.optimal_mechanism ~alpha:half b ~n:3 in
+  Alcotest.check rat "loss recomputes" loss (Bay.expected_loss b mech)
+
+(* The Ghosh-et-al. theorem (the paper's §2.7 reference point):
+   geometric + Bayesian-optimal deterministic remap attains the
+   Bayesian LP optimum. *)
+let test_bayesian_universality () =
+  List.iter
+    (fun (prior, loss, alpha) ->
+      let b = Bay.make ~prior ~loss () in
+      let g = Geo.matrix ~n:3 ~alpha in
+      let _, remap_loss = Bay.post_process b g in
+      let _, lp_loss = Bay.optimal_mechanism ~alpha b ~n:3 in
+      Alcotest.check rat
+        (Printf.sprintf "prior-peak loss=%s alpha=%s" (L.name loss) (Rat.to_string alpha))
+        lp_loss remap_loss)
+    [
+      (Bay.uniform_prior 3, L.absolute, half);
+      (Bay.uniform_prior 3, L.zero_one, half);
+      (Bay.peaked_prior ~n:3 ~peak:1 ~decay:half, L.absolute, q 1 4);
+      (Bay.peaked_prior ~n:3 ~peak:3 ~decay:(q 1 3), L.squared, half);
+    ]
+
+let test_minimax_vs_bayesian_losses () =
+  (* The minimax guarantee is worst-case, hence at least the Bayesian
+     loss under any prior supported on the side information. *)
+  let n = 3 and alpha = half in
+  let mc = Minimax.Consumer.make ~loss:L.absolute ~side_info:(Minimax.Side_info.full n) () in
+  let minimax_loss = (Minimax.Optimal_mechanism.solve ~alpha mc).Minimax.Optimal_mechanism.loss in
+  let b = bayes () in
+  let _, bayes_loss = Bay.optimal_mechanism ~alpha b ~n in
+  Alcotest.(check bool) "bayes <= minimax" true (Rat.compare bayes_loss minimax_loss <= 0)
+
+(* --------------------------------------------------------------- *)
+(* Property tests                                                   *)
+(* --------------------------------------------------------------- *)
+
+let arb_prior_n3 =
+  QCheck.make
+    ~print:(fun a -> String.concat "," (Array.to_list (Array.map Rat.to_string a)))
+    QCheck.Gen.(
+      map
+        (fun ws ->
+          let ws = Array.of_list (List.map (fun w -> Rat.of_ints (1 + w) 1) ws) in
+          Bay.normalize_prior ws)
+        (list_size (return 4) (int_bound 9)))
+
+let arb_alpha =
+  QCheck.make ~print:Rat.to_string
+    QCheck.Gen.(map2 (fun a b -> Rat.of_ints a (a + b)) (int_range 1 5) (int_range 1 5))
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let properties =
+  [
+    prop "bayesian universality on random priors" 15 (QCheck.pair arb_prior_n3 arb_alpha)
+      (fun (prior, alpha) ->
+        let b = Bay.make ~prior ~loss:L.absolute () in
+        let g = Geo.matrix ~n:3 ~alpha in
+        let _, remap_loss = Bay.post_process b g in
+        let _, lp_loss = Bay.optimal_mechanism ~alpha b ~n:3 in
+        Rat.equal lp_loss remap_loss);
+    prop "remap never increases loss" 20 (QCheck.pair arb_prior_n3 arb_alpha)
+      (fun (prior, alpha) ->
+        let b = Bay.make ~prior ~loss:L.squared () in
+        let g = Geo.matrix ~n:3 ~alpha in
+        let _, processed = Bay.post_process b g in
+        Rat.compare processed (Bay.expected_loss b g) <= 0);
+    prop "normalize_prior sums to one" 30 arb_prior_n3 (fun p ->
+        Rat.is_one (Array.fold_left Rat.add Rat.zero p));
+  ]
+
+let () =
+  Alcotest.run "bayesian"
+    [
+      ( "priors",
+        [
+          Alcotest.test_case "uniform" `Quick test_uniform_prior;
+          Alcotest.test_case "peaked" `Quick test_peaked_prior;
+          Alcotest.test_case "validation" `Quick test_make_validates;
+        ] );
+      ( "remap",
+        [
+          Alcotest.test_case "identity loss" `Quick test_expected_loss_identity;
+          Alcotest.test_case "deterministic matrix" `Quick test_remap_is_deterministic_matrix;
+          Alcotest.test_case "monotone" `Quick test_remap_monotone;
+          Alcotest.test_case "skewed prior" `Quick test_remap_skewed_prior;
+          Alcotest.test_case "post-process improves" `Quick test_post_process_improves;
+        ] );
+      ( "optimal",
+        [
+          Alcotest.test_case "dp" `Quick test_optimal_mechanism_dp;
+          Alcotest.test_case "loss consistent" `Quick test_optimal_loss_consistent;
+          Alcotest.test_case "Bayesian universality" `Slow test_bayesian_universality;
+          Alcotest.test_case "minimax dominates bayesian" `Quick test_minimax_vs_bayesian_losses;
+        ] );
+      ("properties", properties);
+    ]

@@ -1,0 +1,271 @@
+(* Unit and property tests for the Bigint substrate.
+
+   Strategy: exhaustive small-number checks against native int as an
+   oracle, plus algebraic-law property tests on numbers far beyond the
+   native range (built by concatenating random digit blocks). *)
+
+module B = Bigint
+
+let bigint = Alcotest.testable B.pp B.equal
+
+(* --------------------------------------------------------------- *)
+(* Generators                                                       *)
+(* --------------------------------------------------------------- *)
+
+let gen_digits n st =
+  String.init n (fun i ->
+      if i = 0 then Char.chr (Char.code '1' + QCheck.Gen.int_bound 8 st)
+      else Char.chr (Char.code '0' + QCheck.Gen.int_bound 9 st))
+
+let gen_big : B.t QCheck.Gen.t =
+ fun st ->
+  let len = 1 + QCheck.Gen.int_bound 60 st in
+  let s = gen_digits len st in
+  let v = B.of_string s in
+  if QCheck.Gen.bool st then B.neg v else v
+
+let arb_big = QCheck.make ~print:B.to_string gen_big
+
+let arb_small = QCheck.make ~print:string_of_int QCheck.Gen.(int_range (-1_000_000) 1_000_000)
+
+(* --------------------------------------------------------------- *)
+(* Oracle tests against native ints                                 *)
+(* --------------------------------------------------------------- *)
+
+let test_small_arith () =
+  for a = -25 to 25 do
+    for b = -25 to 25 do
+      let ba = B.of_int a and bb = B.of_int b in
+      Alcotest.(check int) (Printf.sprintf "add %d %d" a b) (a + b) (B.to_int_exn (B.add ba bb));
+      Alcotest.(check int) (Printf.sprintf "sub %d %d" a b) (a - b) (B.to_int_exn (B.sub ba bb));
+      Alcotest.(check int) (Printf.sprintf "mul %d %d" a b) (a * b) (B.to_int_exn (B.mul ba bb));
+      if b <> 0 then begin
+        let q, r = B.divmod ba bb in
+        Alcotest.(check int) (Printf.sprintf "div %d %d" a b) (a / b) (B.to_int_exn q);
+        Alcotest.(check int) (Printf.sprintf "rem %d %d" a b) (a mod b) (B.to_int_exn r)
+      end;
+      Alcotest.(check int)
+        (Printf.sprintf "compare %d %d" a b)
+        (compare a b)
+        (B.compare ba bb)
+    done
+  done
+
+let test_small_gcd () =
+  for a = 0 to 40 do
+    for b = 0 to 40 do
+      let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+      Alcotest.(check int)
+        (Printf.sprintf "gcd %d %d" a b)
+        (gcd a b)
+        (B.to_int_exn (B.gcd (B.of_int a) (B.of_int b)))
+    done
+  done
+
+let test_ediv_small () =
+  for a = -30 to 30 do
+    List.iter
+      (fun b ->
+        let q, r = B.ediv (B.of_int a) (B.of_int b) in
+        let qi = B.to_int_exn q and ri = B.to_int_exn r in
+        Alcotest.(check bool) "euclidean remainder nonneg" true (ri >= 0 && ri < abs b);
+        Alcotest.(check int) "reconstruction" a ((qi * b) + ri))
+      [ -7; -3; -2; -1; 1; 2; 3; 7 ]
+  done
+
+let test_constants () =
+  Alcotest.check bigint "zero" B.zero (B.of_int 0);
+  Alcotest.check bigint "one" B.one (B.of_int 1);
+  Alcotest.check bigint "minus_one" B.minus_one (B.of_int (-1));
+  Alcotest.(check bool) "is_zero" true (B.is_zero B.zero);
+  Alcotest.(check bool) "is_one" true (B.is_one B.one);
+  Alcotest.(check bool) "one not zero" false (B.is_zero B.one);
+  Alcotest.(check int) "sign pos" 1 (B.sign (B.of_int 5));
+  Alcotest.(check int) "sign neg" (-1) (B.sign (B.of_int (-5)));
+  Alcotest.(check int) "sign zero" 0 (B.sign B.zero)
+
+let test_min_int () =
+  let m = B.of_int min_int in
+  Alcotest.(check (option int)) "roundtrip" (Some min_int) (B.to_int m);
+  Alcotest.(check string) "print" (string_of_int min_int) (B.to_string m);
+  Alcotest.check bigint "reparse" m (B.of_string (string_of_int min_int))
+
+let test_max_int () =
+  let m = B.of_int max_int in
+  Alcotest.(check (option int)) "roundtrip" (Some max_int) (B.to_int m);
+  Alcotest.(check string) "print" (string_of_int max_int) (B.to_string m)
+
+let test_to_int_overflow () =
+  let huge = B.of_string "123456789123456789123456789" in
+  Alcotest.(check (option int)) "too big" None (B.to_int huge);
+  Alcotest.check_raises "exn" (Failure "Bigint.to_int_exn: value out of native int range")
+    (fun () -> ignore (B.to_int_exn huge))
+
+(* --------------------------------------------------------------- *)
+(* String round-trips and parsing                                   *)
+(* --------------------------------------------------------------- *)
+
+let test_known_strings () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (B.to_string (B.of_string s)))
+    [
+      "0";
+      "1";
+      "-1";
+      "1000000000";
+      "999999999999999999";
+      "-123456789012345678901234567890";
+      "340282366920938463463374607431768211456" (* 2^128 *);
+    ]
+
+let test_parse_forms () =
+  Alcotest.check bigint "plus sign" (B.of_int 42) (B.of_string "+42");
+  Alcotest.check bigint "underscores" (B.of_int 1_000_000) (B.of_string "1_000_000");
+  Alcotest.check bigint "leading zeros" (B.of_int 7) (B.of_string "007");
+  Alcotest.(check (option Alcotest.reject)) "empty" None (B.of_string_opt "");
+  Alcotest.(check (option Alcotest.reject)) "garbage" None (B.of_string_opt "12a3");
+  Alcotest.(check (option Alcotest.reject)) "bare sign" None (B.of_string_opt "-")
+
+let test_known_mul () =
+  (* Verified externally. *)
+  let a = B.of_string "123456789012345678901234567890" in
+  let b = B.of_string "987654321098765432109876543210" in
+  Alcotest.(check string) "cross product"
+    "121932631137021795226185032733622923332237463801111263526900"
+    (B.to_string (B.mul a b))
+
+let test_pow () =
+  Alcotest.(check string) "2^100" "1267650600228229401496703205376" (B.to_string (B.pow B.two 100));
+  Alcotest.(check string) "10^30" ("1" ^ String.make 30 '0') (B.to_string (B.pow (B.of_int 10) 30));
+  Alcotest.check bigint "x^0" B.one (B.pow (B.of_int 12345) 0);
+  Alcotest.check bigint "(-2)^3" (B.of_int (-8)) (B.pow (B.of_int (-2)) 3);
+  Alcotest.check_raises "negative exponent" (Invalid_argument "Bigint.pow: negative exponent")
+    (fun () -> ignore (B.pow B.two (-1)))
+
+let test_shifts () =
+  Alcotest.check bigint "1<<62" (B.pow B.two 62) (B.shift_left B.one 62);
+  Alcotest.check bigint "1<<100" (B.pow B.two 100) (B.shift_left B.one 100);
+  Alcotest.check bigint "shr exact" (B.of_int 5) (B.shift_right (B.of_int 40) 3);
+  Alcotest.check bigint "shr floor pos" (B.of_int 2) (B.shift_right (B.of_int 5) 1);
+  Alcotest.check bigint "shr floor neg" (B.of_int (-3)) (B.shift_right (B.of_int (-5)) 1);
+  Alcotest.check bigint "big roundtrip"
+    (B.of_string "123456789012345678901234567890")
+    (B.shift_right (B.shift_left (B.of_string "123456789012345678901234567890") 137) 137)
+
+let test_num_bits () =
+  Alcotest.(check int) "zero" 0 (B.num_bits B.zero);
+  Alcotest.(check int) "one" 1 (B.num_bits B.one);
+  Alcotest.(check int) "255" 8 (B.num_bits (B.of_int 255));
+  Alcotest.(check int) "256" 9 (B.num_bits (B.of_int 256));
+  Alcotest.(check int) "2^100" 101 (B.num_bits (B.pow B.two 100))
+
+let test_num_digits () =
+  Alcotest.(check int) "zero" 1 (B.num_digits B.zero);
+  Alcotest.(check int) "9" 1 (B.num_digits (B.of_int 9));
+  Alcotest.(check int) "10" 2 (B.num_digits (B.of_int 10));
+  Alcotest.(check int) "-1234" 4 (B.num_digits (B.of_int (-1234)))
+
+let test_division_by_zero () =
+  Alcotest.check_raises "divmod" Division_by_zero (fun () -> ignore (B.divmod B.one B.zero));
+  Alcotest.check_raises "ediv" Division_by_zero (fun () -> ignore (B.ediv B.one B.zero))
+
+let test_to_float () =
+  Alcotest.(check (float 1e-9)) "small" 12345.0 (B.to_float (B.of_int 12345));
+  Alcotest.(check (float 1e-9)) "neg" (-42.0) (B.to_float (B.of_int (-42)));
+  let big = B.pow (B.of_int 10) 20 in
+  Alcotest.(check (float 1e6)) "1e20" 1e20 (B.to_float big)
+
+(* --------------------------------------------------------------- *)
+(* Property tests                                                   *)
+(* --------------------------------------------------------------- *)
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let properties =
+  [
+    prop "string roundtrip" 300 arb_big (fun a -> B.equal a (B.of_string (B.to_string a)));
+    prop "add commutative" 300 (QCheck.pair arb_big arb_big) (fun (a, b) ->
+        B.equal (B.add a b) (B.add b a));
+    prop "mul commutative" 200 (QCheck.pair arb_big arb_big) (fun (a, b) ->
+        B.equal (B.mul a b) (B.mul b a));
+    prop "add associative" 200
+      (QCheck.triple arb_big arb_big arb_big)
+      (fun (a, b, c) -> B.equal (B.add (B.add a b) c) (B.add a (B.add b c)));
+    prop "mul associative" 100
+      (QCheck.triple arb_big arb_big arb_big)
+      (fun (a, b, c) -> B.equal (B.mul (B.mul a b) c) (B.mul a (B.mul b c)));
+    prop "distributivity" 150
+      (QCheck.triple arb_big arb_big arb_big)
+      (fun (a, b, c) -> B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)));
+    prop "sub inverse of add" 300 (QCheck.pair arb_big arb_big) (fun (a, b) ->
+        B.equal a (B.sub (B.add a b) b));
+    prop "neg involution" 300 arb_big (fun a -> B.equal a (B.neg (B.neg a)));
+    prop "divmod reconstruction" 300 (QCheck.pair arb_big arb_big) (fun (a, b) ->
+        QCheck.assume (not (B.is_zero b));
+        let q, r = B.divmod a b in
+        B.equal a (B.add (B.mul q b) r) && B.compare (B.abs r) (B.abs b) < 0);
+    prop "remainder sign matches dividend" 300 (QCheck.pair arb_big arb_big) (fun (a, b) ->
+        QCheck.assume (not (B.is_zero b));
+        let _, r = B.divmod a b in
+        B.is_zero r || B.sign r = B.sign a);
+    prop "karatsuba agrees with schoolbook sizes" 40
+      (QCheck.pair arb_big arb_big)
+      (fun (a, b) ->
+        (* Force large operands by raising to a power; compares the
+           Karatsuba path against the identity (a*b)^2 = a^2*b^2 whose
+           factors mix both code paths. *)
+        let big_a = B.mul a a and big_b = B.mul b b in
+        let lhs = B.mul (B.mul big_a big_b) (B.mul big_a big_b) in
+        let rhs = B.mul (B.mul big_a big_a) (B.mul big_b big_b) in
+        B.equal lhs rhs);
+    prop "gcd divides both" 200 (QCheck.pair arb_big arb_big) (fun (a, b) ->
+        QCheck.assume (not (B.is_zero a) || not (B.is_zero b));
+        let g = B.gcd a b in
+        B.is_zero (B.rem a g) && B.is_zero (B.rem b g));
+    prop "gcd is nonnegative" 200 (QCheck.pair arb_big arb_big) (fun (a, b) ->
+        B.sign (B.gcd a b) >= 0);
+    prop "compare antisymmetric" 300 (QCheck.pair arb_big arb_big) (fun (a, b) ->
+        B.compare a b = -B.compare b a);
+    prop "int roundtrip" 500 arb_small (fun n -> B.to_int (B.of_int n) = Some n);
+    prop "add matches int" 500 (QCheck.pair arb_small arb_small) (fun (a, b) ->
+        B.equal (B.of_int (a + b)) (B.add (B.of_int a) (B.of_int b)));
+    prop "mul matches int" 500 (QCheck.pair arb_small arb_small) (fun (a, b) ->
+        B.equal (B.of_int (a * b)) (B.mul (B.of_int a) (B.of_int b)));
+    prop "shift_left is mul by 2^k" 200
+      (QCheck.pair arb_big QCheck.(int_bound 80))
+      (fun (a, k) -> B.equal (B.shift_left a k) (B.mul a (B.pow B.two k)));
+    prop "succ/pred" 300 arb_big (fun a -> B.equal a (B.pred (B.succ a)));
+    prop "hash respects equality" 300 arb_big (fun a ->
+        B.hash a = B.hash (B.of_string (B.to_string a)));
+  ]
+
+let () =
+  Alcotest.run "bigint"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "small arithmetic vs int" `Quick test_small_arith;
+          Alcotest.test_case "small gcd vs int" `Quick test_small_gcd;
+          Alcotest.test_case "euclidean division" `Quick test_ediv_small;
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "min_int" `Quick test_min_int;
+          Alcotest.test_case "max_int" `Quick test_max_int;
+          Alcotest.test_case "to_int overflow" `Quick test_to_int_overflow;
+        ] );
+      ( "strings",
+        [
+          Alcotest.test_case "known strings" `Quick test_known_strings;
+          Alcotest.test_case "parse forms" `Quick test_parse_forms;
+          Alcotest.test_case "known big product" `Quick test_known_mul;
+        ] );
+      ( "operations",
+        [
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "num_bits" `Quick test_num_bits;
+          Alcotest.test_case "num_digits" `Quick test_num_digits;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+          Alcotest.test_case "to_float" `Quick test_to_float;
+        ] );
+      ("properties", properties);
+    ]

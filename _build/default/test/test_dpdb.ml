@@ -1,0 +1,249 @@
+(* Tests for the database substrate: schemas, predicates, the row
+   store, count queries, neighbor relation, and — the fact the whole
+   privacy theory rests on — unit sensitivity of count queries. *)
+
+module V = Dpdb.Value
+module Sc = Dpdb.Schema
+module P = Dpdb.Predicate
+module Db = Dpdb.Database
+module Q = Dpdb.Count_query
+module G = Dpdb.Generator
+
+let schema = Sc.make [ ("name", V.Ttext); ("age", V.Tint); ("sick", V.Tbool) ]
+
+let row name age sick = [| V.Text name; V.Int age; V.Bool sick |]
+
+let sample_db =
+  Db.of_rows schema
+    [ row "ann" 34 true; row "bob" 17 false; row "carol" 52 true; row "dan" 41 false ]
+
+(* --------------------------------------------------------------- *)
+(* Values and schemas                                               *)
+(* --------------------------------------------------------------- *)
+
+let test_value_equal () =
+  Alcotest.(check bool) "int eq" true (V.equal (V.Int 3) (V.Int 3));
+  Alcotest.(check bool) "int neq" false (V.equal (V.Int 3) (V.Int 4));
+  Alcotest.(check bool) "cross-type neq" false (V.equal (V.Int 1) (V.Bool true));
+  Alcotest.(check bool) "text eq" true (V.equal (V.Text "x") (V.Text "x"))
+
+let test_value_compare () =
+  Alcotest.(check bool) "int order" true (V.compare (V.Int 1) (V.Int 2) < 0);
+  Alcotest.(check bool) "text order" true (V.compare (V.Text "a") (V.Text "b") < 0);
+  Alcotest.(check bool) "bool order" true (V.compare (V.Bool false) (V.Bool true) < 0)
+
+let test_schema () =
+  Alcotest.(check int) "arity" 3 (Sc.arity schema);
+  Alcotest.(check int) "index" 1 (Sc.column_index schema "age");
+  Alcotest.(check bool) "type" true (Sc.column_type schema "sick" = V.Tbool);
+  Alcotest.check_raises "unknown column" (Invalid_argument "Schema: unknown column xyz")
+    (fun () -> ignore (Sc.column_index schema "xyz"));
+  Alcotest.check_raises "duplicate" (Invalid_argument "Schema.make: duplicate column a")
+    (fun () -> ignore (Sc.make [ ("a", V.Tint); ("a", V.Tbool) ]))
+
+let test_schema_validate_row () =
+  Alcotest.(check bool) "valid" true (Sc.validate_row schema (row "x" 1 true));
+  Alcotest.(check bool) "wrong arity" false (Sc.validate_row schema [| V.Int 1 |]);
+  Alcotest.(check bool) "wrong type" false
+    (Sc.validate_row schema [| V.Int 1; V.Int 2; V.Bool true |])
+
+(* --------------------------------------------------------------- *)
+(* Predicates                                                       *)
+(* --------------------------------------------------------------- *)
+
+let eval p r = P.eval schema r p
+
+let test_predicates () =
+  let r = row "ann" 34 true in
+  Alcotest.(check bool) "true" true (eval P.True r);
+  Alcotest.(check bool) "false" false (eval P.False r);
+  Alcotest.(check bool) "eq" true (eval (P.Eq ("age", V.Int 34)) r);
+  Alcotest.(check bool) "lt" true (eval (P.Lt ("age", V.Int 35)) r);
+  Alcotest.(check bool) "le edge" true (eval (P.Le ("age", V.Int 34)) r);
+  Alcotest.(check bool) "gt" false (eval (P.Gt ("age", V.Int 34)) r);
+  Alcotest.(check bool) "ge edge" true (eval (P.Ge ("age", V.Int 34)) r);
+  Alcotest.(check bool) "in" true (eval (P.In ("name", [ V.Text "zoe"; V.Text "ann" ])) r);
+  Alcotest.(check bool) "not" false (eval (P.Not P.True) r);
+  Alcotest.(check bool) "and" true (eval P.(Eq ("sick", V.Bool true) &&& Ge ("age", V.Int 18)) r);
+  Alcotest.(check bool) "or" true (eval P.(False ||| Eq ("age", V.Int 34)) r)
+
+let test_predicate_to_string () =
+  Alcotest.(check string) "render" "(age >= 18 and sick = true)"
+    (P.to_string P.(Ge ("age", V.Int 18) &&& Eq ("sick", V.Bool true)))
+
+(* --------------------------------------------------------------- *)
+(* Database                                                         *)
+(* --------------------------------------------------------------- *)
+
+let test_db_size_and_rows () =
+  Alcotest.(check int) "size" 4 (Db.size sample_db);
+  Alcotest.(check int) "rows list" 4 (List.length (Db.rows sample_db));
+  Alcotest.(check bool) "row copy isolated" true
+    (let r = Db.row sample_db 0 in
+     r.(1) <- V.Int 99;
+     Db.row sample_db 0 <> r)
+
+let test_db_insert_remove_replace () =
+  let bigger = Db.insert sample_db (row "eve" 29 true) in
+  Alcotest.(check int) "insert grows" 5 (Db.size bigger);
+  Alcotest.(check int) "original untouched" 4 (Db.size sample_db);
+  let smaller = Db.remove sample_db 1 in
+  Alcotest.(check int) "remove shrinks" 3 (Db.size smaller);
+  let replaced = Db.replace sample_db 0 (row "ann" 34 false) in
+  Alcotest.(check bool) "replace neighbors" true (Db.are_neighbors sample_db replaced);
+  Alcotest.check_raises "bad insert"
+    (Invalid_argument "Database.insert: row does not match schema") (fun () ->
+      ignore (Db.insert sample_db [| V.Int 1 |]))
+
+let test_neighbors () =
+  Alcotest.(check bool) "self neighbor" true (Db.are_neighbors sample_db sample_db);
+  let one = Db.replace sample_db 2 (row "carol" 52 false) in
+  Alcotest.(check bool) "one change" true (Db.are_neighbors sample_db one);
+  let two = Db.replace one 0 (row "ann" 35 true) in
+  Alcotest.(check bool) "two changes" false (Db.are_neighbors sample_db two);
+  let diff_size = Db.insert sample_db (row "x" 1 true) in
+  Alcotest.(check bool) "size mismatch" false (Db.are_neighbors sample_db diff_size)
+
+let test_count_and_select () =
+  let sick = P.Eq ("sick", V.Bool true) in
+  Alcotest.(check int) "count" 2 (Db.count sample_db sick);
+  Alcotest.(check int) "select" 2 (List.length (Db.select sample_db sick));
+  Alcotest.(check int) "count true" 4 (Db.count sample_db P.True);
+  Alcotest.(check int) "count false" 0 (Db.count sample_db P.False)
+
+(* --------------------------------------------------------------- *)
+(* Count queries and sensitivity                                    *)
+(* --------------------------------------------------------------- *)
+
+let test_query_eval () =
+  let q = Q.make P.(Eq ("sick", V.Bool true) &&& Ge ("age", V.Int 18)) in
+  Alcotest.(check int) "adult sick" 2 (Q.eval q sample_db);
+  Alcotest.(check int) "range max" 4 (Q.range_max q sample_db)
+
+(* The key structural fact (Definition 2 hinges on it): replacing one
+   row changes any count query by at most 1. *)
+let test_unit_sensitivity () =
+  let q = Q.make P.(Eq ("sick", V.Bool true) &&& Ge ("age", V.Int 18)) in
+  let candidates =
+    [ row "swap" 10 true; row "swap" 10 false; row "swap" 99 true; row "swap" 99 false ]
+  in
+  let bound = Q.sensitivity_bound q sample_db ~candidates in
+  Alcotest.(check bool) "sensitivity <= 1" true (bound <= 1)
+
+let test_unit_sensitivity_randomized () =
+  let rng = Prob.Rng.of_int 2024 in
+  for _ = 1 to 20 do
+    let db = G.population rng 30 in
+    let base = Q.eval G.flu_query db in
+    (* replace a random row with a random fresh row *)
+    for _ = 1 to 20 do
+      let i = Prob.Rng.int rng (Db.size db) in
+      let fresh = G.random_row rng ~flu_rate:0.5 ~drug_rate_given_flu:0.5 999 in
+      let altered = Db.replace db i fresh in
+      let delta = abs (Q.eval G.flu_query altered - base) in
+      if delta > 1 then Alcotest.failf "sensitivity violated: %d" delta
+    done
+  done
+
+(* --------------------------------------------------------------- *)
+(* Generator                                                        *)
+(* --------------------------------------------------------------- *)
+
+let test_generator_population () =
+  let rng = Prob.Rng.of_int 7 in
+  let db = G.population rng 100 in
+  Alcotest.(check int) "size" 100 (Db.size db);
+  let flu = Q.eval G.flu_anywhere db in
+  Alcotest.(check bool) "flu in range" true (flu >= 0 && flu <= 100)
+
+let test_generator_with_count () =
+  let rng = Prob.Rng.of_int 8 in
+  List.iter
+    (fun c ->
+      let db = G.population_with_count rng ~n:25 ~count:c in
+      Alcotest.(check int) (Printf.sprintf "count %d" c) c (Q.eval G.flu_anywhere db))
+    [ 0; 1; 12; 25 ];
+  Alcotest.check_raises "count too large"
+    (Invalid_argument "Generator.population_with_count") (fun () ->
+      ignore (G.population_with_count rng ~n:5 ~count:6))
+
+let test_drug_implies_flu () =
+  (* Structural invariant of the generator: drug buyers all have flu,
+     making the drug count a valid lower bound (the paper's side-
+     information example). *)
+  let rng = Prob.Rng.of_int 10 in
+  for _ = 1 to 10 do
+    let db = G.population rng 60 ~flu_rate:0.4 ~drug_rate_given_flu:0.7 in
+    let drug = Q.eval G.drug_query db and flu = Q.eval G.flu_anywhere db in
+    Alcotest.(check bool) "drug <= flu" true (drug <= flu)
+  done
+
+(* --------------------------------------------------------------- *)
+(* Property tests                                                   *)
+(* --------------------------------------------------------------- *)
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let properties =
+  [
+    prop "count complement sums to size" 50 QCheck.(int_range 0 50) (fun n ->
+        let rng = Prob.Rng.of_int n in
+        let db = G.population rng n in
+        let sick = P.Eq ("has_flu", V.Bool true) in
+        Db.count db sick + Db.count db (P.Not sick) = n);
+    prop "count monotone under OR" 50 QCheck.(int_range 1 40) (fun n ->
+        let rng = Prob.Rng.of_int (n * 3) in
+        let db = G.population rng n in
+        let a = P.Eq ("has_flu", V.Bool true) in
+        let b = P.Ge ("age", V.Int 50) in
+        Db.count db (P.Or (a, b)) >= max (Db.count db a) (Db.count db b));
+    prop "inclusion-exclusion" 50 QCheck.(int_range 1 40) (fun n ->
+        let rng = Prob.Rng.of_int (n * 5) in
+        let db = G.population rng n in
+        let a = P.Eq ("has_flu", V.Bool true) in
+        let b = P.Ge ("age", V.Int 40) in
+        Db.count db (P.Or (a, b)) + Db.count db (P.And (a, b)) = Db.count db a + Db.count db b);
+    prop "neighbor relation symmetric" 30 QCheck.(int_range 1 20) (fun n ->
+        let rng = Prob.Rng.of_int (n * 7) in
+        let db = G.population rng n in
+        let i = Prob.Rng.int rng n in
+        let altered = Db.replace db i (G.random_row rng ~flu_rate:0.3 ~drug_rate_given_flu:0.3 0) in
+        Db.are_neighbors db altered = Db.are_neighbors altered db);
+  ]
+
+let () =
+  Alcotest.run "dpdb"
+    [
+      ( "values-schemas",
+        [
+          Alcotest.test_case "value equality" `Quick test_value_equal;
+          Alcotest.test_case "value compare" `Quick test_value_compare;
+          Alcotest.test_case "schema" `Quick test_schema;
+          Alcotest.test_case "row validation" `Quick test_schema_validate_row;
+        ] );
+      ( "predicates",
+        [
+          Alcotest.test_case "evaluation" `Quick test_predicates;
+          Alcotest.test_case "rendering" `Quick test_predicate_to_string;
+        ] );
+      ( "database",
+        [
+          Alcotest.test_case "size and rows" `Quick test_db_size_and_rows;
+          Alcotest.test_case "insert/remove/replace" `Quick test_db_insert_remove_replace;
+          Alcotest.test_case "neighbors" `Quick test_neighbors;
+          Alcotest.test_case "count and select" `Quick test_count_and_select;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "evaluation" `Quick test_query_eval;
+          Alcotest.test_case "unit sensitivity" `Quick test_unit_sensitivity;
+          Alcotest.test_case "unit sensitivity randomized" `Quick test_unit_sensitivity_randomized;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "population" `Quick test_generator_population;
+          Alcotest.test_case "fixed count" `Quick test_generator_with_count;
+          Alcotest.test_case "drug implies flu" `Quick test_drug_implies_flu;
+        ] );
+      ("properties", properties);
+    ]

@@ -1,0 +1,240 @@
+(* Golden regression tests: exact rational values computed by this
+   stack and cross-checked by hand or against independent closed forms.
+   Any change to the LP solver, the geometric construction, or the
+   rational layer that perturbs these values fails loudly. *)
+
+module M = Mech.Mechanism
+module Geo = Mech.Geometric
+module L = Minimax.Loss
+module Si = Minimax.Side_info
+module C = Minimax.Consumer
+module Om = Minimax.Optimal_mechanism
+
+let q = Rat.of_ints
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let consumer ~n ~loss ~si =
+  ignore n;
+  C.make ~loss ~side_info:si ()
+
+let check_loss name ~n ~alpha ~loss ~si expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let c = consumer ~n ~loss ~si in
+      let r = Om.solve ~alpha c in
+      Alcotest.check rat name expected r.Om.loss;
+      (* the fast path must agree *)
+      let f = Om.solve_via_interaction ~alpha c in
+      Alcotest.check rat (name ^ " (fast)") expected f.Om.loss)
+
+(* --------------------------------------------------------------- *)
+(* Golden optimal losses (exact LP vertices)                        *)
+(* --------------------------------------------------------------- *)
+
+let golden_losses =
+  [
+    (* The paper's Table-1 consumer at the two α values discussed. *)
+    check_loss "table1 α=1/4" ~n:3 ~alpha:(q 1 4) ~loss:L.absolute ~si:(Si.full 3) (q 168 415);
+    check_loss "table1 α=1/2" ~n:3 ~alpha:(q 1 2) ~loss:L.absolute ~si:(Si.full 3) (q 28 39);
+    (* Squared loss, same consumer shape. *)
+    check_loss "squared n=3 α=1/2" ~n:3 ~alpha:(q 1 2) ~loss:L.squared ~si:(Si.full 3) (q 5 4);
+    (* Zero-one loss: at α the best hit probability known in closed
+       form for small n — value via exact LP. *)
+    check_loss "zero-one n=3 α=1/2" ~n:3 ~alpha:(q 1 2) ~loss:L.zero_one ~si:(Si.full 3) (q 5 9);
+    (* Larger instances pin down solver behaviour across sizes. *)
+    check_loss "absolute n=5 α=1/2" ~n:5 ~alpha:(q 1 2) ~loss:L.absolute ~si:(Si.full 5) (q 212 231);
+    check_loss "absolute n=7 α=1/2" ~n:7 ~alpha:(q 1 2) ~loss:L.absolute ~si:(Si.full 7) (q 1348 1299);
+    (* Side information variants. *)
+    check_loss "lower bound n=3 α=1/2" ~n:3 ~alpha:(q 1 2) ~loss:L.absolute ~si:(Si.at_least ~n:3 2)
+      (q 1 3);
+    check_loss "interval n=4 α=1/3" ~n:4 ~alpha:(q 1 3) ~loss:L.absolute ~si:(Si.interval ~n:4 1 3)
+      (q 3 7);
+  ]
+
+(* --------------------------------------------------------------- *)
+(* Golden matrices                                                  *)
+(* --------------------------------------------------------------- *)
+
+let test_golden_geometric_matrix () =
+  (* G(3,1/2), every entry. *)
+  let g = Geo.matrix ~n:3 ~alpha:(q 1 2) in
+  let expected =
+    [
+      [ q 2 3; q 1 6; q 1 12; q 1 12 ];
+      [ q 1 3; q 1 3; q 1 6; q 1 6 ];
+      [ q 1 6; q 1 6; q 1 3; q 1 3 ];
+      [ q 1 12; q 1 12; q 1 6; q 2 3 ];
+    ]
+  in
+  List.iteri
+    (fun i row ->
+      List.iteri
+        (fun r v ->
+          Alcotest.check rat (Printf.sprintf "G(3,1/2)[%d][%d]" i r) v (M.prob g ~input:i ~output:r))
+        row)
+    expected
+
+let test_golden_table1_mechanism () =
+  (* The exact Table-1(a) optimal mechanism at α = 1/4 (structured). *)
+  let c = consumer ~n:3 ~loss:L.absolute ~si:(Si.full 3) in
+  let r = Om.solve_structured ~alpha:(q 1 4) c in
+  let expected =
+    [
+      [ q 272 415; q 489 1660; q 33 830; q 17 1660 ];
+      [ q 68 415; q 264 415; q 66 415; q 17 415 ];
+      [ q 17 415; q 66 415; q 264 415; q 68 415 ];
+      [ q 17 1660; q 33 830; q 489 1660; q 272 415 ];
+    ]
+  in
+  List.iteri
+    (fun i row ->
+      List.iteri
+        (fun out v ->
+          Alcotest.check rat
+            (Printf.sprintf "optimal[%d][%d]" i out)
+            v
+            (M.prob r.Om.mechanism ~input:i ~output:out))
+        row)
+    expected
+
+let test_golden_interaction () =
+  (* The exact Table-1(c) interaction at α = 1/4. *)
+  let c = consumer ~n:3 ~loss:L.absolute ~si:(Si.full 3) in
+  let cmp = Minimax.Universal.compare_for ~alpha:(q 1 4) c in
+  let t = cmp.Minimax.Universal.interaction in
+  Alcotest.check rat "T[0][0]" (q 68 83) t.(0).(0);
+  Alcotest.check rat "T[0][1]" (q 15 83) t.(0).(1);
+  Alcotest.check rat "T[1][1]" Rat.one t.(1).(1);
+  Alcotest.check rat "T[2][2]" Rat.one t.(2).(2);
+  Alcotest.check rat "T[3][2]" (q 15 83) t.(3).(2);
+  Alcotest.check rat "T[3][3]" (q 68 83) t.(3).(3)
+
+let test_golden_transition () =
+  (* T_{1/4,1/2} at n=2: the Lemma-3 factor, entry by entry via the
+     independent linear-algebra path (G⁻¹ computed by Gauss-Jordan). *)
+  let t = Minimax.Multi_level.transition ~n:2 ~alpha:(q 1 4) ~beta:(q 1 2) in
+  let g_strong = M.matrix (Geo.matrix ~n:2 ~alpha:(q 1 4)) in
+  let g_weak = M.matrix (Geo.matrix ~n:2 ~alpha:(q 1 2)) in
+  let product = Linalg.Matrix.Q.mul g_strong t in
+  Alcotest.(check bool) "product recovers G(2,1/2)" true (Linalg.Matrix.Q.equal product g_weak);
+  (* and the row sums are exactly 1 *)
+  Array.iter
+    (fun row -> Alcotest.check rat "row sum" Rat.one (Array.fold_left Rat.add Rat.zero row))
+    t
+
+(* --------------------------------------------------------------- *)
+(* Row-weighted (weighted-worst-case) consumers                     *)
+(* --------------------------------------------------------------- *)
+
+let test_row_weighted_is_valid_loss () =
+  let weights = [| Rat.one; q 3 1; q 1 2; Rat.two |] in
+  let loss = L.row_weighted ~weights L.absolute in
+  Alcotest.(check bool) "monotone" true (L.is_monotone loss ~n:3);
+  Alcotest.check rat "weighted value" (q 6 1) (L.eval loss 1 3)
+  (* 3 * |1-3| = 6 *)
+
+let test_row_weighted_universality () =
+  (* Weighted-worst-case consumers are minimax consumers; Theorem 1
+     must hold for them too. *)
+  let weights = [| Rat.one; q 5 2; q 1 3; Rat.two |] in
+  let loss = L.row_weighted ~weights L.absolute in
+  let c = consumer ~n:3 ~loss ~si:(Si.full 3) in
+  List.iter
+    (fun alpha ->
+      let cmp = Minimax.Universal.compare_for ~alpha c in
+      Alcotest.(check bool)
+        (Printf.sprintf "α=%s" (Rat.to_string alpha))
+        true
+        (Minimax.Universal.universality_holds cmp))
+    [ q 1 4; q 1 2 ]
+
+(* --------------------------------------------------------------- *)
+(* Least-favorable priors (the minimax theorem via LP duals)        *)
+(* --------------------------------------------------------------- *)
+
+let test_least_favorable_prior_golden () =
+  (* Exact LFP for the Table-1 consumer at α = 1/2. *)
+  let c = consumer ~n:3 ~loss:L.absolute ~si:(Si.full 3) in
+  match Om.least_favorable_prior ~alpha:(q 1 2) c with
+  | None -> Alcotest.fail "nondegenerate"
+  | Some (prior, loss) ->
+    Alcotest.check rat "loss" (q 28 39) loss;
+    Alcotest.check rat "prior[0]" (q 8 39) prior.(0);
+    Alcotest.check rat "prior[1]" (q 2 13) prior.(1);
+    Alcotest.check rat "prior[2]" (q 5 13) prior.(2);
+    Alcotest.check rat "prior[3]" (q 10 39) prior.(3);
+    Alcotest.check rat "normalized" Rat.one (Array.fold_left Rat.add Rat.zero prior)
+
+let test_minimax_theorem () =
+  (* Under the least-favorable prior, the best Bayesian mechanism does
+     exactly as well as the minimax optimum — for a battery of
+     consumers, as exact rationals. *)
+  List.iter
+    (fun (n, alpha, loss, si) ->
+      let c = consumer ~n ~loss ~si in
+      match Om.least_favorable_prior ~alpha c with
+      | None -> Alcotest.fail "nondegenerate"
+      | Some (prior, minimax_loss) ->
+        (* prior is supported inside the side information *)
+        List.iter
+          (fun i ->
+            if not (Si.mem si i) then
+              Alcotest.check rat (Printf.sprintf "off-support %d" i) Rat.zero prior.(i))
+          (List.init (n + 1) Fun.id);
+        let b = Minimax.Bayesian.make ~prior ~loss () in
+        let _, bayes_loss = Minimax.Bayesian.optimal_mechanism ~alpha b ~n in
+        Alcotest.check rat
+          (Printf.sprintf "%s n=%d α=%s" (L.name loss) n (Rat.to_string alpha))
+          minimax_loss bayes_loss)
+    [
+      (3, q 1 2, L.absolute, Si.full 3);
+      (3, q 1 4, L.absolute, Si.full 3);
+      (3, q 1 2, L.zero_one, Si.full 3);
+      (4, q 1 2, L.squared, Si.at_least ~n:4 2);
+      (4, q 1 3, L.absolute, Si.interval ~n:4 1 3);
+    ]
+
+let test_bayes_never_beats_minimax_under_any_prior () =
+  (* The LFP is the adversary's best: under any other prior supported
+     on S, the Bayesian optimum is at most the minimax loss. *)
+  let n = 3 and alpha = q 1 2 in
+  let c = consumer ~n ~loss:L.absolute ~si:(Si.full 3) in
+  let minimax_loss = (Om.solve ~alpha c).Om.loss in
+  List.iter
+    (fun prior ->
+      let b = Minimax.Bayesian.make ~prior ~loss:L.absolute () in
+      let _, bayes_loss = Minimax.Bayesian.optimal_mechanism ~alpha b ~n in
+      Alcotest.(check bool) "bayes <= minimax" true (Rat.compare bayes_loss minimax_loss <= 0))
+    [
+      Minimax.Bayesian.uniform_prior n;
+      Minimax.Bayesian.peaked_prior ~n ~peak:0 ~decay:(q 1 3);
+      Minimax.Bayesian.peaked_prior ~n ~peak:2 ~decay:(q 1 2);
+    ]
+
+let test_row_weighted_rejects_bad_weights () =
+  Alcotest.check_raises "zero weight" (Invalid_argument "Loss.row_weighted: weights must be positive")
+    (fun () -> ignore (L.row_weighted ~weights:[| Rat.zero |] L.absolute))
+
+let () =
+  Alcotest.run "golden"
+    [
+      ("optimal-losses", golden_losses);
+      ( "matrices",
+        [
+          Alcotest.test_case "G(3,1/2)" `Quick test_golden_geometric_matrix;
+          Alcotest.test_case "Table 1(a)" `Quick test_golden_table1_mechanism;
+          Alcotest.test_case "Table 1(c)" `Quick test_golden_interaction;
+          Alcotest.test_case "Lemma 3 transition" `Quick test_golden_transition;
+        ] );
+      ( "minimax-theorem",
+        [
+          Alcotest.test_case "golden LFP" `Quick test_least_favorable_prior_golden;
+          Alcotest.test_case "Bayes(LFP) = minimax" `Quick test_minimax_theorem;
+          Alcotest.test_case "no prior beats LFP" `Quick test_bayes_never_beats_minimax_under_any_prior;
+        ] );
+      ( "row-weighted",
+        [
+          Alcotest.test_case "valid loss" `Quick test_row_weighted_is_valid_loss;
+          Alcotest.test_case "universality" `Quick test_row_weighted_universality;
+          Alcotest.test_case "validation" `Quick test_row_weighted_rejects_bad_weights;
+        ] );
+    ]

@@ -1,0 +1,259 @@
+(* Tests for consumer-side inference (posteriors, credible sets) and
+   the new numeric helpers (isqrt, lcm, rational approximation). *)
+
+module Inf = Minimax.Inference
+module Geo = Mech.Geometric
+module M = Mech.Mechanism
+module B = Bigint
+
+let q = Rat.of_ints
+let rat = Alcotest.testable Rat.pp Rat.equal
+let bigint = Alcotest.testable B.pp B.equal
+
+(* --------------------------------------------------------------- *)
+(* Bigint number theory                                             *)
+(* --------------------------------------------------------------- *)
+
+let test_isqrt_small () =
+  for x = 0 to 1000 do
+    let r = B.to_int_exn (B.isqrt (B.of_int x)) in
+    if not (r * r <= x && (r + 1) * (r + 1) > x) then Alcotest.failf "isqrt %d = %d" x r
+  done
+
+let test_isqrt_big () =
+  let big = B.of_string "123456789012345678901234567890" in
+  let r = B.isqrt (B.mul big big) in
+  Alcotest.check bigint "perfect square" big r;
+  let r2 = B.isqrt (B.pred (B.mul big big)) in
+  Alcotest.check bigint "one less" (B.pred big) r2;
+  Alcotest.check_raises "negative" (Invalid_argument "Bigint.isqrt: negative input") (fun () ->
+      ignore (B.isqrt (B.of_int (-1))))
+
+let test_sqrt_exact () =
+  Alcotest.(check (option bigint)) "square" (Some (B.of_int 12)) (B.sqrt_exact (B.of_int 144));
+  Alcotest.(check (option bigint)) "non-square" None (B.sqrt_exact (B.of_int 145));
+  Alcotest.(check (option bigint)) "zero" (Some B.zero) (B.sqrt_exact B.zero);
+  Alcotest.(check (option bigint)) "negative" None (B.sqrt_exact (B.of_int (-4)))
+
+let test_lcm () =
+  Alcotest.check bigint "4,6" (B.of_int 12) (B.lcm (B.of_int 4) (B.of_int 6));
+  Alcotest.check bigint "zero" B.zero (B.lcm B.zero (B.of_int 5));
+  Alcotest.check bigint "negative operands" (B.of_int 12) (B.lcm (B.of_int (-4)) (B.of_int 6))
+
+let test_int64 () =
+  Alcotest.(check (option int64)) "roundtrip" (Some 123456789L) (B.to_int64 (B.of_int64 123456789L));
+  Alcotest.(check (option int64)) "min_int64" (Some Int64.min_int) (B.to_int64 (B.of_int64 Int64.min_int));
+  Alcotest.(check (option int64)) "max_int64" (Some Int64.max_int) (B.to_int64 (B.of_int64 Int64.max_int));
+  Alcotest.(check (option int64)) "overflow" None (B.to_int64 (B.pow B.two 80))
+
+(* --------------------------------------------------------------- *)
+(* Rational approximation                                           *)
+(* --------------------------------------------------------------- *)
+
+let test_approximate_pi () =
+  (* classic: best approximations of pi *)
+  let pi = Rat.of_string "3.14159265358979" in
+  Alcotest.check rat "den<=10" (q 22 7) (Rat.approximate ~max_den:(B.of_int 10) pi);
+  Alcotest.check rat "den<=200" (q 355 113) (Rat.approximate ~max_den:(B.of_int 200) pi)
+
+let test_approximate_exact_when_small () =
+  Alcotest.check rat "already small" (q 3 7) (Rat.approximate ~max_den:(B.of_int 10) (q 3 7))
+
+let test_approximate_negative () =
+  let x = Rat.of_string "-3.14159265358979" in
+  Alcotest.check rat "negative" (q (-22) 7) (Rat.approximate ~max_den:(B.of_int 10) x)
+
+let test_approximate_validation () =
+  Alcotest.check_raises "max_den 0" (Invalid_argument "Rat.approximate: max_den must be >= 1")
+    (fun () -> ignore (Rat.approximate ~max_den:B.zero Rat.one))
+
+let test_rat_sqrt_exact () =
+  Alcotest.(check (option rat)) "1/4" (Some (q 1 2)) (Rat.sqrt_exact (q 1 4));
+  Alcotest.(check (option rat)) "9/16" (Some (q 3 4)) (Rat.sqrt_exact (q 9 16));
+  Alcotest.(check (option rat)) "1/2" None (Rat.sqrt_exact (q 1 2));
+  Alcotest.(check (option rat)) "negative" None (Rat.sqrt_exact (q (-1) 4))
+
+let prop_approximate_is_best =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"approximation beats every small-denominator rival" ~count:60
+       (QCheck.pair
+          (QCheck.make ~print:Rat.to_string
+             QCheck.Gen.(map2 (fun a b -> Rat.of_ints a b) (int_range 1 100000) (int_range 1 100000)))
+          QCheck.(int_range 2 40))
+       (fun (x, max_den) ->
+         let approx = Rat.approximate ~max_den:(B.of_int max_den) x in
+         let d_approx = Rat.abs (Rat.sub x approx) in
+         (* exhaustive rival check over all denominators <= max_den *)
+         let ok = ref (B.compare (Rat.den approx) (B.of_int max_den) <= 0) in
+         for den = 1 to max_den do
+           (* best numerator for this denominator *)
+           let num = Rat.round (Rat.mul_int x den) in
+           let rival = Rat.make num (B.of_int den) in
+           if Rat.compare (Rat.abs (Rat.sub x rival)) d_approx < 0 then ok := false
+         done;
+         !ok))
+
+(* --------------------------------------------------------------- *)
+(* Inference                                                        *)
+(* --------------------------------------------------------------- *)
+
+let g4 = Geo.matrix ~n:4 ~alpha:(q 1 2)
+
+let test_posterior_sums_to_one () =
+  for r = 0 to 4 do
+    match Inf.posterior ~deployed:g4 ~observed:r () with
+    | None -> Alcotest.fail "geometric gives every output positive mass"
+    | Some p -> Alcotest.check rat "sum" Rat.one (Array.fold_left Rat.add Rat.zero p)
+  done
+
+let test_posterior_identity_mechanism () =
+  (* Identity mechanism: the observation pins the posterior. *)
+  let id = M.identity 4 in
+  match Inf.posterior ~deployed:id ~observed:2 () with
+  | None -> Alcotest.fail "possible"
+  | Some p ->
+    Alcotest.check rat "certain" Rat.one p.(2);
+    Alcotest.check rat "elsewhere" Rat.zero p.(0)
+
+let test_posterior_prior_matters () =
+  let skewed = [| q 9 10; q 1 40; q 1 40; q 1 40; q 1 40 |] in
+  match
+    ( Inf.posterior ~deployed:g4 ~observed:4 (),
+      Inf.posterior ~prior:skewed ~deployed:g4 ~observed:4 () )
+  with
+  | Some unif, Some skew ->
+    Alcotest.(check bool) "skewed prior pulls toward 0" true (Rat.compare skew.(0) unif.(0) > 0)
+  | _ -> Alcotest.fail "both possible"
+
+let test_posterior_zero_probability_observation () =
+  (* A mechanism with a zero column: observing it is impossible. *)
+  let m =
+    M.of_rows
+      [ [ Rat.one; Rat.zero ]; [ Rat.one; Rat.zero ] ]
+  in
+  Alcotest.(check bool) "none" true (Inf.posterior ~deployed:m ~observed:1 () = None)
+
+let test_map_estimate () =
+  Alcotest.(check (option int)) "peak at observation" (Some 2)
+    (Inf.map_estimate ~deployed:g4 ~observed:2 ());
+  Alcotest.(check (option int)) "boundary" (Some 0) (Inf.map_estimate ~deployed:g4 ~observed:0 ())
+
+let test_posterior_mean_in_range () =
+  for r = 0 to 4 do
+    match Inf.posterior_mean ~deployed:g4 ~observed:r () with
+    | None -> Alcotest.fail "possible"
+    | Some m ->
+      Alcotest.(check bool) "in [0,4]" true
+        (Rat.sign m >= 0 && Rat.compare m (q 4 1) <= 0)
+  done
+
+let test_credible_set () =
+  match Inf.credible_set ~deployed:g4 ~observed:2 ~level:(q 9 10) () with
+  | None -> Alcotest.fail "possible"
+  | Some (members, mass) ->
+    Alcotest.(check bool) "contains MAP" true (List.mem 2 members);
+    Alcotest.(check bool) "mass >= level" true (Rat.compare mass (q 9 10) >= 0);
+    (* minimality: dropping the least-mass member falls below level *)
+    (match Inf.posterior ~deployed:g4 ~observed:2 () with
+     | None -> Alcotest.fail "possible"
+     | Some p ->
+       let smallest =
+         List.fold_left (fun acc i -> if Rat.compare p.(i) p.(acc) < 0 then i else acc)
+           (List.hd members) members
+       in
+       Alcotest.(check bool) "greedy-minimal" true
+         (Rat.compare (Rat.sub mass p.(smallest)) (q 9 10) < 0))
+
+let test_credible_set_levels () =
+  (* level 0 gives the empty set; level 1 gives (at most) everything. *)
+  (match Inf.credible_set ~deployed:g4 ~observed:1 ~level:Rat.zero () with
+   | Some ([], mass) -> Alcotest.check rat "empty mass" Rat.zero mass
+   | _ -> Alcotest.fail "level-0 set should be empty");
+  match Inf.credible_set ~deployed:g4 ~observed:1 ~level:Rat.one () with
+  | Some (members, mass) ->
+    Alcotest.(check int) "full support" 5 (List.length members);
+    Alcotest.check rat "full mass" Rat.one mass
+  | None -> Alcotest.fail "possible"
+
+let test_likelihood_set () =
+  (* ratio 1: only the maximizers; ratio 0: everything with any mass. *)
+  let only_max = Inf.likelihood_set ~deployed:g4 ~observed:0 ~ratio:Rat.one in
+  Alcotest.(check (list int)) "argmax" [ 0 ] only_max;
+  let everything = Inf.likelihood_set ~deployed:g4 ~observed:0 ~ratio:Rat.zero in
+  Alcotest.(check int) "all" 5 (List.length everything)
+
+let test_odds_bounded_for_dp () =
+  for r = 0 to 4 do
+    Alcotest.(check bool) "bounded" true
+      (Inf.posterior_odds_bounded ~alpha:(q 1 2) ~deployed:g4 ~observed:r ())
+  done;
+  (* and violated for a non-private mechanism *)
+  let id = M.identity 2 in
+  (* identity: posterior puts mass 1 on the observation; adjacent odds
+     are 0-or-infinite but the check skips zero entries, so craft a
+     near-deterministic DP-violating mechanism instead. *)
+  let leaky =
+    M.of_rows [ [ q 99 100; q 1 100 ]; [ q 1 100; q 99 100 ] ]
+  in
+  Alcotest.(check bool) "violated at 1/2" false
+    (Inf.posterior_odds_bounded ~alpha:(q 1 2) ~deployed:leaky ~observed:0 ());
+  ignore id
+
+let test_inference_validation () =
+  Alcotest.check_raises "bad observation"
+    (Invalid_argument "Inference.posterior: observation out of range") (fun () ->
+      ignore (Inf.posterior ~deployed:g4 ~observed:9 ()));
+  Alcotest.check_raises "bad level"
+    (Invalid_argument "Inference.credible_set: level must lie in [0,1]") (fun () ->
+      ignore (Inf.credible_set ~deployed:g4 ~observed:0 ~level:(q 3 2) ()))
+
+(* Consistency with Multi_level's posterior machinery. *)
+let test_matches_multilevel_single_observation () =
+  let n = 3 in
+  let levels = [ q 1 4; q 1 2 ] in
+  let plan = Minimax.Multi_level.make_plan ~n ~levels in
+  let g = Geo.matrix ~n ~alpha:(q 1 4) in
+  for r = 0 to n do
+    match
+      (Minimax.Multi_level.posterior plan ~observed:[ (0, r) ], Inf.posterior ~deployed:g ~observed:r ())
+    with
+    | Some a, Some b -> Array.iter2 (fun x y -> Alcotest.check rat "agree" x y) a b
+    | _ -> Alcotest.fail "both defined"
+  done
+
+let () =
+  Alcotest.run "inference"
+    [
+      ( "bigint-number-theory",
+        [
+          Alcotest.test_case "isqrt small" `Quick test_isqrt_small;
+          Alcotest.test_case "isqrt big" `Quick test_isqrt_big;
+          Alcotest.test_case "sqrt_exact" `Quick test_sqrt_exact;
+          Alcotest.test_case "lcm" `Quick test_lcm;
+          Alcotest.test_case "int64 bridge" `Quick test_int64;
+        ] );
+      ( "rat-approximation",
+        [
+          Alcotest.test_case "pi convergents" `Quick test_approximate_pi;
+          Alcotest.test_case "identity on small" `Quick test_approximate_exact_when_small;
+          Alcotest.test_case "negative" `Quick test_approximate_negative;
+          Alcotest.test_case "validation" `Quick test_approximate_validation;
+          Alcotest.test_case "rational sqrt" `Quick test_rat_sqrt_exact;
+          prop_approximate_is_best;
+        ] );
+      ( "inference",
+        [
+          Alcotest.test_case "posterior normalized" `Quick test_posterior_sums_to_one;
+          Alcotest.test_case "identity mechanism" `Quick test_posterior_identity_mechanism;
+          Alcotest.test_case "prior matters" `Quick test_posterior_prior_matters;
+          Alcotest.test_case "impossible observation" `Quick test_posterior_zero_probability_observation;
+          Alcotest.test_case "map estimate" `Quick test_map_estimate;
+          Alcotest.test_case "posterior mean range" `Quick test_posterior_mean_in_range;
+          Alcotest.test_case "credible set" `Quick test_credible_set;
+          Alcotest.test_case "credible set levels" `Quick test_credible_set_levels;
+          Alcotest.test_case "likelihood set" `Quick test_likelihood_set;
+          Alcotest.test_case "odds bounded iff DP" `Quick test_odds_bounded_for_dp;
+          Alcotest.test_case "validation" `Quick test_inference_validation;
+          Alcotest.test_case "matches multilevel" `Quick test_matches_multilevel_single_observation;
+        ] );
+    ]

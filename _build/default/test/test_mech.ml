@@ -1,0 +1,432 @@
+(* Tests for the mechanism library: stochastic validation, DP
+   verification, the geometric mechanism's defining properties
+   (Definitions 1/4, Lemma 1), the Theorem-2 derivability
+   characterization including the Appendix-B counterexample, baseline
+   mechanisms, and sampler/matrix consistency. *)
+
+module M = Mech.Mechanism
+module Geo = Mech.Geometric
+module B = Mech.Baselines
+module Der = Mech.Derivability
+module Qm = Linalg.Matrix.Q
+
+let q = Rat.of_ints
+let rat = Alcotest.testable Rat.pp Rat.equal
+let half = q 1 2
+
+(* --------------------------------------------------------------- *)
+(* Mechanism basics                                                 *)
+(* --------------------------------------------------------------- *)
+
+let test_make_validates () =
+  Alcotest.check_raises "bad row sum" (M.Not_stochastic "row 0 sums to 3/4") (fun () ->
+      ignore (M.of_rows [ [ q 1 4; q 1 2 ]; [ q 1 2; q 1 2 ] ]));
+  Alcotest.check_raises "negative" (M.Not_stochastic "negative mass at (0,1)") (fun () ->
+      ignore (M.of_rows [ [ q 3 2; q (-1) 2 ]; [ q 1 2; q 1 2 ] ]));
+  Alcotest.check_raises "not square" (M.Not_stochastic "matrix not square") (fun () ->
+      ignore (M.of_rows [ [ Rat.one ]; [ Rat.one ] ]))
+
+let test_identity_mechanism () =
+  let m = M.identity 3 in
+  Alcotest.(check int) "n" 3 (M.n m);
+  Alcotest.check rat "diag" Rat.one (M.prob m ~input:2 ~output:2);
+  Alcotest.check rat "off" Rat.zero (M.prob m ~input:2 ~output:1);
+  (* Identity is 0-DP only (no privacy). *)
+  Alcotest.check rat "privacy level" Rat.zero (M.privacy_level m)
+
+let test_compose () =
+  let g = Geo.matrix ~n:3 ~alpha:half in
+  let id = Array.init 4 (fun i -> Array.init 4 (fun j -> if i = j then Rat.one else Rat.zero)) in
+  Alcotest.(check bool) "compose with identity" true (M.equal g (M.compose g id));
+  (* Composing with the all-to-0 map yields a constant mechanism. *)
+  let to_zero = Array.init 4 (fun _ -> Array.init 4 (fun j -> if j = 0 then Rat.one else Rat.zero)) in
+  let c = M.compose g to_zero in
+  Alcotest.check rat "all mass at 0" Rat.one (M.prob c ~input:2 ~output:0);
+  (* Constant mechanisms are perfectly private. *)
+  Alcotest.check rat "constant is 1-DP" Rat.one (M.privacy_level c)
+
+let test_dp_violations () =
+  let m = M.of_rows [ [ Rat.one; Rat.zero ]; [ Rat.zero; Rat.one ] ] in
+  Alcotest.(check bool) "identity violates 1/2-DP" false (M.is_dp ~alpha:half m);
+  Alcotest.(check int) "two violated columns" 2 (List.length (M.dp_violations ~alpha:half m))
+
+let test_privacy_level_geometric () =
+  (* privacy_level of G(n,α) is exactly α. *)
+  List.iter
+    (fun alpha ->
+      let g = Geo.matrix ~n:5 ~alpha in
+      Alcotest.check rat (Rat.to_string alpha) alpha (M.privacy_level g))
+    [ q 1 5; q 1 3; half; q 3 4 ]
+
+let test_minimax_loss () =
+  let g = Geo.matrix ~n:3 ~alpha:half in
+  let loss i r = Rat.of_int (abs (i - r)) in
+  let full = M.minimax_loss g ~loss ~side_info:[ 0; 1; 2; 3 ] in
+  let partial = M.minimax_loss g ~loss ~side_info:[ 1; 2 ] in
+  Alcotest.(check bool) "restriction can only reduce" true (Rat.compare partial full <= 0);
+  (* worst case for the geometric on absolute loss: interior rows leak
+     both ways; expected loss at input 1:
+     row 1 of G(3,1/2): [1/3, 1/3, 1/6, 1/6]; E = 1/3*1 + 1/6*1 + 1/6*2 = 5/6 *)
+  Alcotest.check rat "interior expected loss" (q 5 6) (M.expected_loss g ~loss 1)
+
+(* --------------------------------------------------------------- *)
+(* Geometric mechanism                                              *)
+(* --------------------------------------------------------------- *)
+
+let test_geometric_row_stochastic () =
+  List.iter
+    (fun (n, alpha) ->
+      let g = Geo.matrix ~n ~alpha in
+      ignore g (* M.make already validates stochasticity *))
+    [ (1, half); (3, q 1 4); (8, q 2 3); (12, q 9 10) ]
+
+let test_geometric_known_values () =
+  (* G(3, 1/2), hand computed. Row 1 = [1/3, 1/3, 1/6, 1/6]. *)
+  let g = Geo.matrix ~n:3 ~alpha:half in
+  Alcotest.check rat "g(0,0)" (q 2 3) (M.prob g ~input:0 ~output:0);
+  Alcotest.check rat "g(0,3)" (q 1 12) (M.prob g ~input:0 ~output:3);
+  Alcotest.check rat "g(1,0)" (q 1 3) (M.prob g ~input:1 ~output:0);
+  Alcotest.check rat "g(1,1)" (q 1 3) (M.prob g ~input:1 ~output:1);
+  Alcotest.check rat "g(1,2)" (q 1 6) (M.prob g ~input:1 ~output:2);
+  Alcotest.check rat "g(1,3)" (q 1 6) (M.prob g ~input:1 ~output:3);
+  Alcotest.check rat "symmetric" (M.prob g ~input:0 ~output:1) (M.prob g ~input:3 ~output:2)
+
+let test_geometric_self_dp () =
+  List.iter
+    (fun (n, alpha) -> Alcotest.(check bool) "self-DP" true (Geo.is_self_dp ~n ~alpha))
+    [ (2, q 1 4); (5, half); (7, q 4 5) ]
+
+let test_geometric_not_stronger_dp () =
+  (* G(n,α) is not α'-DP for any α' > α. *)
+  let g = Geo.matrix ~n:4 ~alpha:half in
+  Alcotest.(check bool) "not 2/3-DP" false (M.is_dp ~alpha:(q 2 3) g)
+
+let test_scaled_matrix_entries () =
+  let g' = Geo.scaled_matrix ~n:3 ~alpha:half in
+  Alcotest.check rat "diag" Rat.one g'.(1).(1);
+  Alcotest.check rat "corner" (q 1 8) g'.(0).(3);
+  Alcotest.check rat "sym" g'.(0).(2) g'.(2).(0)
+
+let test_lemma1_determinant () =
+  (* det G'(n,α) = (1-α²)^n for the (n+1)×(n+1) matrix. *)
+  List.iter
+    (fun (n, alpha) ->
+      let expected = Geo.scaled_determinant ~n ~alpha in
+      let actual = Qm.determinant (Geo.scaled_matrix ~n ~alpha) in
+      Alcotest.check rat (Printf.sprintf "n=%d" n) expected actual)
+    [ (1, half); (2, half); (3, q 1 4); (5, q 2 3); (8, q 1 3) ]
+
+let test_geometric_det_positive () =
+  (* Hence Lemma 1: det G > 0. *)
+  List.iter
+    (fun (n, alpha) ->
+      let g = M.matrix (Geo.matrix ~n ~alpha) in
+      Alcotest.(check bool) "positive" true (Rat.sign (Qm.determinant g) > 0))
+    [ (2, half); (4, q 1 4); (6, q 3 5) ]
+
+let test_unbounded_pmf () =
+  (* Definition 1: mass at offset z is (1-α)/(1+α)·α^{|z|}; symmetric,
+     total mass 1 in the limit (check partial sums approach 1). *)
+  let alpha = q 1 3 in
+  Alcotest.check rat "center" (q 1 2) (Geo.unbounded_noise_pmf ~alpha 0);
+  Alcotest.check rat "symmetry" (Geo.unbounded_noise_pmf ~alpha 4) (Geo.unbounded_noise_pmf ~alpha (-4));
+  let partial = Rat.sum (List.init 81 (fun i -> Geo.unbounded_noise_pmf ~alpha (i - 40))) in
+  Alcotest.(check bool) "mass converges to 1" true
+    (Rat.compare (Rat.abs (Rat.sub partial Rat.one)) (q 1 1_000_000) < 0)
+
+let test_clamping_matches_matrix () =
+  (* The boundary mass of G(n,α) equals the tail mass of the unbounded
+     mechanism below 0 / above n (Definition 4 ⟷ Definition 1). *)
+  let alpha = q 2 5 and n = 4 in
+  let g = Geo.matrix ~n ~alpha in
+  List.iter
+    (fun k ->
+      (* tail sum: Σ_{z<=0} unbounded_pmf(center k)(z) using the
+         geometric series α^k/(1+α) closed form for the lower tail *)
+      let lower_tail = Rat.div (Rat.pow alpha k) (Rat.add Rat.one alpha) in
+      Alcotest.check rat
+        (Printf.sprintf "lower clamp k=%d" k)
+        lower_tail
+        (M.prob g ~input:k ~output:0))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_sampler_matches_matrix () =
+  (* Statistical check: clamped unbounded sampler induces G(n,α). *)
+  let alpha = q 1 2 and n = 5 in
+  let g = Geo.matrix ~n ~alpha in
+  let rng = Prob.Rng.of_int 31337 in
+  List.iter
+    (fun input ->
+      let xs = Array.init 30_000 (fun _ -> Geo.sample_clamped ~n ~alpha ~input rng) in
+      let target = M.row_distribution g input in
+      Alcotest.(check bool)
+        (Printf.sprintf "χ² input %d" input)
+        true
+        (Prob.Stats.fits xs target))
+    [ 0; 2; 5 ]
+
+let test_matrix_sampler_matches_matrix () =
+  (* The exact row sampler also induces the matrix rows. *)
+  let alpha = q 1 3 and n = 4 in
+  let g = Geo.matrix ~n ~alpha in
+  let rng = Prob.Rng.of_int 777 in
+  let xs = Array.init 30_000 (fun _ -> M.sample g ~input:2 rng) in
+  Alcotest.(check bool) "χ²" true (Prob.Stats.fits xs (M.row_distribution g 2))
+
+let test_check_alpha () =
+  Alcotest.check_raises "alpha 0" (Invalid_argument "Geometric: alpha must satisfy 0 < alpha < 1")
+    (fun () -> ignore (Geo.matrix ~n:3 ~alpha:Rat.zero));
+  Alcotest.check_raises "alpha 1" (Invalid_argument "Geometric: alpha must satisfy 0 < alpha < 1")
+    (fun () -> ignore (Geo.matrix ~n:3 ~alpha:Rat.one))
+
+(* --------------------------------------------------------------- *)
+(* Baselines                                                        *)
+(* --------------------------------------------------------------- *)
+
+let test_truncated_laplace () =
+  let m = B.truncated_laplace ~n:4 ~alpha:half in
+  (* Renormalization breaks the nominal DP level near the boundary. *)
+  Alcotest.(check bool) "weaker than nominal" true (Rat.compare (M.privacy_level m) half < 0)
+
+let test_randomized_response () =
+  let m = B.randomized_response ~n:3 ~p:half in
+  Alcotest.check rat "diagonal" (Rat.add half (q 1 8)) (M.prob m ~input:1 ~output:1);
+  Alcotest.check rat "off" (q 1 8) (M.prob m ~input:1 ~output:0);
+  (* Tuned RR achieves exactly the requested DP level. *)
+  let tuned = B.randomized_response_dp ~n:3 ~alpha:(q 1 4) in
+  Alcotest.check rat "tuned level" (q 1 4) (M.privacy_level tuned)
+
+let test_rr_max_p () =
+  (* p = (1-α)/(α n + 1) for n=3, α=1/4: (3/4)/(7/4) = 3/7. *)
+  Alcotest.check rat "closed form" (q 3 7) (B.rr_max_p ~n:3 ~alpha:(q 1 4))
+
+let test_exponential () =
+  (* β = 1/2 gives α = 1/4-DP guarantee; matrix level may be higher. *)
+  let m = B.exponential ~n:4 ~beta:half in
+  Alcotest.(check bool) "at least 1/4-DP" true (M.is_dp ~alpha:(q 1 4) m);
+  match B.exponential_dp ~n:4 ~alpha:(q 1 4) with
+  | None -> Alcotest.fail "1/4 has rational sqrt"
+  | Some m' -> Alcotest.(check bool) "same mechanism" true (M.equal m m')
+
+let test_exponential_dp_irrational () =
+  Alcotest.(check bool) "1/2 has no rational sqrt" true (B.exponential_dp ~n:3 ~alpha:half = None)
+
+let test_rounded_laplace_sampler_range () =
+  let rng = Prob.Rng.of_int 55 in
+  for _ = 1 to 2_000 do
+    let v = B.sample_rounded_laplace ~n:6 ~alpha:half ~input:3 rng in
+    if v < 0 || v > 6 then Alcotest.failf "out of range: %d" v
+  done
+
+(* --------------------------------------------------------------- *)
+(* Derivability (Theorem 2)                                         *)
+(* --------------------------------------------------------------- *)
+
+let test_geometric_derivable_from_itself () =
+  let g = Geo.matrix ~n:3 ~alpha:half in
+  match Der.derive ~alpha:half g with
+  | Der.Derivable t ->
+    (* The factor must be the identity. *)
+    Alcotest.(check bool) "identity factor" true (Qm.equal t (Qm.identity 4))
+  | Der.Not_derivable _ -> Alcotest.fail "G derivable from itself"
+
+let test_appendix_b () =
+  let m = Der.appendix_b_mechanism () in
+  Alcotest.(check bool) "is 1/2-DP" true (M.is_dp ~alpha:half m);
+  Alcotest.(check bool) "condition fails" false (Der.satisfies_condition ~alpha:half m);
+  (match Der.derive ~alpha:half m with
+   | Der.Derivable _ -> Alcotest.fail "Appendix B says not derivable"
+   | Der.Not_derivable violations ->
+     Alcotest.(check bool) "at least one violation" true (List.length violations >= 1);
+     (* The paper's witness: column 1, middle entry row 1, slack -0.75/9 = -1/12. *)
+     let w = List.find (fun v -> v.Der.column = 1 && v.Der.row = 1) violations in
+     Alcotest.check rat "witness slack" (q (-1) 12) w.Der.slack)
+
+let test_theorem2_both_directions () =
+  (* For a batch of mechanisms, the syntactic condition and the
+     constructive factorization must agree. *)
+  let alpha = half in
+  let mechanisms =
+    [
+      Geo.matrix ~n:3 ~alpha;
+      Geo.matrix ~n:3 ~alpha:(q 3 4);
+      B.truncated_laplace ~n:3 ~alpha;
+      B.randomized_response_dp ~n:3 ~alpha;
+      Der.appendix_b_mechanism ();
+      M.identity 3;
+    ]
+  in
+  List.iter
+    (fun m ->
+      let syntactic = Der.satisfies_condition ~alpha m in
+      let constructive = Der.is_derivable ~alpha m in
+      (* Theorem 2's equivalence is stated for DP mechanisms; the
+         boundary conditions of Lemma 2 (rows 1 and n) are exactly DP
+         constraints, so for non-DP mechanisms (identity) only the
+         constructive direction is meaningful. *)
+      if M.is_dp ~alpha m then
+        Alcotest.(check bool) "equivalence" syntactic constructive)
+    mechanisms
+
+let test_lemma3_geometric_chain () =
+  (* G(n,β) derivable from G(n,α) for α<β, NOT conversely. *)
+  let n = 4 in
+  let g_weak = Geo.matrix ~n ~alpha:(q 3 4) in
+  let g_strong = Geo.matrix ~n ~alpha:(q 1 4) in
+  Alcotest.(check bool) "more private from less" true (Der.is_derivable ~alpha:(q 1 4) g_weak);
+  Alcotest.(check bool) "less private NOT from more" false (Der.is_derivable ~alpha:(q 3 4) g_strong)
+
+let test_derivable_closed_under_postprocessing () =
+  (* Anything of the form G·T with stochastic T is derivable. *)
+  let alpha = q 1 3 and n = 3 in
+  let g = Geo.matrix ~n ~alpha in
+  let t =
+    [|
+      [| half; half; Rat.zero; Rat.zero |];
+      [| Rat.zero; Rat.one; Rat.zero; Rat.zero |];
+      [| Rat.zero; Rat.zero; Rat.one; Rat.zero |];
+      [| Rat.zero; q 1 4; q 1 4; half |];
+    |]
+  in
+  let m = M.compose g t in
+  match Der.derive ~alpha m with
+  | Der.Derivable t' -> Alcotest.(check bool) "recovers the factor" true (Qm.equal t t')
+  | Der.Not_derivable _ -> Alcotest.fail "G·T must be derivable"
+
+(* --------------------------------------------------------------- *)
+(* Property tests                                                   *)
+(* --------------------------------------------------------------- *)
+
+let arb_alpha =
+  QCheck.make
+    ~print:Rat.to_string
+    QCheck.Gen.(map2 (fun num den -> Rat.of_ints num (num + den)) (int_range 1 9) (int_range 1 9))
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let properties =
+  [
+    prop "geometric privacy level is alpha" 25 (QCheck.pair arb_alpha QCheck.(int_range 1 8))
+      (fun (alpha, n) -> Rat.equal (M.privacy_level (Geo.matrix ~n ~alpha)) alpha);
+    prop "lemma 1 det formula" 20 (QCheck.pair arb_alpha QCheck.(int_range 1 6)) (fun (alpha, n) ->
+        Rat.equal
+          (Qm.determinant (Geo.scaled_matrix ~n ~alpha))
+          (Geo.scaled_determinant ~n ~alpha));
+    prop "geometric satisfies Thm2 condition at own alpha" 20
+      (QCheck.pair arb_alpha QCheck.(int_range 2 7))
+      (fun (alpha, n) -> Der.satisfies_condition ~alpha (Geo.matrix ~n ~alpha));
+    prop "post-processing never helps privacy_level decrease" 20
+      (QCheck.pair arb_alpha QCheck.(int_range 1 6))
+      (fun (alpha, n) ->
+        (* Post-processing cannot reduce privacy: level of G·T >= level of G. *)
+        let g = Geo.matrix ~n ~alpha in
+        let to_zero =
+          Array.init (n + 1) (fun _ -> Array.init (n + 1) (fun j -> if j = 0 then Rat.one else Rat.zero))
+        in
+        let m = M.compose g to_zero in
+        Rat.compare (M.privacy_level m) (M.privacy_level g) >= 0);
+    prop "rr tuned achieves exactly alpha" 20 (QCheck.pair arb_alpha QCheck.(int_range 1 8))
+      (fun (alpha, n) -> Rat.equal (M.privacy_level (B.randomized_response_dp ~n ~alpha)) alpha);
+    prop "minimax loss monotone under side-info inclusion" 15
+      (QCheck.pair arb_alpha QCheck.(int_range 2 6))
+      (fun (alpha, n) ->
+        let g = Geo.matrix ~n ~alpha in
+        let loss i r = Rat.of_int (abs (i - r)) in
+        let full = M.minimax_loss g ~loss ~side_info:(List.init (n + 1) Fun.id) in
+        let sub = M.minimax_loss g ~loss ~side_info:[ 0; n / 2 ] in
+        Rat.compare sub full <= 0);
+    prop "compose is associative" 15 (QCheck.pair arb_alpha QCheck.(int_range 1 5))
+      (fun (alpha, n) ->
+        let g = Geo.matrix ~n ~alpha in
+        let to_zero =
+          Array.init (n + 1) (fun _ ->
+              Array.init (n + 1) (fun j -> if j = 0 then Rat.one else Rat.zero))
+        in
+        let shift =
+          Array.init (n + 1) (fun r ->
+              Array.init (n + 1) (fun j -> if j = min n (r + 1) then Rat.one else Rat.zero))
+        in
+        let lhs = M.compose (M.compose g shift) to_zero in
+        let rhs = M.compose g (Linalg.Matrix.Q.mul shift to_zero) in
+        M.equal lhs rhs);
+    prop "privacy level never drops under post-processing" 15
+      (QCheck.pair arb_alpha QCheck.(int_range 1 5))
+      (fun (alpha, n) ->
+        let g = Geo.matrix ~n ~alpha in
+        let blur =
+          Array.init (n + 1) (fun r ->
+              Array.init (n + 1) (fun j ->
+                  if j = r then Rat.of_ints 1 2
+                  else if j = min n (r + 1) then
+                    if r = n then Rat.of_ints 1 2 else Rat.of_ints 1 2
+                  else Rat.zero))
+        in
+        (* fix row n: diag gets 1/2, j=min n (n+1)=n collides; rebuild *)
+        let blur =
+          Array.mapi
+            (fun r row ->
+              if r = n then Array.mapi (fun j _ -> if j = n then Rat.one else Rat.zero) row
+              else row)
+            blur
+        in
+        let m = M.compose g blur in
+        Rat.compare (M.privacy_level m) (M.privacy_level g) >= 0);
+    prop "geometric row symmetry" 20 (QCheck.pair arb_alpha QCheck.(int_range 1 7))
+      (fun (alpha, n) ->
+        let g = Geo.matrix ~n ~alpha in
+        let ok = ref true in
+        for i = 0 to n do
+          for r = 0 to n do
+            if not (Rat.equal (M.prob g ~input:i ~output:r) (M.prob g ~input:(n - i) ~output:(n - r)))
+            then ok := false
+          done
+        done;
+        !ok);
+  ]
+
+let () =
+  Alcotest.run "mech"
+    [
+      ( "mechanism",
+        [
+          Alcotest.test_case "validation" `Quick test_make_validates;
+          Alcotest.test_case "identity" `Quick test_identity_mechanism;
+          Alcotest.test_case "compose" `Quick test_compose;
+          Alcotest.test_case "dp violations" `Quick test_dp_violations;
+          Alcotest.test_case "privacy level of geometric" `Quick test_privacy_level_geometric;
+          Alcotest.test_case "minimax loss" `Quick test_minimax_loss;
+        ] );
+      ( "geometric",
+        [
+          Alcotest.test_case "row stochastic" `Quick test_geometric_row_stochastic;
+          Alcotest.test_case "known values" `Quick test_geometric_known_values;
+          Alcotest.test_case "self DP" `Quick test_geometric_self_dp;
+          Alcotest.test_case "not stronger DP" `Quick test_geometric_not_stronger_dp;
+          Alcotest.test_case "scaled matrix" `Quick test_scaled_matrix_entries;
+          Alcotest.test_case "Lemma 1 determinant" `Quick test_lemma1_determinant;
+          Alcotest.test_case "det positive" `Quick test_geometric_det_positive;
+          Alcotest.test_case "unbounded pmf" `Quick test_unbounded_pmf;
+          Alcotest.test_case "clamping matches matrix" `Quick test_clamping_matches_matrix;
+          Alcotest.test_case "sampler matches matrix" `Slow test_sampler_matches_matrix;
+          Alcotest.test_case "exact sampler matches matrix" `Slow test_matrix_sampler_matches_matrix;
+          Alcotest.test_case "alpha validation" `Quick test_check_alpha;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "truncated laplace" `Quick test_truncated_laplace;
+          Alcotest.test_case "randomized response" `Quick test_randomized_response;
+          Alcotest.test_case "rr closed form" `Quick test_rr_max_p;
+          Alcotest.test_case "exponential" `Quick test_exponential;
+          Alcotest.test_case "exponential irrational sqrt" `Quick test_exponential_dp_irrational;
+          Alcotest.test_case "rounded laplace range" `Quick test_rounded_laplace_sampler_range;
+        ] );
+      ( "derivability",
+        [
+          Alcotest.test_case "G from G" `Quick test_geometric_derivable_from_itself;
+          Alcotest.test_case "Appendix B counterexample" `Quick test_appendix_b;
+          Alcotest.test_case "Theorem 2 equivalence" `Quick test_theorem2_both_directions;
+          Alcotest.test_case "Lemma 3 chain" `Quick test_lemma3_geometric_chain;
+          Alcotest.test_case "closure under post-processing" `Quick test_derivable_closed_under_postprocessing;
+        ] );
+      ("properties", properties);
+    ]

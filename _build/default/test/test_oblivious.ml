@@ -1,0 +1,156 @@
+(* Tests for the Appendix-A reduction: the binary world, the averaging
+   construction, preservation of differential privacy, and the
+   no-loss-increase guarantee (Lemma 6). *)
+
+module Ob = Minimax.Oblivious
+module M = Mech.Mechanism
+module L = Minimax.Loss
+module Si = Minimax.Side_info
+module C = Minimax.Consumer
+
+let q = Rat.of_ints
+let half = q 1 2
+
+(* --------------------------------------------------------------- *)
+(* Binary world                                                     *)
+(* --------------------------------------------------------------- *)
+
+let test_world_shape () =
+  let w = Ob.binary_world 4 in
+  Alcotest.(check int) "databases" 16 (Array.length w.Ob.databases);
+  Alcotest.(check int) "count of 0b1011" 3 (w.Ob.count 0b1011);
+  Alcotest.(check int) "count of 0" 0 (w.Ob.count 0)
+
+let test_neighbors () =
+  let w = Ob.binary_world 4 in
+  Alcotest.(check bool) "hamming-1" true (Ob.are_neighbors w 0b0000 0b0100);
+  Alcotest.(check bool) "hamming-2" false (Ob.are_neighbors w 0b0000 0b0101);
+  Alcotest.(check bool) "self" false (Ob.are_neighbors w 0b0110 0b0110)
+
+let test_class_sizes_binomial () =
+  let w = Ob.binary_world 5 in
+  let counts = Array.make 6 0 in
+  Array.iter (fun mask -> counts.(w.Ob.count mask) <- counts.(w.Ob.count mask) + 1) w.Ob.databases;
+  Alcotest.(check (list int)) "binomial(5)" [ 1; 5; 10; 10; 5; 1 ] (Array.to_list counts)
+
+(* --------------------------------------------------------------- *)
+(* The reduction                                                    *)
+(* --------------------------------------------------------------- *)
+
+(* An oblivious mechanism lifted to the world (every database in a
+   class shares a row): averaging must return it unchanged. *)
+let lift w (m : M.t) : Ob.nonoblivious =
+  Array.map (fun mask -> M.row m (w.Ob.count mask)) w.Ob.databases
+
+let test_average_of_oblivious_is_identity () =
+  let w = Ob.binary_world 4 in
+  let g = Mech.Geometric.matrix ~n:4 ~alpha:half in
+  let averaged = Ob.make_oblivious w (lift w g) in
+  Alcotest.(check bool) "unchanged" true (M.equal averaged g)
+
+let test_lifted_is_dp () =
+  let w = Ob.binary_world 4 in
+  let g = Mech.Geometric.matrix ~n:4 ~alpha:half in
+  Alcotest.(check bool) "lift preserves dp" true (Ob.is_dp w ~alpha:half (lift w g))
+
+let test_random_nonoblivious_is_dp () =
+  let w = Ob.binary_world 4 in
+  let rng = Prob.Rng.of_int 17 in
+  for _ = 1 to 5 do
+    let m = Ob.random_nonoblivious w ~alpha:half rng in
+    Alcotest.(check bool) "dp holds" true (Ob.is_dp w ~alpha:half m)
+  done
+
+let test_averaging_preserves_dp () =
+  (* Lemma 6 part 1: the averaged mechanism is α-DP. We get this for
+     free from column-averaging over classes with fixed neighbor
+     counts; verify it computationally on random mechanisms. *)
+  let w = Ob.binary_world 4 in
+  let rng = Prob.Rng.of_int 23 in
+  for _ = 1 to 5 do
+    let m = Ob.random_nonoblivious w ~alpha:half rng in
+    let averaged = Ob.make_oblivious w m in
+    Alcotest.(check bool) "averaged dp" true (M.is_dp ~alpha:half averaged)
+  done
+
+let test_averaging_never_increases_loss () =
+  (* Lemma 6 part 2: minimax loss of the averaged mechanism is at most
+     that of the original, for any consumer. *)
+  let w = Ob.binary_world 4 in
+  let rng = Prob.Rng.of_int 99 in
+  let consumers =
+    [
+      C.make ~loss:L.absolute ~side_info:(Si.full 4) ();
+      C.make ~loss:L.squared ~side_info:(Si.at_least ~n:4 2) ();
+      C.make ~loss:L.zero_one ~side_info:(Si.interval ~n:4 1 3) ();
+    ]
+  in
+  for _ = 1 to 5 do
+    let m = Ob.random_nonoblivious w ~alpha:half rng in
+    let averaged = Ob.make_oblivious w m in
+    List.iter
+      (fun c ->
+        let loss_non = Ob.nonoblivious_loss w m c in
+        let loss_obl = C.minimax_loss c averaged in
+        if Rat.compare loss_obl loss_non > 0 then
+          Alcotest.failf "averaging increased loss for %s: %s > %s" (C.label c)
+            (Rat.to_string loss_obl) (Rat.to_string loss_non))
+      consumers
+  done
+
+let test_validate_rejects_bad () =
+  let w = Ob.binary_world 2 in
+  let bad = Array.make 4 [| Rat.one; Rat.one; Rat.one |] in
+  Alcotest.check_raises "row not stochastic" (Invalid_argument "Oblivious: row not stochastic")
+    (fun () -> ignore (Ob.make_oblivious w bad));
+  Alcotest.check_raises "wrong db count" (Invalid_argument "Oblivious: wrong database count")
+    (fun () -> ignore (Ob.make_oblivious w (Array.make 3 [| Rat.one; Rat.zero; Rat.zero |])))
+
+let test_world_bounds () =
+  Alcotest.check_raises "n too small" (Invalid_argument "Oblivious.binary_world: n out of range")
+    (fun () -> ignore (Ob.binary_world 0));
+  Alcotest.check_raises "n too large" (Invalid_argument "Oblivious.binary_world: n out of range")
+    (fun () -> ignore (Ob.binary_world 21))
+
+(* --------------------------------------------------------------- *)
+(* Property tests                                                   *)
+(* --------------------------------------------------------------- *)
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let properties =
+  [
+    prop "averaging is idempotent" 10 QCheck.(int_range 2 5) (fun n ->
+        let w = Ob.binary_world n in
+        let rng = Prob.Rng.of_int n in
+        let m = Ob.random_nonoblivious w ~alpha:half rng in
+        let once = Ob.make_oblivious w m in
+        let twice = Ob.make_oblivious w (lift w once) in
+        M.equal once twice);
+    prop "popcount via world matches library" 100 QCheck.(int_bound 0xFFFFF) (fun mask ->
+        let w = Ob.binary_world 20 in
+        let rec slow m = if m = 0 then 0 else (m land 1) + slow (m lsr 1) in
+        w.Ob.count mask = slow mask);
+  ]
+
+let () =
+  Alcotest.run "oblivious"
+    [
+      ( "world",
+        [
+          Alcotest.test_case "shape" `Quick test_world_shape;
+          Alcotest.test_case "neighbors" `Quick test_neighbors;
+          Alcotest.test_case "binomial classes" `Quick test_class_sizes_binomial;
+          Alcotest.test_case "bounds" `Quick test_world_bounds;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "oblivious fixed point" `Quick test_average_of_oblivious_is_identity;
+          Alcotest.test_case "lift preserves dp" `Quick test_lifted_is_dp;
+          Alcotest.test_case "random nonoblivious dp" `Quick test_random_nonoblivious_is_dp;
+          Alcotest.test_case "averaging preserves dp" `Quick test_averaging_preserves_dp;
+          Alcotest.test_case "loss never increases (Lemma 6)" `Quick test_averaging_never_increases_loss;
+          Alcotest.test_case "validation" `Quick test_validate_rejects_bad;
+        ] );
+      ("properties", properties);
+    ]

@@ -1,0 +1,89 @@
+(* Tests for the reporting layer: table rendering and the experiment
+   harness verdicts. *)
+
+let q = Rat.of_ints
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+
+let test_render_basic () =
+  let t = Report.Table.make ~headers:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  let rendered = Report.Table.render t in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check int) "line count" 6 (List.length lines);
+  (* all lines same width *)
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "aligned" true (List.for_all (fun w -> w = List.hd widths) widths);
+  Alcotest.(check bool) "contains 333" true (contains rendered "333")
+
+let test_render_alignment () =
+  let t =
+    Report.Table.make
+      ~aligns:[ Report.Table.Left; Report.Table.Right ]
+      ~headers:[ "x"; "y" ]
+      [ [ "a"; "1" ]; [ "bb"; "22" ] ]
+  in
+  let rendered = Report.Table.render t in
+  Alcotest.(check bool) "right-aligned column pads left" true
+    (String.length rendered > 0)
+
+let test_render_ragged_rejected () =
+  let t = Report.Table.make ~headers:[ "a"; "b" ] [ [ "1" ] ] in
+  Alcotest.check_raises "ragged" (Invalid_argument "Table.render: ragged row") (fun () ->
+      ignore (Report.Table.render t))
+
+let test_rat_matrix_table () =
+  let m = [| [| q 1 2; q 1 2 |]; [| q 1 4; q 3 4 |] |] in
+  let t = Report.Table.of_rat_matrix m in
+  let rendered = Report.Table.render t in
+  Alcotest.(check bool) "has fraction" true (contains rendered "1/2")
+
+let test_rat_matrix_decimal () =
+  let m = [| [| q 1 2 |] |] in
+  let t = Report.Table.of_rat_matrix_decimal ~places:3 m in
+  let rendered = Report.Table.render t in
+  Alcotest.(check bool) "decimal form" true (contains rendered "0.500")
+
+let test_mechanism_table () =
+  let g = Mech.Geometric.matrix ~n:2 ~alpha:(q 1 2) in
+  let t = Report.Table.of_mechanism g in
+  Alcotest.(check bool) "renders" true (String.length (Report.Table.render t) > 0)
+
+let test_experiment_pass () =
+  let e =
+    Report.Experiment.make ~id:"X" ~title:"t" ~paper_claim:"c" (fun () ->
+        (Report.Experiment.Pass, "detail"))
+  in
+  (match Report.Experiment.run_one e with
+   | Report.Experiment.Pass -> ()
+   | _ -> Alcotest.fail "expected pass");
+  Alcotest.(check bool) "run_all true" true (Report.Experiment.run_all [ e ])
+
+let test_experiment_fail () =
+  let bad =
+    Report.Experiment.make ~id:"Y" ~title:"t" ~paper_claim:"c" (fun () ->
+        (Report.Experiment.Fail "broken", ""))
+  in
+  Alcotest.(check bool) "run_all false" false (Report.Experiment.run_all [ bad ])
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "basic render" `Quick test_render_basic;
+          Alcotest.test_case "alignment" `Quick test_render_alignment;
+          Alcotest.test_case "ragged rejected" `Quick test_render_ragged_rejected;
+          Alcotest.test_case "rational matrix" `Quick test_rat_matrix_table;
+          Alcotest.test_case "decimal matrix" `Quick test_rat_matrix_decimal;
+          Alcotest.test_case "mechanism" `Quick test_mechanism_table;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "pass" `Quick test_experiment_pass;
+          Alcotest.test_case "fail" `Quick test_experiment_fail;
+        ] );
+    ]
