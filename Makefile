@@ -1,0 +1,20 @@
+.PHONY: all build test lint bench clean
+
+all: build
+
+build:
+	dune build @all
+
+# Full tier-1: every test suite + the lint wall (runtest depends on @lint).
+test:
+	dune runtest
+
+# Just the wall: dplint lint-src over the tree + geometric self-certification.
+lint:
+	dune build @lint
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -451,7 +451,10 @@ let of_string s =
   let chunk = ref 0 and chunk_len = ref 0 in
   let flush () =
     if !chunk_len > 0 then begin
-      let scale = of_int (int_of_float (10. ** float_of_int !chunk_len)) in
+      (* chunk_len <= 9, so the scale fits a native int comfortably;
+         integer exponentiation keeps the parse float-free. *)
+      let rec pow10 k acc = if k = 0 then acc else pow10 (k - 1) (acc * 10) in
+      let scale = of_int (pow10 !chunk_len 1) in
       acc := add (mul !acc scale) (of_int !chunk);
       chunk := 0;
       chunk_len := 0

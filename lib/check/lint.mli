@@ -1,0 +1,39 @@
+(** Source lint: the textual half of [dplint].
+
+    Scans OCaml sources for patterns that undermine the repository's
+    exactness guarantees, after stripping comments and string literals
+    (so documentation cannot trip the scanner):
+
+    - [lint/obj-magic] — any use of [Obj.magic];
+    - [lint/catch-all] — a bare [try … with _ ->] handler, which
+      silently swallows arithmetic errors ([match … with _ ->] is
+      fine and not flagged);
+    - [lint/float-eq] — [=] / [<>] comparison against a float
+      literal: exactness bugs hide behind such comparisons
+      (let-bindings, record fields, and optional-argument defaults
+      are recognized and exempt);
+    - [lint/missing-mli] — a [lib/] module without an interface file,
+      leaving its invariants unpublished.
+
+    The scanner is line-accurate: every finding is a
+    {!Diagnostic.t} with a [Source_line] location. *)
+
+val strip : string -> string
+(** Replace (possibly nested) comments and string literals with
+    spaces, preserving every newline so offsets keep their line
+    numbers. Exposed for tests. *)
+
+val scan_source : file:string -> string -> Diagnostic.t list
+(** Scan file contents (already read) for the banned patterns. *)
+
+val scan_file : string -> Diagnostic.t list
+(** Read and {!scan_source} one [.ml] file. *)
+
+val scan_tree : ?require_mli:bool -> string -> Diagnostic.t list
+(** Walk a directory (skipping [_build] and dot-directories), scanning
+    every [.ml]. With [require_mli] (default false), also demand a
+    sibling [.mli] for every [.ml]. *)
+
+val scan_roots : string list -> Diagnostic.t list
+(** Scan several roots; a root whose basename is ["lib"] gets
+    [require_mli:true] automatically. *)

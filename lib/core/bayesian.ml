@@ -24,6 +24,10 @@ let peaked_prior ~n ~peak ~decay : prior =
 
 type t = { label : string; prior : prior; loss : Loss.t }
 
+let label t = t.label
+let prior t = Array.copy t.prior
+let loss t = t.loss
+
 let make ?(label = "bayesian") ~prior ~loss () =
   let total = Array.fold_left Rat.add Rat.zero prior in
   if not (Rat.is_one total) then invalid_arg "Bayesian.make: prior does not sum to 1";

@@ -21,6 +21,12 @@ type t
 val make : ?label:string -> prior:prior -> loss:Loss.t -> unit -> t
 (** @raise Invalid_argument when the prior is not a distribution. *)
 
+val label : t -> string
+val prior : t -> prior
+(** Defensive copy. *)
+
+val loss : t -> Loss.t
+
 val expected_loss : t -> Mech.Mechanism.t -> Rat.t
 (** Prior-weighted expected loss. *)
 

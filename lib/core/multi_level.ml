@@ -11,9 +11,17 @@
 
 module Qm = Linalg.Matrix.Q
 
+exception
+  Lemma3_violated of {
+    alpha : Rat.t;
+    beta : Rat.t;
+    violations : Mech.Derivability.violation list;
+  }
+
 (** Lemma 3: the stochastic matrix [T] with [G(n,β) = G(n,α)·T], for
-    [α ≤ β]. Raises if the factor is not stochastic — which Lemma 3
-    proves cannot happen. *)
+    [α ≤ β]. Lemma 3 proves the factor is always stochastic; should
+    arithmetic ever disagree, the exception carries the exact
+    Theorem-2 witnesses instead of swallowing them in a string. *)
 let transition ~n ~alpha ~beta =
   Mech.Geometric.check_alpha alpha;
   Mech.Geometric.check_alpha beta;
@@ -22,8 +30,8 @@ let transition ~n ~alpha ~beta =
   let g_beta = Mech.Geometric.matrix ~n ~alpha:beta in
   match Mech.Derivability.derive ~alpha g_beta with
   | Mech.Derivability.Derivable t -> t
-  | Mech.Derivability.Not_derivable _ ->
-    failwith "Multi_level.transition: Lemma 3 violated (bug)"
+  | Mech.Derivability.Not_derivable violations ->
+    raise (Lemma3_violated { alpha; beta; violations })
 
 type plan = {
   n : int;

@@ -7,9 +7,22 @@
     geometric mechanism, while colluders learn nothing beyond the
     least-private release (Lemma 4). *)
 
+exception
+  Lemma3_violated of {
+    alpha : Rat.t;
+    beta : Rat.t;
+    violations : Mech.Derivability.violation list;
+  }
+(** Raised by {!transition} if the Lemma-3 factor fails to be
+    stochastic — mathematically impossible, so seeing this means an
+    arithmetic bug; the payload carries the exact Theorem-2 witnesses
+    for the postmortem. *)
+
 val transition : n:int -> alpha:Rat.t -> beta:Rat.t -> Rat.t array array
 (** Lemma 3's [T_{α,β} = G(n,α)⁻¹·G(n,β)], row-stochastic whenever
-    [α ≤ β]. @raise Invalid_argument on bad levels or [α > β]. *)
+    [α ≤ β]. @raise Invalid_argument on bad levels or [α > β].
+    @raise Lemma3_violated on arithmetic corruption (never, absent
+    bugs). *)
 
 type plan = {
   n : int;

@@ -1,0 +1,37 @@
+(** Algebraic field signature shared by the exact (rational) and
+    floating-point instantiations of the linear-algebra and LP stacks. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_int : int -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+
+  val div : t -> t -> t
+  (** @raise Division_by_zero on exact fields when the divisor is zero. *)
+
+  val neg : t -> t
+  val abs : t -> t
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val is_zero : t -> bool
+
+  val sign : t -> int
+  (** [-1], [0], or [1]; floating-point instantiations may use a
+      tolerance for [0]. *)
+
+  val to_float : t -> float
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end
+
+module Rational : S with type t = Rat.t
+(** Exact rationals as a field. *)
+
+module Float_field : S with type t = float
+(** Floats as an (approximate) field, with a small zero tolerance used
+    only for sign classification. *)

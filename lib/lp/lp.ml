@@ -82,6 +82,12 @@ let fresh_var ?(name = "") ?(lb = Some Rat.zero) p =
 let n_vars p = p.nvars
 let n_constraints p = List.length p.constraints
 
+let constraint_name p i =
+  let cstrs = Array.of_list (List.rev p.constraints) in
+  if i < 0 || i >= Array.length cstrs then invalid_arg "Lp.constraint_name";
+  let { cname; _ } = cstrs.(i) in
+  if cname = "" then Printf.sprintf "c%d" i else cname
+
 let var_name p v =
   let names = Array.of_list (List.rev p.var_names) in
   names.(v)

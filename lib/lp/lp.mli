@@ -56,6 +56,12 @@ val n_vars : problem -> int
 val n_constraints : problem -> int
 val var_name : problem -> var -> string
 
+val constraint_name : problem -> int -> string
+(** Name of the [i]-th constraint in addition order; anonymous
+    constraints render as ["c<i>"]. Dual vectors from
+    {!solve_with_duals} are indexed compatibly.
+    @raise Invalid_argument when out of range. *)
+
 val add_constraint : ?name:string -> problem -> linexpr -> relation -> Rat.t -> unit
 val add_le : ?name:string -> problem -> linexpr -> Rat.t -> unit
 val add_ge : ?name:string -> problem -> linexpr -> Rat.t -> unit

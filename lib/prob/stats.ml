@@ -93,8 +93,8 @@ let draw (d : Discrete.t) rng n = Array.init n (fun _ -> Discrete.sample d rng)
     distribution: the sup-distance between empirical and target CDFs
     over the union of supports. *)
 let ks_statistic (xs : int array) (d : Discrete.t) =
+  if Array.length xs = 0 then invalid_arg "Stats.ks_statistic: empty sample";
   let n = float_of_int (Array.length xs) in
-  if n = 0.0 then invalid_arg "Stats.ks_statistic: empty sample";
   let sorted = Array.copy xs in
   Array.sort compare sorted;
   let values =

@@ -1,0 +1,289 @@
+(* Tests for the dplint analyzer (lib/check): positive certificates for
+   the paper's matrices, exact witnesses for hand-crafted violations,
+   and the source-lint scanner's pattern discrimination. *)
+
+module I = Check.Invariants
+module D = Check.Diagnostic
+module L = Check.Lint
+
+let q = Rat.of_ints
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let geo n alpha = Mech.Mechanism.matrix (Mech.Geometric.matrix ~n ~alpha)
+
+let report_for rule reports =
+  match List.find_opt (fun (r : I.report) -> r.rule = rule) reports with
+  | Some r -> r
+  | None -> Alcotest.failf "no report for rule %s" rule
+
+let witness_rat key (d : D.t) =
+  match List.assoc_opt key d.witness with
+  | Some v -> (
+    match Rat.of_string_opt v with
+    | Some r -> r
+    | None -> Alcotest.failf "witness %s=%S is not rational" key v)
+  | None -> Alcotest.failf "no witness %s" key
+
+(* ------------------------------------------------------------------ *)
+(* Positive certificates                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_geometric_certified () =
+  List.iter
+    (fun (n, alpha) ->
+      let reports = I.check_mech ~alpha (geo n alpha) in
+      Alcotest.(check bool)
+        (Printf.sprintf "G(%d,%s) certified" n (Rat.to_string alpha))
+        true (I.all_passed reports);
+      (* Every pass must carry a certificate. *)
+      List.iter
+        (fun (r : I.report) ->
+          Alcotest.(check bool) ("certificate for " ^ r.rule) true (r.certificate <> None))
+        reports;
+      (* The DP certificate's binding slack is exact: G(n,alpha)
+         supports exactly its own alpha, no more. *)
+      let dp = report_for "alpha-dp" reports in
+      match dp.certificate with
+      | None -> Alcotest.fail "no alpha-dp certificate"
+      | Some c ->
+        Alcotest.check rat "privacy level = alpha" alpha
+          (match Rat.of_string_opt (List.assoc "privacy_level" c.tight) with
+           | Some r -> r
+           | None -> Alcotest.fail "bad privacy_level"))
+    [ (2, q 1 2); (4, q 1 3); (5, q 2 3); (7, q 3 5) ]
+
+let test_lemma3_certified () =
+  List.iter
+    (fun (n, a, b) ->
+      let r = I.lemma3_transition ~n ~alpha:a ~beta:b in
+      Alcotest.(check bool)
+        (Printf.sprintf "T_{%s,%s} at n=%d stochastic" (Rat.to_string a) (Rat.to_string b) n)
+        true (I.passed r))
+    [ (2, q 1 4, q 1 2); (3, q 1 4, q 1 2); (5, q 1 3, q 2 3); (4, q 1 2, q 1 2) ]
+
+let test_lemma3_rejects_backwards () =
+  Alcotest.check_raises "alpha > beta"
+    (Invalid_argument "Invariants.lemma3_transition: need alpha <= beta")
+    (fun () -> ignore (I.lemma3_transition ~n:3 ~alpha:(q 1 2) ~beta:(q 1 4)))
+
+let test_certificates_replayable () =
+  let m = geo 3 (q 1 2) in
+  (* Same matrix, same digest: certificates are tied to content. *)
+  Alcotest.(check string) "digest deterministic" (I.matrix_digest m) (I.matrix_digest (geo 3 (q 1 2)));
+  let m' = geo 3 (q 1 3) in
+  Alcotest.(check bool) "digest separates" false (I.matrix_digest m = I.matrix_digest m')
+
+(* ------------------------------------------------------------------ *)
+(* Exact witnesses for violations                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_row_sum_witness () =
+  let m = [| [| q 1 2; q 1 4 |]; [| q 1 4; q 3 4 |] |] in
+  let r = I.row_stochastic m in
+  Alcotest.(check bool) "fails" false (I.passed r);
+  Alcotest.(check bool) "no certificate on failure" true (r.certificate = None);
+  match r.diagnostics with
+  | [ d ] ->
+    (match d.location with
+     | D.Matrix_row { row } -> Alcotest.(check int) "row" 0 row
+     | _ -> Alcotest.fail "expected a row location");
+    Alcotest.check rat "row sum witness" (q 3 4) (witness_rat "row_sum" d)
+  | ds -> Alcotest.failf "expected 1 diagnostic, got %d" (List.length ds)
+
+let test_negative_entry_witness () =
+  let m = [| [| q 3 2; q (-1) 2 |]; [| q 1 2; q 1 2 |] |] in
+  let r = I.row_stochastic m in
+  let neg =
+    List.find
+      (fun (d : D.t) -> List.mem_assoc "entry" d.witness)
+      r.diagnostics
+  in
+  (match neg.location with
+   | D.Matrix_cell { row; col } ->
+     Alcotest.(check int) "row" 0 row;
+     Alcotest.(check int) "col" 1 col
+   | _ -> Alcotest.fail "expected a cell location");
+  Alcotest.check rat "entry witness" (q (-1) 2) (witness_rat "entry" neg)
+
+let test_dp_witness () =
+  (* Perturbed G(2,1/2): row 1 becomes [1/6; 1/2; 1/3]. The first
+     violated Definition-2 constraint is rows 0/1, column 0:
+     alpha*x(0,0) = 1/2 * 2/3 = 1/3 > 1/6 = x(1,0). *)
+  let m =
+    [|
+      [| q 2 3; q 2 9; q 1 9 |];
+      [| q 1 6; q 1 2; q 1 3 |];
+      [| q 1 9; q 2 9; q 2 3 |];
+    |]
+  in
+  let r = I.alpha_dp ~alpha:(q 1 2) m in
+  Alcotest.(check bool) "fails" false (I.passed r);
+  let d = List.hd r.diagnostics in
+  (match d.location with
+   | D.Adjacent_pair { row; col } ->
+     Alcotest.(check int) "row" 0 row;
+     Alcotest.(check int) "col" 0 col
+   | _ -> Alcotest.fail "expected an adjacent-pair location");
+  Alcotest.check rat "lhs = alpha*x_i" (q 1 3) (witness_rat "lhs" d);
+  Alcotest.check rat "rhs = x_succ" (q 1 6) (witness_rat "rhs" d)
+
+let test_appendix_b_witness () =
+  (* The paper's Appendix-B counterexample: 1/2-DP yet not derivable.
+     The known witness (also asserted in test_mech) is column 1,
+     middle row 1, slack -1/12. *)
+  let m = Mech.Mechanism.matrix (Mech.Derivability.appendix_b_mechanism ()) in
+  let alpha = q 1 2 in
+  let reports = I.check_mech ~alpha m in
+  Alcotest.(check bool) "row-stochastic" true (I.passed (report_for "row-stochastic" reports));
+  Alcotest.(check bool) "alpha-dp holds" true (I.passed (report_for "alpha-dp" reports));
+  let der = report_for "derivable" reports in
+  Alcotest.(check bool) "derivable fails" false (I.passed der);
+  let tr =
+    List.find
+      (fun (d : D.t) ->
+        match d.location with D.Column_triple { col = 1; mid = 1 } -> true | _ -> false)
+      der.diagnostics
+  in
+  Alcotest.check rat "slack witness" (q (-1) 12) (witness_rat "slack" tr);
+  (* The constructive cross-check must agree. *)
+  Alcotest.(check bool) "factorization fails" false (I.passed (report_for "factorization" reports))
+
+let test_monotone_loss () =
+  Alcotest.(check bool) "absolute is well-formed" true
+    (I.passed (I.monotone_loss ~name:"absolute" ~n:6 (fun i r -> q (abs (i - r)) 1)));
+  (* Loss that *rewards* distance: flagged with the offending pair. *)
+  let bad i r = if i = r then Rat.zero else q 1 (abs (i - r)) in
+  let r = I.monotone_loss ~name:"inverse" ~n:4 bad in
+  Alcotest.(check bool) "inverse loss rejected" false (I.passed r);
+  let d =
+    List.find (fun (d : D.t) -> List.mem_assoc "near_loss" d.witness) r.diagnostics
+  in
+  Alcotest.(check bool) "witness has far_loss" true (List.mem_assoc "far_loss" d.witness)
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trips (shape smoke tests)                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_shape () =
+  let reports = I.check_mech ~alpha:(q 1 2) (geo 2 (q 1 2)) in
+  let s = Check.Json.to_string (I.summary_to_json reports) in
+  Alcotest.(check bool) "mentions tool" true
+    (Str.string_match (Str.regexp ".*\"tool\":\"dplint\".*") s 0);
+  Alcotest.(check bool) "ok true" true
+    (Str.string_match (Str.regexp ".*\"ok\":true.*") s 0);
+  let bad = I.row_stochastic [| [| q 1 2 |] |] in
+  let s_bad = Check.Json.to_string (I.report_to_json bad) in
+  Alcotest.(check bool) "ok false" true
+    (Str.string_match (Str.regexp ".*\"ok\":false.*") s_bad 0)
+
+let test_json_escape () =
+  Alcotest.(check string) "escape" "a\\\"b\\\\c\\nd" (Check.Json.escape "a\"b\\c\nd")
+
+(* ------------------------------------------------------------------ *)
+(* Source lint                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rules ds = List.map (fun (d : D.t) -> d.rule) ds
+
+let test_lint_catch_all () =
+  let findings = L.scan_source ~file:"t.ml" "let f x = try g x with _ -> 0\n" in
+  Alcotest.(check (list string)) "try flagged" [ "lint/catch-all" ] (rules findings);
+  (* match with a default arm is idiomatic, not a swallowed error. *)
+  let ok = L.scan_source ~file:"t.ml" "let f x = match x with Some y -> y | _ -> 0\n" in
+  Alcotest.(check (list string)) "match not flagged" [] (rules ok);
+  (* with-arm position is line-accurate *)
+  let multi = L.scan_source ~file:"t.ml" "let f x =\n  try g x\n  with _ -> 0\n" in
+  (match multi with
+   | [ d ] -> (
+     match d.location with
+     | D.Source_line { line; _ } -> Alcotest.(check int) "line" 3 line
+     | _ -> Alcotest.fail "expected source location")
+   | _ -> Alcotest.fail "expected one finding")
+
+let test_lint_obj_magic () =
+  let findings = L.scan_source ~file:"t.ml" "let y = Obj.magic x\n" in
+  Alcotest.(check (list string)) "flagged" [ "lint/obj-magic" ] (rules findings);
+  let ok = L.scan_source ~file:"t.ml" "(* Obj.magic would be bad *) let objx = 1\n" in
+  Alcotest.(check (list string)) "comment not flagged" [] (rules ok)
+
+let test_lint_float_eq () =
+  let flagged s = rules (L.scan_source ~file:"t.ml" s) in
+  Alcotest.(check (list string)) "if x = lit" [ "lint/float-eq" ]
+    (flagged "let f x = if x = 0.5 then 1 else 2\n");
+  Alcotest.(check (list string)) "lit = x" [ "lint/float-eq" ]
+    (flagged "let f x = 0.5 = x\n");
+  Alcotest.(check (list string)) "<> lit" [ "lint/float-eq" ]
+    (flagged "let f x = x <> 1e-9\n");
+  Alcotest.(check (list string)) "binder exempt" [] (flagged "let eps = 1e-9\n");
+  Alcotest.(check (list string)) "annotated binder exempt" []
+    (flagged "let eps : float = 0.5\n");
+  Alcotest.(check (list string)) "optional arg exempt" []
+    (flagged "let f ?(eps = 1e-9) x = x +. eps\n");
+  Alcotest.(check (list string)) "record field exempt" []
+    (flagged "let d = { mass = 0.5; tag = 1 }\n");
+  Alcotest.(check (list string)) "<= not flagged" []
+    (flagged "let f x = x <= 0.5\n");
+  Alcotest.(check (list string)) "int compare not flagged" []
+    (flagged "let f x = x = 5\n")
+
+let test_lint_strip () =
+  (* Nested comments, strings inside comments, char literals. *)
+  let s = L.strip "a (* one (* two *) \"*)\" still *) b \"lit\" 'c' '\\n' 'a" in
+  Alcotest.(check bool) "comment gone" false
+    (Str.string_match (Str.regexp ".*two.*") s 0);
+  Alcotest.(check bool) "string gone" false
+    (Str.string_match (Str.regexp ".*lit.*") s 0);
+  Alcotest.(check bool) "code kept" true
+    (Str.string_match (Str.regexp "a .* b .*") s 0);
+  (* newlines survive so line numbers stay accurate *)
+  let src = "x\n(* c1\nc2 *)\ny = 0.5 = z\n" in
+  let stripped = L.strip src in
+  Alcotest.(check int) "newlines preserved"
+    (String.length (String.concat "" (List.map (fun _ -> "\n") (String.split_on_char '\n' src))) - 1)
+    (List.length (String.split_on_char '\n' stripped) - 1)
+
+let test_lint_own_tree_clean () =
+  (* The analyzer must accept the repository it guards (the @lint
+     alias enforces this at build time; keep a test-level witness). *)
+  let root = ".." in
+  if Sys.file_exists (Filename.concat root "lib") then begin
+    let diags = L.scan_roots [ Filename.concat root "lib" ] in
+    List.iter (fun d -> Format.eprintf "%a@." D.pp d) diags;
+    Alcotest.(check int) "lib clean" 0 (List.length diags)
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "certificates",
+        [
+          Alcotest.test_case "geometric certified" `Quick test_geometric_certified;
+          Alcotest.test_case "lemma3 certified" `Quick test_lemma3_certified;
+          Alcotest.test_case "lemma3 rejects backwards" `Quick test_lemma3_rejects_backwards;
+          Alcotest.test_case "digest replayable" `Quick test_certificates_replayable;
+        ] );
+      ( "witnesses",
+        [
+          Alcotest.test_case "row sum" `Quick test_row_sum_witness;
+          Alcotest.test_case "negative entry" `Quick test_negative_entry_witness;
+          Alcotest.test_case "alpha-dp" `Quick test_dp_witness;
+          Alcotest.test_case "appendix B" `Quick test_appendix_b_witness;
+          Alcotest.test_case "monotone loss" `Quick test_monotone_loss;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "shape" `Quick test_json_shape;
+          Alcotest.test_case "escape" `Quick test_json_escape;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "catch-all" `Quick test_lint_catch_all;
+          Alcotest.test_case "obj-magic" `Quick test_lint_obj_magic;
+          Alcotest.test_case "float-eq" `Quick test_lint_float_eq;
+          Alcotest.test_case "strip" `Quick test_lint_strip;
+          Alcotest.test_case "own tree clean" `Quick test_lint_own_tree_clean;
+        ] );
+    ]
