@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench clean
+.PHONY: all build test lint bench bench-json clean
 
 all: build
 
@@ -15,6 +15,13 @@ lint:
 
 bench:
 	dune exec bench/main.exe
+
+# Machine-readable bench trajectory: one record per experiment (wall
+# time, simplex pivots, coefficient bit sizes, full metrics). The
+# number in the file name is the PR sequence number, so successive
+# PRs leave comparable snapshots behind.
+bench-json:
+	dune exec bench/main.exe -- --bench-json BENCH_2.json
 
 clean:
 	dune clean

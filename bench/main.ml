@@ -6,10 +6,20 @@
    Bechamel micro-benchmarks of the stack.
 
    Usage:
-     dune exec bench/main.exe            # all experiments + perf
-     dune exec bench/main.exe -- fig1    # one experiment
-     dune exec bench/main.exe -- --list  # list experiment ids
-*)
+     dune exec bench/main.exe                 # all experiments + perf
+     dune exec bench/main.exe -- fig1         # one experiment (name or id: F1)
+     dune exec bench/main.exe -- --list       # list experiment ids
+     dune exec bench/main.exe -- perf         # micro-benchmarks only
+     dune exec bench/main.exe -- --bench-json FILE [name...]
+                                              # machine-readable trajectory
+     --no-obs                                 # run without the observability
+                                                recorder (overhead baseline)
+
+   Unless --no-obs is given, each experiment runs with an ambient
+   Obs recorder and its machine-readable record (wall time, simplex
+   pivot count, max coefficient bits, ...) is printed as a
+   "BENCH {...}" line; --bench-json additionally collects the records
+   into a single trajectory document. *)
 
 module M = Mech.Mechanism
 module Geo = Mech.Geometric
@@ -26,8 +36,14 @@ module Qm = Linalg.Matrix.Q
 module T = Report.Table
 module E = Report.Experiment
 
+module Json = Obs.Json
+
 let q = Rat.of_ints
 let dec = Rat.to_decimal_string
+
+(* Monotonic seconds for in-experiment timing tables (the harness's
+   own per-experiment timing lives in Report.Experiment). *)
+let now_s () = Int64.to_float (Obs.Clock.monotonic ()) /. 1e9
 
 let buf_table ?(title = "") t =
   (if title = "" then "" else title ^ "\n") ^ T.render t ^ "\n"
@@ -696,13 +712,13 @@ let ablation_lp =
             let reference = ref None in
             List.map
               (fun (name, config) ->
-                let t0 = Unix.gettimeofday () in
+                let t0 = now_s () in
                 let r =
                   match config with
                   | `Direct (pricing, crash) -> Om.solve ?pricing ?crash ~alpha (consumer n)
                   | `Fast -> Om.solve_via_interaction ~alpha (consumer n)
                 in
-                let dt = Unix.gettimeofday () -. t0 in
+                let dt = now_s () -. t0 in
                 (match !reference with
                  | None -> reference := Some r.Om.loss
                  | Some expected -> if not (Rat.equal expected r.Om.loss) then ok := false);
@@ -784,10 +800,10 @@ let ablation_numeric =
           let exact = Om.solve ~alpha consumer in
           let p, _, d = Om.build_problem ~alpha ~n consumer in
           Lp.set_objective p Lp.Minimize (Lp.Expr.var d);
-          let t0 = Unix.gettimeofday () in
+          let t0 = now_s () in
           (match Lp.solve_float p with
            | Lp.Foptimal f ->
-             let dt = Unix.gettimeofday () -. t0 in
+             let dt = now_s () -. t0 in
              let exact_f = Rat.to_float exact.Om.loss in
              Buffer.add_string buf
                (Printf.sprintf
@@ -915,28 +931,132 @@ let experiments =
     ("ablation_numeric", ablation_numeric);
   ]
 
+(* Experiments are addressable both by harness name ("fig1") and by
+   paper-artifact id ("F1"). *)
+let lookup name =
+  match List.assoc_opt name experiments with
+  | Some e -> Some e
+  | None -> Option.map snd (List.find_opt (fun (_, e) -> e.E.id = name) experiments)
+
+(* One machine-readable record per experiment run: the bench
+   trajectory the roadmap tracks across PRs. Every quantity is either
+   an integer or an exact string, so records round-trip through
+   Json.of_string losslessly. *)
+let bench_record (o : E.outcome) =
+  let e = o.E.experiment in
+  let verdict, fail_reason =
+    match o.E.verdict with
+    | E.Pass -> ("pass", Json.Null)
+    | E.Info -> ("info", Json.Null)
+    | E.Fail why -> ("fail", Json.Str why)
+  in
+  let pivots, max_coeff_bits, lp_solves, matrix_inversions, metrics =
+    match o.E.obs with
+    | None -> (0, 0, 0, 0, Json.Null)
+    | Some r ->
+      let max_bits =
+        List.fold_left Stdlib.max 0
+          [
+            Obs.histogram_max r "simplex.pivot_bits";
+            Obs.histogram_max r "simplex.final_bits";
+            Obs.histogram_max r "matrix.inverse_bits";
+          ]
+      in
+      ( Obs.counter r "simplex.pivots",
+        max_bits,
+        Obs.counter r "lp.solves",
+        Obs.counter r "matrix.inversions",
+        Obs.metrics_to_json r )
+  in
+  Json.Obj
+    [
+      ("id", Json.Str e.E.id);
+      ("title", Json.Str e.E.title);
+      ("verdict", Json.Str verdict);
+      ("fail_reason", fail_reason);
+      ("wall_ns", Json.Int (Int64.to_int o.E.wall_ns));
+      ("wall_ms", Json.Int (Int64.to_int (Int64.div o.E.wall_ns 1_000_000L)));
+      ("pivots", Json.Int pivots);
+      ("max_coeff_bits", Json.Int max_coeff_bits);
+      ("lp_solves", Json.Int lp_solves);
+      ("matrix_inversions", Json.Int matrix_inversions);
+      ("metrics", metrics);
+    ]
+
+(* Run a batch, streaming the human report and one BENCH line per
+   experiment (when observing); returns the records and overall
+   success. *)
+let run_batch ~observe es =
+  let records = ref [] and ok = ref true in
+  List.iter
+    (fun e ->
+      let o = E.run_streamed ~observe e in
+      (match o.E.verdict with E.Fail _ -> ok := false | E.Pass | E.Info -> ());
+      let r = bench_record o in
+      records := r :: !records;
+      if observe then print_endline ("BENCH " ^ Json.to_string r))
+    es;
+  (List.rev !records, !ok)
+
+let trajectory_doc records =
+  Json.Obj
+    [
+      ("schema", Json.Str "minimax-dp/bench-trajectory");
+      ("version", Json.Int 1);
+      ("experiments", Json.List records);
+    ]
+
+let write_trajectory file records =
+  Out_channel.with_open_text file (fun oc ->
+      let fmt = Format.formatter_of_out_channel oc in
+      Json.pp fmt (trajectory_doc records);
+      Format.pp_print_newline fmt ());
+  Printf.printf "wrote %s (%d experiment records)\n" file (List.length records)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--no-obs] [--list | perf | --bench-json FILE [name...] | <name-or-id>]";
+  exit 2
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let observe = not (List.mem "--no-obs" args) in
+  let args = List.filter (fun a -> a <> "--no-obs") args in
   match args with
   | [ "--list" ] ->
     List.iter
-      (fun (name, e) -> Printf.printf "%-12s [%s] %s\n" name e.E.id e.E.title)
+      (fun (name, e) -> Printf.printf "%-16s [%-5s] %s\n" name e.E.id e.E.title)
       experiments
   | [ "perf" ] -> run_perf ()
-  | [ name ] when List.mem_assoc name experiments ->
-    let ok =
-      match E.run_one (List.assoc name experiments) with
-      | E.Fail _ -> false
-      | E.Pass | E.Info -> true
+  | "--bench-json" :: file :: names ->
+    let es =
+      match names with
+      | [] -> List.map snd experiments
+      | _ ->
+        List.map
+          (fun name ->
+            match lookup name with
+            | Some e -> e
+            | None ->
+              prerr_endline ("unknown experiment: " ^ name);
+              exit 2)
+          names
     in
+    let records, ok = run_batch ~observe es in
+    write_trajectory file records;
+    exit (if ok then 0 else 1)
+  | [ name ] when Option.is_some (lookup name) ->
+    let e = Option.get (lookup name) in
+    let _, ok = run_batch ~observe [ e ] in
     exit (if ok then 0 else 1)
   | [] ->
     print_endline "Reproduction harness: Gupte & Sundararajan, \"Universally Optimal";
     print_endline "Privacy Mechanisms for Minimax Agents\" (PODS 2010).";
     print_newline ();
-    let ok = E.run_all (List.map snd experiments) in
+    let _, ok = run_batch ~observe (List.map snd experiments) in
+    (if ok then print_endline "All experiments passed."
+     else print_endline "Some experiments FAILED (see verdict lines above).");
+    print_newline ();
     run_perf ();
     exit (if ok then 0 else 1)
-  | _ ->
-    prerr_endline "usage: main.exe [--list | perf | <experiment-name>]";
-    exit 2
+  | _ -> usage ()

@@ -28,6 +28,34 @@ let json_arg =
   let doc = "Emit the verdict as JSON on stdout instead of the human rendering." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+(* --trace / --metrics: install an ambient Obs recorder for the whole
+   command and dump it on exit (same contract as dpopt). *)
+let obs_term =
+  let trace =
+    let doc =
+      "Record spans and counters and write a Chrome trace-event file on exit \
+       (load it in chrome://tracing or Perfetto)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics =
+    let doc = "Print counters and histograms to stderr on exit." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let setup trace metrics =
+    if trace <> None || metrics then begin
+      let r = Obs.create () in
+      Obs.set_current (Some r);
+      at_exit (fun () ->
+        Obs.set_current None;
+        (match trace with
+         | Some file -> Obs.write_chrome_trace r file
+         | None -> ());
+        if metrics then prerr_string (Obs.render_text r))
+    end
+  in
+  Term.(const setup $ trace $ metrics)
+
 let n_arg =
   let doc = "Range bound for --geometric; mechanisms act on {0..N}." in
   Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc)
@@ -114,13 +142,13 @@ let render_reports ~json reports =
 (* ----------------------------------------------------------------- *)
 
 let check_mech_cmd =
-  let run geometric n alpha file json =
+  let run () geometric n alpha file json =
     match matrix_of_args ~geometric ~n ~alpha ~file with
     | Error m -> `Error (false, m)
     | Ok matrix -> render_reports ~json (Check.Invariants.check_mech ~alpha matrix)
   in
   let term =
-    Term.(ret (const run $ geometric_arg $ n_arg $ alpha_arg $ file_arg $ json_arg))
+    Term.(ret (const run $ obs_term $ geometric_arg $ n_arg $ alpha_arg $ file_arg $ json_arg))
   in
   Cmd.v
     (Cmd.info "check-mech"
@@ -142,7 +170,7 @@ let check_derivable_cmd =
     in
     Arg.(value & opt (some rat_conv) None & info [ "b"; "beta" ] ~docv:"BETA" ~doc)
   in
-  let run geometric n alpha beta file json =
+  let run () geometric n alpha beta file json =
     match (geometric, beta) with
     | true, Some beta -> (
       match Check.Invariants.lemma3_transition ~n ~alpha ~beta with
@@ -155,7 +183,9 @@ let check_derivable_cmd =
   in
   let term =
     Term.(
-      ret (const run $ geometric_arg $ n_arg $ alpha_arg $ beta_arg $ file_arg $ json_arg))
+      ret
+        (const run $ obs_term $ geometric_arg $ n_arg $ alpha_arg $ beta_arg $ file_arg
+       $ json_arg))
   in
   Cmd.v
     (Cmd.info "check-derivable"
@@ -173,7 +203,7 @@ let lint_src_cmd =
     let doc = "Directories to scan; a root named 'lib' additionally requires .mli files." in
     Arg.(non_empty & pos_all dir [] & info [] ~docv:"DIR" ~doc)
   in
-  let run roots json =
+  let run () roots json =
     let diags = Check.Lint.scan_roots roots in
     if json then
       print_endline
@@ -195,7 +225,7 @@ let lint_src_cmd =
       exit 1
     end
   in
-  let term = Term.(ret (const run $ roots_arg $ json_arg)) in
+  let term = Term.(ret (const run $ obs_term $ roots_arg $ json_arg)) in
   Cmd.v
     (Cmd.info "lint-src"
        ~doc:

@@ -6,6 +6,11 @@
      interact    solve a consumer's optimal interaction (§2.4.3)
      release     multi-level collusion-resistant release (Algorithm 1)
      verify      check a mechanism matrix for DP and derivability
+     smoke       exercise every instrumented layer in one short run
+
+   Every subcommand accepts --trace FILE (Chrome trace-event output,
+   loadable in chrome://tracing / Perfetto) and --metrics (counters and
+   histograms on stderr at exit).
 *)
 
 open Cmdliner
@@ -33,6 +38,34 @@ let n_arg =
 let seed_arg =
   let doc = "PRNG seed (runs are deterministic given the seed)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* --trace / --metrics: install an ambient Obs recorder for the whole
+   command and dump it on exit. Shared by every subcommand. *)
+let obs_term =
+  let trace =
+    let doc =
+      "Record spans and counters and write a Chrome trace-event file on exit \
+       (load it in chrome://tracing or Perfetto)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics =
+    let doc = "Print counters and histograms to stderr on exit." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let setup trace metrics =
+    if trace <> None || metrics then begin
+      let r = Obs.create () in
+      Obs.set_current (Some r);
+      at_exit (fun () ->
+        Obs.set_current None;
+        (match trace with
+         | Some file -> Obs.write_chrome_trace r file
+         | None -> ());
+        if metrics then prerr_string (Obs.render_text r))
+    end
+  in
+  Term.(const setup $ trace $ metrics)
 
 let decimal_arg =
   let doc = "Print probabilities as decimals instead of exact fractions." in
@@ -121,7 +154,7 @@ let geometric_cmd =
     let doc = "Number of samples to draw (with --input)." in
     Arg.(value & opt int 1 & info [ "samples" ] ~docv:"K" ~doc)
   in
-  let run n alpha input samples seed decimal =
+  let run () n alpha input samples seed decimal =
     let g = Mech.Geometric.matrix ~n ~alpha in
     match input with
     | None ->
@@ -136,7 +169,10 @@ let geometric_cmd =
       print_endline (String.concat " " (List.map string_of_int out));
       `Ok ()
   in
-  let term = Term.(ret (const run $ n_arg $ alpha_arg $ input $ samples $ seed_arg $ decimal_arg)) in
+  let term =
+    Term.(
+      ret (const run $ obs_term $ n_arg $ alpha_arg $ input $ samples $ seed_arg $ decimal_arg))
+  in
   Cmd.v
     (Cmd.info "geometric" ~doc:"Print or sample the range-restricted geometric mechanism.")
     term
@@ -154,7 +190,7 @@ let optimal_cmd =
     let doc = "Also print the least-favorable prior (the minimax LP's duals)." in
     Arg.(value & flag & info [ "lfp" ] ~doc)
   in
-  let run n alpha loss side structured lfp decimal =
+  let run () n alpha loss side structured lfp decimal =
     match consumer_of ~n ~loss ~side with
     | Error m -> `Error (false, m)
     | Ok consumer ->
@@ -178,7 +214,9 @@ let optimal_cmd =
   in
   let term =
     Term.(
-      ret (const run $ n_arg $ alpha_arg $ loss_arg $ side_arg $ structured $ lfp $ decimal_arg))
+      ret
+        (const run $ obs_term $ n_arg $ alpha_arg $ loss_arg $ side_arg $ structured $ lfp
+       $ decimal_arg))
   in
   Cmd.v
     (Cmd.info "optimal"
@@ -190,7 +228,7 @@ let optimal_cmd =
 (* ----------------------------------------------------------------- *)
 
 let interact_cmd =
-  let run n alpha loss side decimal =
+  let run () n alpha loss side decimal =
     match consumer_of ~n ~loss ~side with
     | Error m -> `Error (false, m)
     | Ok consumer ->
@@ -209,7 +247,9 @@ let interact_cmd =
          else Report.Table.of_rat_matrix r.Minimax.Optimal_interaction.interaction);
       `Ok ()
   in
-  let term = Term.(ret (const run $ n_arg $ alpha_arg $ loss_arg $ side_arg $ decimal_arg)) in
+  let term =
+    Term.(ret (const run $ obs_term $ n_arg $ alpha_arg $ loss_arg $ side_arg $ decimal_arg))
+  in
   Cmd.v
     (Cmd.info "interact"
        ~doc:
@@ -230,7 +270,7 @@ let release_cmd =
     let doc = "The true query result to protect." in
     Arg.(required & opt (some int) None & info [ "true-result" ] ~docv:"R" ~doc)
   in
-  let run n levels true_result seed =
+  let run () n levels true_result seed =
     let parsed =
       List.filter_map Rat.of_string_opt (String.split_on_char ',' levels)
     in
@@ -248,7 +288,7 @@ let release_cmd =
           parsed;
         `Ok ()
   in
-  let term = Term.(ret (const run $ n_arg $ levels $ true_result $ seed_arg)) in
+  let term = Term.(ret (const run $ obs_term $ n_arg $ levels $ true_result $ seed_arg)) in
   Cmd.v
     (Cmd.info "release"
        ~doc:"Release a result at multiple privacy levels, collusion-resistantly (Algorithm 1).")
@@ -263,7 +303,7 @@ let verify_cmd =
     let doc = "File with one mechanism row per line, entries as rationals (default: stdin)." in
     Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
   in
-  let run alpha file =
+  let run () alpha file =
     let read_lines ic =
       let rec go acc = match input_line ic with
         | line -> go (line :: acc)
@@ -310,7 +350,7 @@ let verify_cmd =
              (Mech.Mechanism.n m) (Rat.to_string alpha) (List.length vs));
         `Ok ())
   in
-  let term = Term.(ret (const run $ alpha_arg $ file)) in
+  let term = Term.(ret (const run $ obs_term $ alpha_arg $ file)) in
   Cmd.v
     (Cmd.info "verify"
        ~doc:
@@ -342,7 +382,7 @@ let query_cmd =
     let doc = "Also print the true (unperturbed) count — for demos only." in
     Arg.(value & flag & info [ "show-true" ] ~doc)
   in
-  let run csv where alpha levels seed show_true =
+  let run () csv where alpha levels seed show_true =
     match Dpdb.Query_parser.parse_opt where with
     | None -> `Error (false, Printf.sprintf "cannot parse predicate %S" where)
     | Some pred -> (
@@ -379,7 +419,7 @@ let query_cmd =
              else release_at parsed)))
   in
   let term =
-    Term.(ret (const run $ csv $ where $ alpha_arg $ levels $ seed_arg $ show_true))
+    Term.(ret (const run $ obs_term $ csv $ where $ alpha_arg $ levels $ seed_arg $ show_true))
   in
   Cmd.v
     (Cmd.info "query"
@@ -401,7 +441,7 @@ let infer_cmd =
     let doc = "Credible-set level, a rational in [0,1]." in
     Arg.(value & opt rat_conv (Rat.of_ints 9 10) & info [ "level" ] ~docv:"L" ~doc)
   in
-  let run n alpha observed level =
+  let run () n alpha observed level =
     if observed < 0 || observed > n then `Error (false, "observed value out of {0..n}")
     else begin
       let deployed = Mech.Geometric.matrix ~n ~alpha in
@@ -430,12 +470,54 @@ let infer_cmd =
         `Ok ()
     end
   in
-  let term = Term.(ret (const run $ n_arg $ alpha_arg $ observed $ level)) in
+  let term = Term.(ret (const run $ obs_term $ n_arg $ alpha_arg $ observed $ level)) in
   Cmd.v
     (Cmd.info "infer"
        ~doc:
          "What a reader can exactly infer from a released value: posterior, MAP, mean, \
           credible set — and the DP bound on posterior odds.")
+    term
+
+(* ----------------------------------------------------------------- *)
+(* smoke                                                             *)
+(* ----------------------------------------------------------------- *)
+
+(* One short run that exercises every instrumented layer — the LP
+   simplex (tailored optimal mechanism), exact matrix inversion
+   (Theorem-2 factorization), and the multi-level cascade — so
+   `dpopt smoke --trace t.json` yields a representative trace. *)
+let smoke_cmd =
+  let run () n alpha seed =
+    let consumer =
+      Minimax.Consumer.make ~loss:Minimax.Loss.absolute ~side_info:(Minimax.Side_info.full n) ()
+    in
+    let result = Minimax.Optimal_mechanism.solve ~alpha consumer in
+    Printf.printf "optimal mechanism : minimax loss %s for %s\n"
+      (Rat.to_string result.Minimax.Optimal_mechanism.loss)
+      (Minimax.Consumer.label consumer);
+    let g = Mech.Geometric.matrix ~n ~alpha in
+    (match Mech.Derivability.derive ~alpha g with
+     | Mech.Derivability.Derivable _ ->
+       Printf.printf "derivability      : G(%d,%s) factors through itself\n" n (Rat.to_string alpha)
+     | Mech.Derivability.Not_derivable vs ->
+       Printf.printf "derivability      : UNEXPECTED %d violations\n" (List.length vs));
+    let beta = Rat.div (Rat.add alpha Rat.one) (Rat.of_int 2) in
+    match Minimax.Multi_level.make_plan ~n ~levels:[ alpha; beta ] with
+    | exception Invalid_argument m -> `Error (false, m)
+    | plan ->
+      let rng = Prob.Rng.of_int seed in
+      let out = Minimax.Multi_level.release plan ~true_result:(n / 2) rng in
+      Printf.printf "cascade release   : α=%s → %d, α=%s → %d\n" (Rat.to_string alpha) out.(0)
+        (Rat.to_string beta) out.(1);
+      `Ok ()
+  in
+  let term = Term.(ret (const run $ obs_term $ n_arg $ alpha_arg $ seed_arg)) in
+  Cmd.v
+    (Cmd.info "smoke"
+       ~doc:
+         "Exercise every instrumented layer (simplex, matrix inversion, cascade) in one \
+          short run — combine with --trace or --metrics to inspect the observability \
+          output.")
     term
 
 (* ----------------------------------------------------------------- *)
@@ -446,6 +528,15 @@ let main =
   let doc = "universally optimal privacy mechanisms for minimax agents (PODS 2010)" in
   Cmd.group
     (Cmd.info "dpopt" ~version:"1.0.0" ~doc)
-    [ geometric_cmd; optimal_cmd; interact_cmd; release_cmd; verify_cmd; query_cmd; infer_cmd ]
+    [
+      geometric_cmd;
+      optimal_cmd;
+      interact_cmd;
+      release_cmd;
+      verify_cmd;
+      query_cmd;
+      infer_cmd;
+      smoke_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -413,6 +413,7 @@ let lemma3_transition ~n ~alpha ~beta =
 (* ------------------------------------------------------------------ *)
 
 let check_mech ?alpha m =
+  Obs.span ~attrs:[ ("rows", Obs.Int (Array.length m)) ] "check.mech" @@ fun () ->
   let base = row_stochastic m in
   match alpha with
   | None -> [ base ]
@@ -422,6 +423,7 @@ let check_mech ?alpha m =
     else [ base ]
 
 let check_derivable ~alpha m =
+  Obs.span ~attrs:[ ("rows", Obs.Int (Array.length m)) ] "check.derivable" @@ fun () ->
   let base = row_stochastic m in
   if passed base && Array.length m >= 2 then
     [ base; derivability ~alpha m; factorization ~alpha m ]

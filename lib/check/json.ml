@@ -1,55 +1,6 @@
-(* Minimal JSON values and rendering; see json.mli. *)
+(* The JSON implementation moved to lib/obs (the observability sinks
+   need it below the analyzer in the dependency order); [Check.Json]
+   stays as the same module so certificates and diagnostics keep their
+   type equalities. *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Str of string
-  | List of t list
-  | Obj of (string * t) list
-
-let rat r = Str (Rat.to_string r)
-
-let escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let rec to_string = function
-  | Null -> "null"
-  | Bool b -> string_of_bool b
-  | Int i -> string_of_int i
-  | Str s -> "\"" ^ escape s ^ "\""
-  | List xs -> "[" ^ String.concat "," (List.map to_string xs) ^ "]"
-  | Obj fields ->
-    "{"
-    ^ String.concat ","
-        (List.map (fun (k, v) -> "\"" ^ escape k ^ "\":" ^ to_string v) fields)
-    ^ "}"
-
-let rec pp fmt = function
-  | Null -> Format.pp_print_string fmt "null"
-  | Bool b -> Format.pp_print_bool fmt b
-  | Int i -> Format.pp_print_int fmt i
-  | Str s -> Format.fprintf fmt "\"%s\"" (escape s)
-  | List [] -> Format.pp_print_string fmt "[]"
-  | List xs ->
-    Format.fprintf fmt "@[<v 2>[@,%a@;<0 -2>]@]"
-      (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@,") pp)
-      xs
-  | Obj [] -> Format.pp_print_string fmt "{}"
-  | Obj fields ->
-    let field fmt (k, v) = Format.fprintf fmt "@[<hov 2>\"%s\": %a@]" (escape k) pp v in
-    Format.fprintf fmt "@[<v 2>{@,%a@;<0 -2>}@]"
-      (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@,") field)
-      fields
+include Obs.Json

@@ -1,26 +1,10 @@
 (** Minimal JSON values and rendering for diagnostics.
 
-    Deliberately tiny: the analyzer's diagnostics and certificates must
-    be machine-readable without pulling a JSON dependency into the
-    build. Output is valid RFC-8259 JSON; exact rationals are encoded
-    as strings (["3/7"]) so no precision is lost in transit. *)
+    This is {!Obs.Json}, re-exported: the implementation lives in
+    [lib/obs] (the observability sinks sit below the analyzer in the
+    dependency order), and the re-export preserves type and
+    constructor equality, so values built here and there mix freely. *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Str of string
-  | List of t list
-  | Obj of (string * t) list
-
-val rat : Rat.t -> t
-(** Exact encoding of a rational as a ["p/q"] (or ["p"]) string. *)
-
-val escape : string -> string
-(** JSON string-body escaping (quotes, backslash, control chars). *)
-
-val to_string : t -> string
-(** Compact single-line rendering. *)
-
-val pp : Format.formatter -> t -> unit
-(** Indented multi-line rendering for human eyes. *)
+include module type of struct
+  include Obs.Json
+end

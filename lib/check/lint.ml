@@ -310,12 +310,61 @@ let scan_float_eq ~file stripped =
   List.rev !out
 
 (* ------------------------------------------------------------------ *)
+(* Rule: direct stdout printing in library code                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Library modules must not write to stdout behind the caller's back:
+   report text flows through lib/report's injectable sinks and
+   measurements through lib/obs recorders, which is what keeps bench
+   output machine-readable. Those two directories are exempt — they
+   ARE the sinks. *)
+let stdout_fns =
+  [ "print_string"; "print_endline"; "print_newline"; "print_int"; "print_char"; "print_float" ]
+
+(* [Module] immediately followed by [.fn] (same trick as Obj.magic:
+   the dot is not an identifier character). *)
+let module_call_occurrences stripped ~modname ~fn =
+  List.filter
+    (fun off ->
+      let dot = off + String.length modname in
+      dot < String.length stripped
+      && stripped.[dot] = '.'
+      && is_word_at stripped (dot + 1) fn)
+    (word_occurrences stripped modname)
+
+let scan_print_stdout ~file stripped =
+  let diag off what =
+    D.error ~rule:"lint/print-stdout"
+      (D.Source_line { file; line = line_of_offset stripped off })
+      (what
+      ^ " writes to stdout from library code; route output through a lib/report sink or a \
+         lib/obs recorder instead")
+  in
+  let bare =
+    List.concat_map
+      (fun fn -> List.map (fun off -> diag off fn) (word_occurrences stripped fn))
+      stdout_fns
+  in
+  let printf =
+    List.concat_map
+      (fun modname ->
+        List.map
+          (fun off -> diag off (modname ^ ".printf"))
+          (module_call_occurrences stripped ~modname ~fn:"printf"))
+      [ "Printf"; "Format" ]
+  in
+  List.sort_uniq compare (bare @ printf)
+
+(* ------------------------------------------------------------------ *)
 (* File and tree drivers                                               *)
 (* ------------------------------------------------------------------ *)
 
-let scan_source ~file src =
+let scan_source ?(ban_stdout = false) ~file src =
   let stripped = strip src in
-  scan_obj_magic ~file stripped @ scan_catch_all ~file stripped @ scan_float_eq ~file stripped
+  scan_obj_magic ~file stripped
+  @ scan_catch_all ~file stripped
+  @ scan_float_eq ~file stripped
+  @ (if ban_stdout then scan_print_stdout ~file stripped else [])
 
 let read_file path =
   let ic = open_in_bin path in
@@ -323,7 +372,13 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let scan_file path = scan_source ~file:path (read_file path)
+let scan_file ?ban_stdout path = scan_source ?ban_stdout ~file:path (read_file path)
+
+(* The sink directories themselves may print. *)
+let stdout_exempt path =
+  List.exists
+    (fun component -> component = "report" || component = "obs")
+    (String.split_on_char '/' path)
 
 let rec walk dir acc =
   match Sys.readdir dir with
@@ -338,7 +393,7 @@ let rec walk dir acc =
       acc entries
   | exception Sys_error _ -> acc
 
-let scan_tree ?(require_mli = false) root =
+let scan_tree ?(require_mli = false) ?(ban_stdout = false) root =
   if not (Sys.file_exists root && Sys.is_directory root) then
     [ D.error ~rule:"lint/missing-dir"
         (D.Source_line { file = root; line = 0 })
@@ -346,7 +401,11 @@ let scan_tree ?(require_mli = false) root =
   else begin
     let files = List.rev (walk root []) in
     let mls = List.filter (fun f -> Filename.check_suffix f ".ml") files in
-    let pattern_diags = List.concat_map scan_file mls in
+    let pattern_diags =
+      List.concat_map
+        (fun ml -> scan_file ~ban_stdout:(ban_stdout && not (stdout_exempt ml)) ml)
+        mls
+    in
     let mli_diags =
       if not require_mli then []
       else
@@ -367,5 +426,7 @@ let scan_tree ?(require_mli = false) root =
 
 let scan_roots roots =
   List.concat_map
-    (fun root -> scan_tree ~require_mli:(Filename.basename root = "lib") root)
+    (fun root ->
+      let is_lib = Filename.basename root = "lib" in
+      scan_tree ~require_mli:is_lib ~ban_stdout:is_lib root)
     roots

@@ -13,7 +13,12 @@
       (let-bindings, record fields, and optional-argument defaults
       are recognized and exempt);
     - [lint/missing-mli] — a [lib/] module without an interface file,
-      leaving its invariants unpublished.
+      leaving its invariants unpublished;
+    - [lint/print-stdout] — direct stdout printing ([print_string],
+      [print_endline], …, [Printf.printf], [Format.printf]) in library
+      code, which bypasses the injectable sinks of [lib/report] and the
+      recorders of [lib/obs] (those two directories are exempt — they
+      are the sinks).
 
     The scanner is line-accurate: every finding is a
     {!Diagnostic.t} with a [Source_line] location. *)
@@ -23,17 +28,20 @@ val strip : string -> string
     spaces, preserving every newline so offsets keep their line
     numbers. Exposed for tests. *)
 
-val scan_source : file:string -> string -> Diagnostic.t list
-(** Scan file contents (already read) for the banned patterns. *)
+val scan_source : ?ban_stdout:bool -> file:string -> string -> Diagnostic.t list
+(** Scan file contents (already read) for the banned patterns. With
+    [ban_stdout] (default false), also flag direct stdout printing. *)
 
-val scan_file : string -> Diagnostic.t list
+val scan_file : ?ban_stdout:bool -> string -> Diagnostic.t list
 (** Read and {!scan_source} one [.ml] file. *)
 
-val scan_tree : ?require_mli:bool -> string -> Diagnostic.t list
+val scan_tree : ?require_mli:bool -> ?ban_stdout:bool -> string -> Diagnostic.t list
 (** Walk a directory (skipping [_build] and dot-directories), scanning
     every [.ml]. With [require_mli] (default false), also demand a
-    sibling [.mli] for every [.ml]. *)
+    sibling [.mli] for every [.ml]. With [ban_stdout] (default false),
+    flag direct stdout printing — except under [report/] and [obs/]
+    path components, which host the sanctioned sinks. *)
 
 val scan_roots : string list -> Diagnostic.t list
 (** Scan several roots; a root whose basename is ["lib"] gets
-    [require_mli:true] automatically. *)
+    [require_mli:true] and [ban_stdout:true] automatically. *)

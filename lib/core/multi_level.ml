@@ -27,6 +27,10 @@ let transition ~n ~alpha ~beta =
   Mech.Geometric.check_alpha beta;
   if Rat.compare alpha beta > 0 then
     invalid_arg "Multi_level.transition: need alpha <= beta (privacy can only be added)";
+  Obs.span
+    ~attrs:[ ("n", Obs.Int n); ("alpha", Obs.Rat alpha); ("beta", Obs.Rat beta) ]
+    "multilevel.transition"
+  @@ fun () ->
   let g_beta = Mech.Geometric.matrix ~n ~alpha:beta in
   match Mech.Derivability.derive ~alpha g_beta with
   | Mech.Derivability.Derivable t -> t
@@ -50,11 +54,17 @@ let make_plan ~n ~levels =
     if Rat.compare arr.(i) arr.(i + 1) >= 0 then
       invalid_arg "Multi_level.make_plan: levels must be strictly increasing"
   done;
+  Obs.span
+    ~attrs:[ ("n", Obs.Int n); ("levels", Obs.Int (Array.length arr)) ]
+    "multilevel.plan"
+  @@ fun () ->
   let first = Mech.Geometric.matrix ~n ~alpha:arr.(0) in
   let stages =
     Array.init
       (Array.length arr - 1)
-      (fun i -> transition ~n ~alpha:arr.(i) ~beta:arr.(i + 1))
+      (fun i ->
+        Obs.span ~attrs:[ ("stage", Obs.Int i) ] "multilevel.stage" @@ fun () ->
+        transition ~n ~alpha:arr.(i) ~beta:arr.(i + 1))
   in
   { n; levels = arr; first; stages }
 
@@ -62,6 +72,8 @@ let make_plan ~n ~levels =
 let release plan ~true_result rng =
   if true_result < 0 || true_result > plan.n then
     invalid_arg "Multi_level.release: result out of range";
+  Obs.span ~attrs:[ ("levels", Obs.Int (Array.length plan.levels)) ] "multilevel.release"
+  @@ fun () ->
   let k = Array.length plan.levels in
   let out = Array.make k 0 in
   let r1 = Mech.Mechanism.sample plan.first ~input:true_result rng in
@@ -93,6 +105,8 @@ let stage_marginal plan i =
     prior over inputs, the exact posterior given a joint observation —
     tests compare it against the single-observation posterior. *)
 let posterior plan ~observed =
+  Obs.span ~attrs:[ ("observations", Obs.Int (List.length observed)) ] "multilevel.posterior"
+  @@ fun () ->
   (* observed : (level_index, value) list, sorted by level. *)
   let k = Array.length plan.levels in
   List.iter

@@ -24,6 +24,7 @@ let solve ~(deployed : Mech.Mechanism.t) (consumer : Consumer.t) =
   let n = Mech.Mechanism.n deployed in
   if Consumer.n consumer <> n then
     invalid_arg "Optimal_interaction.solve: consumer range does not match mechanism";
+  Obs.span ~attrs:[ ("n", Obs.Int n) ] "core.optimal_interaction" @@ fun () ->
   let p = Lp.make () in
   let t_var = Array.init (n + 1) (fun r -> Array.init (n + 1) (fun r' -> Lp.fresh_var ~name:(Printf.sprintf "T_%d_%d" r r') p)) in
   let d = Lp.fresh_var ~name:"d" p in

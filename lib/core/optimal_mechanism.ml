@@ -20,6 +20,7 @@ type result = { mechanism : Mech.Mechanism.t; loss : Rat.t }
 
 let build_problem ~alpha ~n (consumer : Consumer.t) =
   Mech.Geometric.check_alpha alpha;
+  Obs.span ~attrs:[ ("n", Obs.Int n); ("alpha", Obs.Rat alpha) ] "core.build_problem" @@ fun () ->
   let p = Lp.make () in
   let x = Array.init (n + 1) (fun i -> Array.init (n + 1) (fun r -> Lp.fresh_var ~name:(Printf.sprintf "x_%d_%d" i r) p)) in
   let d = Lp.fresh_var ~name:"d" p in
@@ -59,6 +60,8 @@ let extract x (sol : Lp.solution) n =
 
 let solve ?pricing ?crash ~alpha (consumer : Consumer.t) =
   let n = Consumer.n consumer in
+  Obs.span ~attrs:[ ("n", Obs.Int n); ("alpha", Obs.Rat alpha) ] "core.optimal_mechanism"
+  @@ fun () ->
   let p, x, d = build_problem ~alpha ~n consumer in
   Lp.set_objective p Lp.Minimize (Lp.Expr.var d);
   match Lp.solve ?pricing ?crash p with
@@ -148,6 +151,7 @@ let satisfies_lemma5 ~alpha m =
     Bayesian-optimal loss under this prior = minimax loss, exactly. *)
 let least_favorable_prior ~alpha (consumer : Consumer.t) =
   let n = Consumer.n consumer in
+  Obs.span ~attrs:[ ("n", Obs.Int n) ] "core.least_favorable_prior" @@ fun () ->
   let p, _, d = build_problem ~alpha ~n consumer in
   Lp.set_objective p Lp.Minimize (Lp.Expr.var d);
   match Lp.solve_with_duals p with
@@ -173,6 +177,7 @@ let least_favorable_prior ~alpha (consumer : Consumer.t) =
     agrees with {!solve} exactly. *)
 let solve_via_interaction ~alpha (consumer : Consumer.t) =
   let n = Consumer.n consumer in
+  Obs.span ~attrs:[ ("n", Obs.Int n) ] "core.solve_via_interaction" @@ fun () ->
   let deployed = Mech.Geometric.matrix ~n ~alpha in
   let r = Optimal_interaction.solve ~deployed consumer in
   { mechanism = r.Optimal_interaction.induced; loss = r.Optimal_interaction.loss }

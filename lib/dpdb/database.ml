@@ -53,6 +53,8 @@ let are_neighbors a b =
 
 (** Number of rows satisfying a predicate — the paper's count query. *)
 let count t pred =
+  Obs.span ~attrs:[ ("rows", Obs.Int (size t)) ] "dpdb.count" @@ fun () ->
+  Obs.incr ~by:(size t) "dpdb.rows_scanned";
   Array.fold_left (fun acc r -> if Predicate.eval t.schema r pred then acc + 1 else acc) 0 t.rows
 
 let select t pred =

@@ -24,6 +24,12 @@ module type S = sig
   (** [-1], [0], or [1]; floating-point instantiations may use a
       tolerance for [0]. *)
 
+  val bit_size : t -> int
+  (** Operand size in bits for exact fields ({!Rat.bit_size}); [0] for
+      floating point, whose operands do not grow. Observability
+      histograms use this to track coefficient blow-up and skip the
+      measurement entirely when it is always zero. *)
+
   val to_float : t -> float
   val to_string : t -> string
   val pp : Format.formatter -> t -> unit
@@ -53,6 +59,7 @@ module Float_field : S with type t = float = struct
   let compare = Float.compare
   let is_zero x = Float.abs x <= eps
   let sign x = if Float.abs x <= eps then 0 else if x > 0.0 then 1 else -1
+  let bit_size _ = 0
   let to_float x = x
   let to_string = string_of_float
   let pp = Format.pp_print_float

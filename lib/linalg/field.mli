@@ -24,6 +24,12 @@ module type S = sig
   (** [-1], [0], or [1]; floating-point instantiations may use a
       tolerance for [0]. *)
 
+  val bit_size : t -> int
+  (** Operand size in bits for exact fields ({!Rat.bit_size}); [0] for
+      floating point, whose operands do not grow. Observability
+      histograms use this to track coefficient blow-up and skip the
+      measurement entirely when it is always zero. *)
+
   val to_float : t -> float
   val to_string : t -> string
   val pp : Format.formatter -> t -> unit

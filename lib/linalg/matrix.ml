@@ -78,6 +78,7 @@ module Make (F : Field.S) = struct
 
   let mul (a : t) (b : t) : t =
     if cols a <> rows b then invalid_arg "Matrix.mul: shape mismatch";
+    Obs.incr "matrix.muls";
     let n = cols a in
     init (rows a) (cols b) (fun i j ->
         let acc = ref F.zero in
@@ -119,9 +120,17 @@ module Make (F : Field.S) = struct
   (* Partial pivoting picks the largest |pivot| (meaningful for floats,
      harmless for exact fields). Returns None when singular. *)
 
+  (* Largest [F.bit_size] over a matrix; 0 over float fields, where the
+     scan is pointless — callers gate on the result being positive. *)
+  let max_bit_size (m : t) =
+    let best = ref 0 in
+    Array.iter (Array.iter (fun x -> best := Stdlib.max !best (F.bit_size x))) m;
+    !best
+
   let determinant (m : t) =
     let n = rows m in
     if n <> cols m then invalid_arg "Matrix.determinant: not square";
+    Obs.span ~attrs:[ ("n", Obs.Int n) ] "matrix.determinant" @@ fun () ->
     let a = copy m in
     let det = ref F.one in
     (try
@@ -158,6 +167,10 @@ module Make (F : Field.S) = struct
          done
        done
      with Exit -> ());
+    if Obs.enabled () then begin
+      let bits = F.bit_size !det in
+      if bits > 0 then Obs.observe "matrix.det_bits" bits
+    end;
     !det
 
   (* Gauss-Jordan on [a | rhs]; returns the transformed rhs or None when
@@ -214,9 +227,19 @@ module Make (F : Field.S) = struct
      with Exit -> ());
     if !ok then Some b else None
 
-  let inverse (m : t) : t option = gauss_jordan m (identity (rows m))
+  let inverse (m : t) : t option =
+    Obs.span ~attrs:[ ("n", Obs.Int (rows m)) ] "matrix.inverse" @@ fun () ->
+    Obs.incr "matrix.inversions";
+    let result = gauss_jordan m (identity (rows m)) in
+    (match result with
+     | Some inv when Obs.enabled () ->
+       let bits = max_bit_size inv in
+       if bits > 0 then Obs.observe "matrix.inverse_bits" bits
+     | _ -> ());
+    result
 
   let solve (m : t) (v : vec) : vec option =
+    Obs.span ~attrs:[ ("n", Obs.Int (rows m)) ] "matrix.solve" @@ fun () ->
     let rhs = init (rows m) 1 (fun i _ -> v.(i)) in
     Option.map (fun sol -> Array.init (rows m) (fun i -> sol.(i).(0))) (gauss_jordan m rhs)
 

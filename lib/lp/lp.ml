@@ -122,6 +122,10 @@ type compiled = {
 }
 
 let compile p =
+  Obs.span
+    ~attrs:[ ("nvars", Obs.Int p.nvars); ("nconstraints", Obs.Int (n_constraints p)) ]
+    "lp.compile"
+  @@ fun () ->
   let nv = p.nvars in
   let lower = Array.of_list (List.rev p.lower) in
   let constraints = List.rev p.constraints in
@@ -195,6 +199,11 @@ let compile p =
   }
 
 let solve_internal ?pricing ?crash ~want_duals p =
+  Obs.span
+    ~attrs:[ ("nvars", Obs.Int p.nvars); ("nconstraints", Obs.Int (n_constraints p)) ]
+    "lp.solve"
+  @@ fun () ->
+  Obs.incr "lp.solves";
   let nv = p.nvars in
   let { ca; cb; cc; c_col_of_var; c_neg_col_of_var; c_lower; c_flip; c_obj_shift } = compile p in
   let result, duals =
@@ -224,6 +233,7 @@ let solve_internal ?pricing ?crash ~want_duals p =
       let signed = if c_flip then Rat.neg raw_obj else raw_obj in
       Rat.add signed c_obj_shift
     in
+    Obs.observe_bits "lp.objective_bits" objective;
     (Optimal { objective; values }, duals)
 
 let solve ?pricing ?crash p = fst (solve_internal ?pricing ?crash ~want_duals:false p)

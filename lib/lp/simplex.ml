@@ -36,6 +36,11 @@ module Make (F : Linalg.Field.S) = struct
     let a = tab.t in
     let p = a.(row).(col) in
     assert (not (F.is_zero p));
+    if Obs.enabled () then begin
+      Obs.incr "simplex.pivots";
+      let bits = F.bit_size p in
+      if bits > 0 then Obs.observe "simplex.pivot_bits" bits
+    end;
     let inv_p = F.div F.one p in
     for j = 0 to tab.total_cols do
       if not (F.is_zero a.(row).(j)) then a.(row).(j) <- F.mul a.(row).(j) inv_p
@@ -124,7 +129,11 @@ module Make (F : Linalg.Field.S) = struct
         done;
         (if F.is_zero !best_ratio then begin
            incr stall;
-           if !stall > stall_threshold then use_bland := true
+           Obs.incr "simplex.degenerate_ties";
+           if !stall > stall_threshold && not !use_bland then begin
+             Obs.incr "simplex.bland_fallbacks";
+             use_bland := true
+           end
          end
          else stall := 0);
         match !candidates with
@@ -151,6 +160,7 @@ module Make (F : Linalg.Field.S) = struct
             | [ only ] -> only
             | _ when j > tab.total_cols -> List.hd cands (* unreachable *)
             | _ ->
+              Obs.incr "simplex.narrow_steps";
               let scored =
                 List.map (fun i -> (i, F.div a.(i).(j) a.(i).(col))) cands
               in
@@ -196,6 +206,7 @@ module Make (F : Linalg.Field.S) = struct
     let n = Array.length c in
     Array.iter (fun row -> if Array.length row <> n then invalid_arg "Simplex: ragged A") a;
     if Array.length b <> m then invalid_arg "Simplex: |b| <> rows A";
+    Obs.span ~attrs:[ ("rows", Obs.Int m); ("cols", Obs.Int n) ] "simplex.solve" @@ fun () ->
     (* Sign-normalize rows so rhs >= 0 (rows with rhs 0 are flipped so
        that any slack-like singleton column comes out positive — that
        lets the crash step below adopt it as basic). *)
@@ -276,18 +287,32 @@ module Make (F : Linalg.Field.S) = struct
     done;
     let initial_col_of_row = Array.copy basis_of_row in
     let tab = { t; basis = basis_of_row; m; total_cols = total } in
+    if Obs.enabled () then begin
+      Obs.observe "simplex.rows" m;
+      Obs.observe "simplex.cols" total;
+      let nz = ref 0 in
+      for i = 0 to m - 1 do
+        for j = 0 to total do
+          if not (F.is_zero t.(i).(j)) then Stdlib.incr nz
+        done
+      done;
+      let cells = m * (total + 1) in
+      if cells > 0 then Obs.observe "simplex.density_permille" (!nz * 1000 / cells)
+    end;
     (* Phase 1: minimize the sum of artificials (skipped when the crash
        basis covered every row). *)
     let phase1_value =
       if n_art = 0 then F.zero
-      else begin
+      else
+        Obs.span "simplex.phase1" @@ fun () ->
+        let pivots_before = Obs.counter_value "simplex.pivots" in
         let phase1_cost = Array.init total (fun j -> if j >= n then F.one else F.zero) in
         install_objective tab phase1_cost;
         (match optimize ?pricing tab ~allowed:(fun _ -> true) with
          | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
          | `Optimal -> ());
+        Obs.incr ~by:(Obs.counter_value "simplex.pivots" - pivots_before) "simplex.phase1.pivots";
         F.neg tab.t.(m).(rhs_col tab)
-      end
     in
     if F.sign phase1_value > 0 then Infeasible
     else begin
@@ -308,9 +333,26 @@ module Make (F : Linalg.Field.S) = struct
       (* Phase 2. *)
       let phase2_cost = Array.init total (fun j -> if j < n then c.(j) else F.zero) in
       install_objective tab phase2_cost;
-      match optimize ?pricing tab ~allowed:(fun j -> j < n) with
+      let phase2_result =
+        Obs.span "simplex.phase2" @@ fun () ->
+        let pivots_before = Obs.counter_value "simplex.pivots" in
+        let r = optimize ?pricing tab ~allowed:(fun j -> j < n) in
+        Obs.incr ~by:(Obs.counter_value "simplex.pivots" - pivots_before) "simplex.phase2.pivots";
+        r
+      in
+      match phase2_result with
       | `Unbounded -> Unbounded
       | `Optimal ->
+        if Obs.enabled () then begin
+          let max_bits = ref 0 in
+          for i = 0 to m do
+            for j = 0 to total do
+              let bits = F.bit_size tab.t.(i).(j) in
+              if bits > !max_bits then max_bits := bits
+            done
+          done;
+          if !max_bits > 0 then Obs.observe "simplex.final_bits" !max_bits
+        end;
         let x = Array.make n F.zero in
         for i = 0 to m - 1 do
           if tab.basis.(i) < n then x.(tab.basis.(i)) <- tab.t.(i).(rhs_col tab)

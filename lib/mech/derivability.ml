@@ -49,6 +49,7 @@ let satisfies_condition ~alpha m = condition_violations ~alpha m = []
     non-negative. *)
 let factor ~alpha m =
   let n = Mechanism.n m in
+  Obs.span ~attrs:[ ("n", Obs.Int n) ] "derivability.factor" @@ fun () ->
   let g = Mechanism.matrix (Geometric.matrix ~n ~alpha) in
   match Qm.inverse g with
   | None -> invalid_arg "Derivability.factor: geometric matrix singular (impossible for 0<alpha<1)"
@@ -66,7 +67,11 @@ let derive ~alpha m =
     assert (Qm.is_generalized_stochastic t);
     Derivable t
   end
-  else Not_derivable (condition_violations ~alpha m)
+  else begin
+    let violations = condition_violations ~alpha m in
+    Obs.incr ~by:(List.length violations) "derivability.violations";
+    Not_derivable violations
+  end
 
 let is_derivable ~alpha m = match derive ~alpha m with Derivable _ -> true | Not_derivable _ -> false
 

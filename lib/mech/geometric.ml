@@ -18,6 +18,7 @@ let check_alpha alpha =
 let matrix ~n ~alpha =
   check_alpha alpha;
   if n < 1 then invalid_arg "Geometric.matrix: n must be >= 1";
+  Obs.span ~attrs:[ ("n", Obs.Int n); ("alpha", Obs.Rat alpha) ] "geometric.matrix" @@ fun () ->
   let one_plus = Rat.add Rat.one alpha in
   let boundary = Rat.inv one_plus in
   let interior = Rat.div (Rat.sub Rat.one alpha) one_plus in

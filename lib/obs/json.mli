@@ -1,0 +1,43 @@
+(** Minimal JSON values, rendering and parsing for diagnostics and
+    observability export.
+
+    Deliberately tiny: diagnostics, certificates, traces and bench
+    records must be machine-readable without pulling a JSON dependency
+    into the build. Output is valid RFC-8259 JSON; exact rationals are
+    encoded as strings (["3/7"]) so no precision is lost in transit.
+    The parser accepts the same dialect it emits — in particular only
+    integer numbers; anything with a fraction or exponent is rejected
+    rather than silently rounded. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val rat : Rat.t -> t
+(** Exact encoding of a rational as a ["p/q"] (or ["p"]) string. *)
+
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslash, control chars). *)
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented multi-line rendering for human eyes. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document. Whitespace-tolerant; rejects
+    trailing garbage and non-integer numbers (floats would silently
+    destroy exactness — encode rationals as strings instead).
+    [\uXXXX] escapes are decoded to UTF-8. *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the first binding of [k]; [None] on
+    missing keys and non-objects. *)
+
+val to_int_opt : t -> int option
+val to_str_opt : t -> string option

@@ -1,0 +1,419 @@
+(* Ambient observability: spans, counters and exact-arithmetic
+   histograms; see obs.mli.
+
+   Design constraints, in order:
+   1. Zero cost when disabled — every instrumentation entry point is a
+      single ref read plus a branch, and anything expensive to compute
+      (bit sizes, density scans) is behind [enabled ()] at the call
+      site.
+   2. Deterministic under a fake clock — all timing flows through an
+      injectable [Clock.t], so tests can assert byte-exact output.
+   3. No dependencies beyond the rational stack and the monotonic
+      clock stub that is already in the build. *)
+
+module Json = Json
+
+(* ------------------------------------------------------------------ *)
+(* Clocks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Clock = struct
+  type t = unit -> int64
+
+  let monotonic : t = Monotonic_clock.now
+
+  module Fake = struct
+    type nonrec clock = t
+    type t = { mutable now_ns : int64 }
+
+    let create ?(now = 0L) () = { now_ns = now }
+    let clock t () = t.now_ns
+    let advance t d = t.now_ns <- Int64.add t.now_ns d
+    let set t v = t.now_ns <- v
+  end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Attribute values                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type value =
+  | Int of int
+  | Str of string
+  | Rat of Rat.t
+  | Bool of bool
+
+let value_to_json = function
+  | Int i -> Json.Int i
+  | Str s -> Json.Str s
+  | Rat q -> Json.rat q
+  | Bool b -> Json.Bool b
+
+type span = {
+  name : string;
+  start_ns : int64;
+  dur_ns : int64;
+  depth : int;
+  attrs : (string * value) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Histogram = struct
+  (* Power-of-two buckets keyed by bit count: bucket [k >= 1] counts
+     observations [v] with [2^(k-1) <= v < 2^k]; bucket 0 counts
+     [v <= 0]. Bit-count bucketing matches the quantity we histogram
+     most — Rat.bit_size — where the bucket index is then linear in
+     the operand's size. *)
+  let nbuckets = 64
+
+  type t = {
+    buckets : int array;
+    mutable count : int;
+    mutable sum : int;
+    mutable min_v : int;
+    mutable max_v : int;
+  }
+
+  let create () =
+    { buckets = Array.make nbuckets 0; count = 0; sum = 0; min_v = max_int; max_v = min_int }
+
+  let bucket_of v =
+    if v <= 0 then 0
+    else begin
+      let bits = ref 0 in
+      let x = ref v in
+      while !x <> 0 do
+        incr bits;
+        x := !x lsr 1
+      done;
+      Stdlib.min (nbuckets - 1) !bits
+    end
+
+  let observe t v =
+    let b = bucket_of v in
+    t.buckets.(b) <- t.buckets.(b) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum + v;
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+
+  let count t = t.count
+  let sum t = t.sum
+  let min t = if t.count = 0 then 0 else t.min_v
+  let max t = if t.count = 0 then 0 else t.max_v
+  let mean t = if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
+
+  let buckets t =
+    let out = ref [] in
+    for k = nbuckets - 1 downto 0 do
+      if t.buckets.(k) > 0 then out := (k, t.buckets.(k)) :: !out
+    done;
+    !out
+
+  let merge ~into src =
+    Array.iteri (fun k c -> into.buckets.(k) <- into.buckets.(k) + c) src.buckets;
+    into.count <- into.count + src.count;
+    into.sum <- into.sum + src.sum;
+    if src.count > 0 then begin
+      if src.min_v < into.min_v then into.min_v <- src.min_v;
+      if src.max_v > into.max_v then into.max_v <- src.max_v
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Recorder                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  clock : Clock.t;
+  epoch_ns : int64;
+  mutable depth : int;
+  mutable spans_rev : span list;
+  counters : (string, int ref) Hashtbl.t;
+  histograms : (string, Histogram.t) Hashtbl.t;
+}
+
+let create ?(clock = Clock.monotonic) () =
+  {
+    clock;
+    epoch_ns = clock ();
+    depth = 0;
+    spans_rev = [];
+    counters = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let ambient : t option ref = ref None
+
+let set_current o = ambient := o
+
+let current () = !ambient
+
+let enabled () =
+  match !ambient with
+  | Some _ -> true
+  | None -> false
+
+let with_recorder r f =
+  let prev = !ambient in
+  ambient := Some r;
+  Fun.protect ~finally:(fun () -> ambient := prev) f
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation entry points                                        *)
+(* ------------------------------------------------------------------ *)
+
+let span ?(attrs = []) name f =
+  match !ambient with
+  | None -> f ()
+  | Some r ->
+    let start_ns = r.clock () in
+    let depth = r.depth in
+    r.depth <- depth + 1;
+    Fun.protect
+      ~finally:(fun () ->
+        let stop_ns = r.clock () in
+        r.depth <- depth;
+        r.spans_rev <-
+          { name; start_ns; dur_ns = Int64.sub stop_ns start_ns; depth; attrs } :: r.spans_rev)
+      f
+
+let counter_cell r name =
+  match Hashtbl.find_opt r.counters name with
+  | Some c -> c
+  | None ->
+    let c = ref 0 in
+    Hashtbl.add r.counters name c;
+    c
+
+let incr ?(by = 1) name =
+  match !ambient with
+  | None -> ()
+  | Some r ->
+    let c = counter_cell r name in
+    c := !c + by
+
+let histogram_cell r name =
+  match Hashtbl.find_opt r.histograms name with
+  | Some h -> h
+  | None ->
+    let h = Histogram.create () in
+    Hashtbl.add r.histograms name h;
+    h
+
+let observe name v =
+  match !ambient with
+  | None -> ()
+  | Some r -> Histogram.observe (histogram_cell r name) v
+
+let observe_bits name q =
+  match !ambient with
+  | None -> ()
+  | Some r -> Histogram.observe (histogram_cell r name) (Rat.bit_size q)
+
+let counter_value name =
+  match !ambient with
+  | None -> 0
+  | Some r -> (
+    match Hashtbl.find_opt r.counters name with
+    | Some c -> !c
+    | None -> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Read-out                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let spans r = List.rev r.spans_rev
+
+let counters r =
+  Hashtbl.fold (fun k c acc -> (k, !c) :: acc) r.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counter r name =
+  match Hashtbl.find_opt r.counters name with
+  | Some c -> !c
+  | None -> 0
+
+let histograms r =
+  Hashtbl.fold (fun k h acc -> (k, h) :: acc) r.histograms []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let histogram r name = Hashtbl.find_opt r.histograms name
+
+let histogram_max r name =
+  match Hashtbl.find_opt r.histograms name with
+  | Some h -> Histogram.max h
+  | None -> 0
+
+let merge_into ~into src =
+  Hashtbl.iter
+    (fun k c ->
+      let cell = counter_cell into k in
+      cell := !cell + !c)
+    src.counters;
+  Hashtbl.iter
+    (fun k h -> Histogram.merge ~into:(histogram_cell into k) h)
+    src.histograms
+
+let reset r =
+  r.depth <- 0;
+  r.spans_rev <- [];
+  Hashtbl.reset r.counters;
+  Hashtbl.reset r.histograms
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let render_text r =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let agg = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let calls, total =
+        match Hashtbl.find_opt agg s.name with
+        | Some v -> v
+        | None -> (0, 0L)
+      in
+      Hashtbl.replace agg s.name (calls + 1, Int64.add total s.dur_ns))
+    (spans r);
+  let rows =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) agg []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  if rows <> [] then begin
+    add "spans:\n";
+    List.iter
+      (fun (name, (calls, total)) ->
+        add "  %-34s %7d call(s) %12.3f ms\n" name calls (Int64.to_float total /. 1e6))
+      rows
+  end;
+  let cs = counters r in
+  if cs <> [] then begin
+    add "counters:\n";
+    List.iter (fun (k, v) -> add "  %-34s %d\n" k v) cs
+  end;
+  let hs = histograms r in
+  if hs <> [] then begin
+    add "histograms:\n";
+    List.iter
+      (fun (k, h) ->
+        add "  %-34s n=%d min=%d max=%d mean=%.1f\n" k (Histogram.count h) (Histogram.min h)
+          (Histogram.max h) (Histogram.mean h))
+      hs
+  end;
+  Buffer.contents buf
+
+let rel_ns r ns = Int64.to_int (Int64.sub ns r.epoch_ns)
+
+let span_to_json r s =
+  Json.Obj
+    [
+      ("type", Json.Str "span");
+      ("name", Json.Str s.name);
+      ("start_ns", Json.Int (rel_ns r s.start_ns));
+      ("dur_ns", Json.Int (Int64.to_int s.dur_ns));
+      ("depth", Json.Int s.depth);
+      ("attrs", Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) s.attrs));
+    ]
+
+let histogram_to_json h =
+  Json.Obj
+    [
+      ("count", Json.Int (Histogram.count h));
+      ("sum", Json.Int (Histogram.sum h));
+      ("min", Json.Int (Histogram.min h));
+      ("max", Json.Int (Histogram.max h));
+      ( "buckets",
+        Json.List
+          (List.map (fun (k, c) -> Json.List [ Json.Int k; Json.Int c ]) (Histogram.buckets h)) );
+    ]
+
+let to_json_lines r =
+  let buf = Buffer.create 1024 in
+  let line j = Buffer.add_string buf (Json.to_string j ^ "\n") in
+  List.iter (fun s -> line (span_to_json r s)) (spans r);
+  List.iter
+    (fun (k, v) ->
+      line (Json.Obj [ ("type", Json.Str "counter"); ("name", Json.Str k); ("value", Json.Int v) ]))
+    (counters r);
+  List.iter
+    (fun (k, h) ->
+      match histogram_to_json h with
+      | Json.Obj fields ->
+        line (Json.Obj (("type", Json.Str "histogram") :: ("name", Json.Str k) :: fields))
+      | j -> line j)
+    (histograms r);
+  Buffer.contents buf
+
+let metrics_to_json r =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters r)));
+      ("histograms", Json.Obj (List.map (fun (k, h) -> (k, histogram_to_json h)) (histograms r)));
+    ]
+
+(* Chrome trace-event JSON (the {"traceEvents": [...]} object form),
+   loadable in chrome://tracing and Perfetto. Timestamps are integer
+   microseconds relative to the recorder's epoch; the exact nanosecond
+   values ride along in [args] so nothing is lost to rounding. *)
+let to_chrome_trace r =
+  let us ns = Int64.to_int (Int64.div ns 1000L) in
+  let span_events =
+    List.map
+      (fun s ->
+        let cat =
+          match String.index_opt s.name '.' with
+          | Some i -> String.sub s.name 0 i
+          | None -> s.name
+        in
+        Json.Obj
+          [
+            ("name", Json.Str s.name);
+            ("cat", Json.Str cat);
+            ("ph", Json.Str "X");
+            ("ts", Json.Int (us (Int64.sub s.start_ns r.epoch_ns)));
+            ("dur", Json.Int (us s.dur_ns));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int 1);
+            ( "args",
+              Json.Obj
+                (("start_ns", Json.Int (rel_ns r s.start_ns))
+                 :: ("dur_ns", Json.Int (Int64.to_int s.dur_ns))
+                 :: List.map (fun (k, v) -> (k, value_to_json v)) s.attrs) );
+          ])
+      (spans r)
+  in
+  let end_ts =
+    List.fold_left
+      (fun acc s -> Stdlib.max acc (us (Int64.add (Int64.sub s.start_ns r.epoch_ns) s.dur_ns)))
+      0 (spans r)
+  in
+  let counter_events =
+    List.map
+      (fun (k, v) ->
+        Json.Obj
+          [
+            ("name", Json.Str k);
+            ("ph", Json.Str "C");
+            ("ts", Json.Int end_ts);
+            ("pid", Json.Int 1);
+            ("tid", Json.Int 1);
+            ("args", Json.Obj [ ("value", Json.Int v) ]);
+          ])
+      (counters r)
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (span_events @ counter_events));
+      ("displayTimeUnit", Json.Str "ns");
+    ]
+
+let write_chrome_trace r file =
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc (Json.to_string (to_chrome_trace r));
+      Out_channel.output_string oc "\n")

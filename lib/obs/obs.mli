@@ -1,0 +1,180 @@
+(** Ambient observability for the exact-arithmetic pipeline: spans,
+    counters and bit-size histograms, with text, JSON-lines and Chrome
+    trace-event export.
+
+    The library is silent by default. Instrumented code calls {!span},
+    {!incr} and {!observe} unconditionally; when no recorder is
+    installed (see {!set_current}) each call is one ref read plus a
+    branch. Measurements that are themselves expensive — scanning a
+    tableau for the largest coefficient, computing {!Rat.bit_size} over
+    a matrix — must be guarded by {!enabled} at the call site.
+
+    Timing comes from an injectable monotonic {!Clock.t}; tests install
+    a {!Clock.Fake} and assert byte-exact sink output. *)
+
+module Json = Json
+(** Re-export of the JSON module all sinks emit; [Check.Json] is the
+    same module, re-exported for the analyzer's certificates. *)
+
+(** {1 Clocks} *)
+
+module Clock : sig
+  type t = unit -> int64
+  (** Nanoseconds from an arbitrary fixed origin; must be monotone. *)
+
+  val monotonic : t
+  (** The process monotonic clock ([CLOCK_MONOTONIC]). *)
+
+  (** Deterministic clock for tests: time advances only when told. *)
+  module Fake : sig
+    type nonrec clock = t
+    type t
+
+    val create : ?now:int64 -> unit -> t
+    (** Fresh fake clock, initially at [now] (default [0L]). *)
+
+    val clock : t -> clock
+    val advance : t -> int64 -> unit
+    val set : t -> int64 -> unit
+  end
+end
+
+(** {1 Values and spans} *)
+
+(** Span attribute values. Rationals are carried exactly and encoded
+    as ["p/q"] strings in every sink. *)
+type value =
+  | Int of int
+  | Str of string
+  | Rat of Rat.t
+  | Bool of bool
+
+type span = {
+  name : string;  (** Dotted, layer-first: ["simplex.phase1"]. *)
+  start_ns : int64;  (** Clock reading at entry. *)
+  dur_ns : int64;
+  depth : int;  (** Nesting depth at entry; 0 for top-level spans. *)
+  attrs : (string * value) list;
+}
+
+(** {1 Histograms} *)
+
+(** Fixed-size histogram with power-of-two buckets keyed by bit count:
+    bucket [k >= 1] holds values [v] with [2^(k-1) <= v < 2^k], bucket
+    [0] holds [v <= 0]. The bucket index of a {!Rat.bit_size}
+    observation is therefore logarithmic in the operand's magnitude
+    and linear in its size — the right resolution for watching exact
+    coefficients blow up. *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+  val observe : t -> int -> unit
+  val count : t -> int
+  val sum : t -> int
+
+  val min : t -> int
+  (** [0] when empty. *)
+
+  val max : t -> int
+  (** [0] when empty. *)
+
+  val mean : t -> float
+
+  val buckets : t -> (int * int) list
+  (** Non-empty buckets as [(bucket_index, count)], ascending. *)
+
+  val merge : into:t -> t -> unit
+end
+
+(** {1 Recorders} *)
+
+type t
+(** A recorder: collects spans, counters and histograms against one
+    clock. Not thread-safe; the intended use is one ambient recorder
+    per process (or per experiment, swapped with {!with_recorder}). *)
+
+val create : ?clock:Clock.t -> unit -> t
+(** Fresh recorder; its epoch is the clock reading at creation, and
+    all exported timestamps are relative to it. *)
+
+val set_current : t option -> unit
+(** Install ([Some r]) or remove ([None]) the ambient recorder. *)
+
+val current : unit -> t option
+
+val enabled : unit -> bool
+(** Whether a recorder is installed. Guard expensive measurement code
+    with this; {!span}/{!incr}/{!observe} already check it. *)
+
+val with_recorder : t -> (unit -> 'a) -> 'a
+(** Run with [r] ambient, restoring the previous recorder on exit
+    (also on exceptions). *)
+
+(** {1 Instrumentation} *)
+
+val span : ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] times [f ()] and records a completed span; when no
+    recorder is installed it is exactly [f ()]. The span is recorded
+    even when [f] raises (the exception is re-raised). *)
+
+val incr : ?by:int -> string -> unit
+(** Bump a named counter (created at zero on first use). *)
+
+val observe : string -> int -> unit
+(** Record one value into a named histogram. *)
+
+val observe_bits : string -> Rat.t -> unit
+(** [observe name (Rat.bit_size q)], with the bit-size computation
+    skipped entirely when disabled. *)
+
+val counter_value : string -> int
+(** Current ambient value of a counter; [0] when disabled or never
+    bumped. Used to compute per-phase deltas of a shared counter. *)
+
+(** {1 Read-out} *)
+
+val spans : t -> span list
+(** In completion order (a parent span follows its children). *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val counter : t -> string -> int
+val histograms : t -> (string * Histogram.t) list
+val histogram : t -> string -> Histogram.t option
+
+val histogram_max : t -> string -> int
+(** [0] when the histogram does not exist or is empty. *)
+
+val merge_into : into:t -> t -> unit
+(** Add [src]'s counters and histograms into [into]. Spans are not
+    merged: their timestamps are only meaningful against their own
+    recorder's clock and epoch. *)
+
+val reset : t -> unit
+
+(** {1 Sinks} *)
+
+val render_text : t -> string
+(** Human-readable summary: spans aggregated by name (call count and
+    total wall time), then counters, then histogram statistics. *)
+
+val to_json_lines : t -> string
+(** One JSON object per line: every span (with [start_ns]/[dur_ns]
+    relative to the recorder epoch), then counters, then histograms,
+    each tagged with a ["type"] field. *)
+
+val metrics_to_json : t -> Json.t
+(** Counters and histograms (no spans) as a single JSON object — the
+    shape embedded in BENCH records. *)
+
+val to_chrome_trace : t -> Json.t
+(** The [{"traceEvents": [...]}] Chrome trace-event document: spans as
+    ["ph":"X"] complete events (timestamps in integer microseconds
+    relative to the epoch, exact nanoseconds preserved under [args]),
+    counters as ["ph":"C"] events. Loadable in chrome://tracing and
+    Perfetto. *)
+
+val write_chrome_trace : t -> string -> unit
+(** Write {!to_chrome_trace} to a file, with a trailing newline. *)

@@ -43,6 +43,8 @@ let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
 let hash t = Hashtbl.hash (B.hash t.num, B.hash t.den)
 
+let bit_size t = Stdlib.max (B.num_bits t.num) (B.num_bits t.den)
+
 let neg t = { t with num = B.neg t.num }
 let abs t = { t with num = B.abs t.num }
 

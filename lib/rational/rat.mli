@@ -55,6 +55,13 @@ val min : t -> t -> t
 val max : t -> t -> t
 val hash : t -> int
 
+val bit_size : t -> int
+(** Maximum of {!Bigint.num_bits} over numerator and denominator —
+    the operand-size measure the observability layer histograms to
+    detect coefficient blow-up during exact pivoting. [bit_size zero]
+    is [1] (the denominator [1]); values grow without bound as
+    intermediate LP/elimination results accumulate precision. *)
+
 (** {1 Field operations} *)
 
 val neg : t -> t

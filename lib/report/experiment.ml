@@ -3,7 +3,13 @@
     Each experiment corresponds to one artifact of the paper (a table,
     a figure, a lemma, or a synthesized evaluation — see the index in
     DESIGN.md) and reports a pass/fail verdict plus free-form detail
-    that the bench binary prints and EXPERIMENTS.md summarizes. *)
+    that the bench binary prints and EXPERIMENTS.md summarizes.
+
+    Timing uses the injectable monotonic clock from {!Obs.Clock} (wall
+    clock drifts and steps under NTP, which made early timings
+    unreliable), and all text output flows through an injectable sink
+    so callers can capture per-experiment results — the bench binary
+    uses that to build machine-readable BENCH records. *)
 
 type verdict = Pass | Fail of string | Info
 
@@ -16,34 +22,59 @@ type t = {
 
 let make ~id ~title ~paper_claim run = { id; title; paper_claim; run }
 
-let run_one t =
-  Printf.printf "=== [%s] %s ===\n" t.id t.title;
-  Printf.printf "paper: %s\n" t.paper_claim;
-  let started = Unix.gettimeofday () in
-  let verdict, detail = t.run () in
-  let elapsed = Unix.gettimeofday () -. started in
-  print_string detail;
-  if detail <> "" && detail.[String.length detail - 1] <> '\n' then print_newline ();
-  (match verdict with
-   | Pass -> Printf.printf "verdict: PASS (%.2fs)\n" elapsed
-   | Info -> Printf.printf "verdict: INFO (%.2fs)\n" elapsed
-   | Fail why -> Printf.printf "verdict: FAIL — %s (%.2fs)\n" why elapsed);
-  print_newline ();
-  verdict
+type outcome = {
+  experiment : t;
+  verdict : verdict;
+  detail : string;
+  wall_ns : int64;
+  obs : Obs.t option;  (** counters/histograms captured during the run *)
+}
 
-let run_all experiments =
+let run_collect ?(clock = Obs.Clock.monotonic) ?(observe = false) t =
+  let recorder = if observe then Some (Obs.create ~clock ()) else None in
+  let started = clock () in
+  let verdict, detail =
+    match recorder with
+    | Some r -> Obs.with_recorder r t.run
+    | None -> t.run ()
+  in
+  {
+    experiment = t;
+    verdict;
+    detail;
+    wall_ns = Int64.sub (clock ()) started;
+    obs = recorder;
+  }
+
+let run_streamed ?(out = print_string) ?clock ?observe t =
+  out (Printf.sprintf "=== [%s] %s ===\n" t.id t.title);
+  out (Printf.sprintf "paper: %s\n" t.paper_claim);
+  let o = run_collect ?clock ?observe t in
+  out o.detail;
+  if o.detail <> "" && o.detail.[String.length o.detail - 1] <> '\n' then out "\n";
+  let elapsed = Int64.to_float o.wall_ns /. 1e9 in
+  (match o.verdict with
+   | Pass -> out (Printf.sprintf "verdict: PASS (%.2fs)\n" elapsed)
+   | Info -> out (Printf.sprintf "verdict: INFO (%.2fs)\n" elapsed)
+   | Fail why -> out (Printf.sprintf "verdict: FAIL — %s (%.2fs)\n" why elapsed));
+  out "\n";
+  o
+
+let run_one ?out t = (run_streamed ?out t).verdict
+
+let run_all ?(out = print_string) experiments =
   let failed = ref [] in
   List.iter
     (fun e ->
-      match run_one e with
+      match run_one ~out e with
       | Fail why -> failed := (e.id, why) :: !failed
       | Pass | Info -> ())
     experiments;
   match List.rev !failed with
   | [] ->
-    Printf.printf "All %d experiments passed.\n" (List.length experiments);
+    out (Printf.sprintf "All %d experiments passed.\n" (List.length experiments));
     true
   | fs ->
-    Printf.printf "%d/%d experiments FAILED:\n" (List.length fs) (List.length experiments);
-    List.iter (fun (id, why) -> Printf.printf "  [%s] %s\n" id why) fs;
+    out (Printf.sprintf "%d/%d experiments FAILED:\n" (List.length fs) (List.length experiments));
+    List.iter (fun (id, why) -> out (Printf.sprintf "  [%s] %s\n" id why)) fs;
     false

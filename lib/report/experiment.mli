@@ -3,7 +3,11 @@
     Each experiment corresponds to one artifact of the paper (a table,
     a figure, a lemma, or a synthesized evaluation — see the index in
     DESIGN.md). The bench binary runs them and EXPERIMENTS.md records
-    the outcomes. *)
+    the outcomes.
+
+    Timing uses the monotonic clock ({!Obs.Clock.monotonic}, injectable
+    for tests) and output flows through an injectable sink, so callers
+    can capture per-experiment results instead of scraping stdout. *)
 
 type verdict =
   | Pass  (** every check of the artifact succeeded *)
@@ -19,9 +23,32 @@ type t = {
 
 val make : id:string -> title:string -> paper_claim:string -> (unit -> verdict * string) -> t
 
-val run_one : t -> verdict
-(** Run and print one experiment (header, detail, verdict, timing). *)
+(** Everything one run produced. *)
+type outcome = {
+  experiment : t;
+  verdict : verdict;
+  detail : string;
+  wall_ns : int64;  (** monotonic-clock elapsed time *)
+  obs : Obs.t option;
+      (** with [observe:true], the recorder that was ambient during the
+          run — pivot counts, coefficient-bit histograms, etc. *)
+}
 
-val run_all : t list -> bool
+val run_collect : ?clock:Obs.Clock.t -> ?observe:bool -> t -> outcome
+(** Run one experiment silently. With [observe] (default false) a
+    fresh {!Obs.t} recorder is ambient for the duration of the run and
+    returned in the outcome; any previously installed recorder is
+    restored afterwards. *)
+
+val run_streamed : ?out:(string -> unit) -> ?clock:Obs.Clock.t -> ?observe:bool -> t -> outcome
+(** {!run_collect} plus the human-readable report (header, detail,
+    verdict, timing) written to [out] (default [print_string]). The
+    header is printed before the experiment runs, so long runs stream
+    progress. *)
+
+val run_one : ?out:(string -> unit) -> t -> verdict
+(** Run and print one experiment; the verdict alone. *)
+
+val run_all : ?out:(string -> unit) -> t list -> bool
 (** Run a batch; prints a summary and returns whether everything
     passed. *)

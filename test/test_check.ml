@@ -227,6 +227,26 @@ let test_lint_float_eq () =
   Alcotest.(check (list string)) "int compare not flagged" []
     (flagged "let f x = x = 5\n")
 
+let test_lint_print_stdout () =
+  let flagged ?ban_stdout s = rules (L.scan_source ?ban_stdout ~file:"t.ml" s) in
+  Alcotest.(check (list string)) "print_endline flagged" [ "lint/print-stdout" ]
+    (flagged ~ban_stdout:true "let f () = print_endline x\n");
+  Alcotest.(check (list string)) "Printf.printf flagged" [ "lint/print-stdout" ]
+    (flagged ~ban_stdout:true "let f () = Printf.printf \"%d\" 1\n");
+  Alcotest.(check (list string)) "Format.printf flagged" [ "lint/print-stdout" ]
+    (flagged ~ban_stdout:true "let f () = Format.printf \"x\"\n");
+  (* sprintf/eprintf do not touch stdout *)
+  Alcotest.(check (list string)) "sprintf not flagged" []
+    (flagged ~ban_stdout:true "let s = Printf.sprintf \"%d\" 1\nlet () = Printf.eprintf \"e\"\n");
+  (* off by default, and comments never trip the scanner *)
+  Alcotest.(check (list string)) "off by default" []
+    (flagged "let f () = print_endline x\n");
+  Alcotest.(check (list string)) "comment not flagged" []
+    (flagged ~ban_stdout:true "(* print_endline would be rude *) let x = 1\n")
+(* The report/obs tree-level exemption is witnessed by
+   [test_lint_own_tree_clean]: lib/report prints through its sinks and
+   scan_roots bans stdout everywhere else under lib/. *)
+
 let test_lint_strip () =
   (* Nested comments, strings inside comments, char literals. *)
   let s = L.strip "a (* one (* two *) \"*)\" still *) b \"lit\" 'c' '\\n' 'a" in
@@ -283,6 +303,7 @@ let () =
           Alcotest.test_case "catch-all" `Quick test_lint_catch_all;
           Alcotest.test_case "obj-magic" `Quick test_lint_obj_magic;
           Alcotest.test_case "float-eq" `Quick test_lint_float_eq;
+          Alcotest.test_case "print-stdout" `Quick test_lint_print_stdout;
           Alcotest.test_case "strip" `Quick test_lint_strip;
           Alcotest.test_case "own tree clean" `Quick test_lint_own_tree_clean;
         ] );
