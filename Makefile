@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-json clean
+.PHONY: all build test lint chaos bench bench-json clean
 
 all: build
 
@@ -13,6 +13,12 @@ test:
 lint:
 	dune build @lint
 
+# Fault matrix: every trigger site x action x hit discipline; the serve
+# ladder must release a certified mechanism under all of them (@runtest
+# depends on this too).
+chaos:
+	dune build @chaos
+
 bench:
 	dune exec bench/main.exe
 
@@ -21,7 +27,7 @@ bench:
 # number in the file name is the PR sequence number, so successive
 # PRs leave comparable snapshots behind.
 bench-json:
-	dune exec bench/main.exe -- --bench-json BENCH_2.json
+	dune exec bench/main.exe -- --bench-json BENCH_3.json
 
 clean:
 	dune clean

@@ -141,21 +141,77 @@ let render_reports ~json reports =
 (* check-mech                                                        *)
 (* ----------------------------------------------------------------- *)
 
+let deadline_arg =
+  let doc =
+    "Wall-clock budget in milliseconds. The deadline is re-checked between invariant \
+     rules; rules that no longer fit are skipped and reported (a skipped rule is not a \
+     certification, so the exit code is still 1)."
+  in
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
 let check_mech_cmd =
-  let run () geometric n alpha file json =
+  let run () geometric n alpha file json deadline_ms =
     match matrix_of_args ~geometric ~n ~alpha ~file with
     | Error m -> `Error (false, m)
-    | Ok matrix -> render_reports ~json (Check.Invariants.check_mech ~alpha matrix)
+    | Ok matrix -> (
+      match deadline_ms with
+      | None -> render_reports ~json (Check.Invariants.check_mech ~alpha matrix)
+      | Some ms ->
+        (* The same rules check_mech runs, as thunks, so the deadline
+           can be consulted before each one. *)
+        let module I = Check.Invariants in
+        let rules =
+          [
+            ("row-stochastic", fun () -> I.row_stochastic matrix);
+            ("alpha-dp", fun () -> I.alpha_dp ~alpha matrix);
+            ("derivable", fun () -> I.derivability ~alpha matrix);
+            ("factorization", fun () -> I.factorization ~alpha matrix);
+          ]
+        in
+        let budget = Resilience.Budget.make ~deadline_ms:ms () in
+        let reports, skipped =
+          List.fold_left
+            (fun (done_, skipped) (name, rule) ->
+              match Resilience.Budget.check budget ~pivots:0 ~peak_bits:0 with
+              | Some _ -> (done_, name :: skipped)
+              | None -> (rule () :: done_, skipped))
+            ([], []) rules
+        in
+        let reports = List.rev reports and skipped = List.rev skipped in
+        if json then
+          print_endline
+            (Check.Json.to_string
+               (Check.Json.Obj
+                  [
+                    ("summary", I.summary_to_json reports);
+                    ("skipped", Check.Json.List (List.map (fun s -> Check.Json.Str s) skipped));
+                  ]))
+        else begin
+          List.iter (fun r -> Format.printf "%a@." I.pp_report r) reports;
+          if skipped <> [] then
+            Printf.printf "deadline expired after %dms; skipped: %s\n" ms
+              (String.concat ", " skipped)
+        end;
+        if I.all_passed reports && skipped = [] then `Ok ()
+        else begin
+          if not json then prerr_endline "dplint: violations found or rules skipped";
+          exit 1
+        end)
   in
   let term =
-    Term.(ret (const run $ obs_term $ geometric_arg $ n_arg $ alpha_arg $ file_arg $ json_arg))
+    Term.(
+      ret
+        (const run $ obs_term $ geometric_arg $ n_arg $ alpha_arg $ file_arg $ json_arg
+       $ deadline_arg))
   in
   Cmd.v
     (Cmd.info "check-mech"
        ~doc:
          "Certify a mechanism matrix: row-stochasticity, α-differential privacy \
           (Definition 2), Theorem-2 derivability, and the constructive factorization \
-          T = G⁻¹·M. Violations carry exact rational witnesses.")
+          T = G⁻¹·M. Violations carry exact rational witnesses. With --deadline-ms, \
+          the deadline is re-checked between rules and late rules are skipped (and \
+          reported).")
     term
 
 (* ----------------------------------------------------------------- *)

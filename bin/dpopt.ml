@@ -3,6 +3,7 @@
    Subcommands:
      geometric   print or sample the geometric mechanism
      optimal     solve the tailored optimal-mechanism LP (§2.5)
+     serve       budgeted solve with certified degradation to G(n,α)
      interact    solve a consumer's optimal interaction (§2.4.3)
      release     multi-level collusion-resistant release (Algorithm 1)
      verify      check a mechanism matrix for DP and derivability
@@ -70,6 +71,27 @@ let obs_term =
 let decimal_arg =
   let doc = "Print probabilities as decimals instead of exact fractions." in
   Arg.(value & flag & info [ "decimal" ] ~doc)
+
+(* --deadline-ms / --max-pivots / --max-bits: a solve budget. All
+   unset means no budget at all (the solver's zero-overhead path). *)
+let budget_term =
+  let deadline =
+    let doc = "Wall-clock budget for the solve, in milliseconds." in
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let pivots =
+    let doc = "Simplex pivot budget for the solve." in
+    Arg.(value & opt (some int) None & info [ "max-pivots" ] ~docv:"K" ~doc)
+  in
+  let bits =
+    let doc = "Ceiling on pivot-coefficient bit sizes (exhausts instead of thrashing)." in
+    Arg.(value & opt (some int) None & info [ "max-bits" ] ~docv:"B" ~doc)
+  in
+  let mk deadline_ms max_pivots max_bits =
+    if deadline_ms = None && max_pivots = None && max_bits = None then None
+    else Some (Lp.Budget.make ?deadline_ms ?max_pivots ?max_bits ())
+  in
+  Term.(const mk $ deadline $ pivots $ bits)
 
 let loss_conv =
   let parse s =
@@ -190,14 +212,24 @@ let optimal_cmd =
     let doc = "Also print the least-favorable prior (the minimax LP's duals)." in
     Arg.(value & flag & info [ "lfp" ] ~doc)
   in
-  let run () n alpha loss side structured lfp decimal =
+  let run () n alpha loss side structured lfp decimal budget =
     match consumer_of ~n ~loss ~side with
     | Error m -> `Error (false, m)
-    | Ok consumer ->
-      let result =
-        if structured then Minimax.Optimal_mechanism.solve_structured ~alpha consumer
-        else Minimax.Optimal_mechanism.solve ~alpha consumer
+    | Ok _ when structured && Option.is_some budget ->
+      `Error (false, "--structured does not take a budget (drop the flag, or use `dpopt serve`)")
+    | Ok consumer -> (
+      let solved =
+        if structured then Ok (Minimax.Optimal_mechanism.solve_structured ~alpha consumer)
+        else Minimax.Optimal_mechanism.solve_budgeted ?budget ~alpha consumer
       in
+      match solved with
+      | Error e ->
+        `Error
+          ( false,
+            Printf.sprintf "solve gave up: %s (try a larger budget, or `dpopt serve` which \
+                            degrades to the geometric mechanism instead of failing)"
+              (Lp.Solver_error.to_string e) )
+      | Ok result ->
       Printf.printf "consumer      : %s\n" (Minimax.Consumer.label consumer);
       Printf.printf "minimax loss  : %s (= %s)\n"
         (Rat.to_string result.Minimax.Optimal_mechanism.loss)
@@ -210,17 +242,61 @@ let optimal_cmd =
           Printf.printf "least-favorable prior: [%s]\n"
             (String.concat "; " (Array.to_list (Array.map Rat.to_string prior)))
       end;
-      `Ok ()
+      `Ok ())
   in
   let term =
     Term.(
       ret
         (const run $ obs_term $ n_arg $ alpha_arg $ loss_arg $ side_arg $ structured $ lfp
-       $ decimal_arg))
+       $ decimal_arg $ budget_term))
   in
   Cmd.v
     (Cmd.info "optimal"
        ~doc:"Solve the tailored optimal α-DP mechanism LP for a known consumer (§2.5).")
+    term
+
+(* ----------------------------------------------------------------- *)
+(* serve                                                             *)
+(* ----------------------------------------------------------------- *)
+
+let serve_cmd =
+  let json =
+    let doc = "Also print the provenance record as one JSON object." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run () n alpha loss side decimal json budget =
+    match consumer_of ~n ~loss ~side with
+    | Error m -> `Error (false, m)
+    | Ok consumer ->
+      let module S = Minimax.Serve in
+      let s = S.serve ?budget ~alpha consumer in
+      let p = s.S.provenance in
+      Printf.printf "consumer   : %s\n" (Minimax.Consumer.label consumer);
+      Printf.printf "rung       : %s%s\n"
+        (S.rung_to_string p.S.rung)
+        (match p.S.rung with
+         | S.Tailored -> " (the §2.5 LP optimum)"
+         | S.Geometric_remap -> " (G(n,α) + optimal interaction, Theorem 1)"
+         | S.Geometric_raw -> " (raw G(n,α), Theorem 2)");
+      Printf.printf "loss       : %s (= %s)\n" (Rat.to_string s.S.loss)
+        (Rat.to_decimal_string ~places:6 s.S.loss);
+      Printf.printf "provenance : %s\n" (S.provenance_to_string p);
+      if json then print_endline (Obs.Json.to_string (S.provenance_to_json p));
+      print_mechanism ~decimal s.S.mechanism;
+      `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ obs_term $ n_arg $ alpha_arg $ loss_arg $ side_arg $ decimal_arg $ json
+       $ budget_term))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a consumer within a budget (--deadline-ms / --max-pivots / --max-bits), \
+          degrading from the tailored LP to the geometric mechanism rather than failing; \
+          the released mechanism is re-certified and carries its provenance.")
     term
 
 (* ----------------------------------------------------------------- *)
@@ -383,9 +459,13 @@ let query_cmd =
     Arg.(value & flag & info [ "show-true" ] ~doc)
   in
   let run () csv where alpha levels seed show_true =
-    match Dpdb.Query_parser.parse_opt where with
-    | None -> `Error (false, Printf.sprintf "cannot parse predicate %S" where)
-    | Some pred -> (
+    match Dpdb.Query_parser.parse where with
+    | Error e ->
+      `Error
+        ( false,
+          Printf.sprintf "cannot parse predicate %S: %s" where
+            (Dpdb.Query_parser.error_to_string e) )
+    | Ok pred -> (
       let db = try Ok (Dpdb.Csv.load csv) with Invalid_argument m -> Error m in
       match db with
       | Error m -> `Error (false, m)
@@ -531,6 +611,7 @@ let main =
     [
       geometric_cmd;
       optimal_cmd;
+      serve_cmd;
       interact_cmd;
       release_cmd;
       verify_cmd;

@@ -23,7 +23,11 @@ let () =
   (* 1. Load the data and type-check a query written as text. *)
   let db = Dpdb.Csv.of_string census_csv in
   let predicate_text = "has_flu = true AND age >= 18 AND city = 'San Diego'" in
-  let predicate = Dpdb.Query_parser.parse predicate_text in
+  let predicate =
+    match Dpdb.Query_parser.parse predicate_text with
+    | Ok p -> p
+    | Error e -> failwith (Dpdb.Query_parser.error_to_string e)
+  in
   (match Dpdb.Query_parser.type_check (Dpdb.Database.schema db) predicate with
    | None -> ()
    | Some err -> failwith err);

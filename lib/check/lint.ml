@@ -310,6 +310,48 @@ let scan_float_eq ~file stripped =
   List.rev !out
 
 (* ------------------------------------------------------------------ *)
+(* Rule: assert false in library code                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* [assert false] crashes without a witness. In this repository every
+   "impossible" solver outcome has a typed escape
+   ([Resilience.Solver_error.fail]), so a bare [assert false] in lib/
+   is flagged — unless a sibling comment (the same line or an adjacent
+   one, in the ORIGINAL source) states the invariant that makes the arm
+   unreachable, which is the sanctioned form for genuinely proven
+   dead arms. *)
+let scan_assert_false ~file ~original stripped =
+  let lines = Array.of_list (String.split_on_char '\n' original) in
+  let has_comment l =
+    (* [l] is 1-based *)
+    l >= 1 && l <= Array.length lines
+    &&
+    let text = lines.(l - 1) in
+    let n = String.length text in
+    let found = ref false in
+    for k = 0 to n - 2 do
+      if text.[k] = '(' && text.[k + 1] = '*' then found := true
+    done;
+    !found
+  in
+  List.filter_map
+    (fun off ->
+      let k = skip_ws stripped (off + 6) in
+      if not (is_word_at stripped k "false") then None
+      else begin
+        let line = line_of_offset stripped off in
+        if has_comment (line - 1) || has_comment line || has_comment (line + 1) then None
+        else
+          Some
+            (D.error ~rule:"lint/assert-false"
+               (D.Source_line { file; line })
+               "assert false crashes without a witness; raise a typed error \
+                (e.g. Resilience.Solver_error.fail) or cite the invariant that makes \
+                this arm unreachable in a sibling comment")
+      end)
+    (word_occurrences stripped "assert")
+
+(* ------------------------------------------------------------------ *)
 (* Rule: direct stdout printing in library code                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -359,12 +401,13 @@ let scan_print_stdout ~file stripped =
 (* File and tree drivers                                               *)
 (* ------------------------------------------------------------------ *)
 
-let scan_source ?(ban_stdout = false) ~file src =
+let scan_source ?(ban_stdout = false) ?(ban_assert = false) ~file src =
   let stripped = strip src in
   scan_obj_magic ~file stripped
   @ scan_catch_all ~file stripped
   @ scan_float_eq ~file stripped
   @ (if ban_stdout then scan_print_stdout ~file stripped else [])
+  @ (if ban_assert then scan_assert_false ~file ~original:src stripped else [])
 
 let read_file path =
   let ic = open_in_bin path in
@@ -372,7 +415,8 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let scan_file ?ban_stdout path = scan_source ?ban_stdout ~file:path (read_file path)
+let scan_file ?ban_stdout ?ban_assert path =
+  scan_source ?ban_stdout ?ban_assert ~file:path (read_file path)
 
 (* The sink directories themselves may print. *)
 let stdout_exempt path =
@@ -393,7 +437,7 @@ let rec walk dir acc =
       acc entries
   | exception Sys_error _ -> acc
 
-let scan_tree ?(require_mli = false) ?(ban_stdout = false) root =
+let scan_tree ?(require_mli = false) ?(ban_stdout = false) ?(ban_assert = false) root =
   if not (Sys.file_exists root && Sys.is_directory root) then
     [ D.error ~rule:"lint/missing-dir"
         (D.Source_line { file = root; line = 0 })
@@ -403,7 +447,7 @@ let scan_tree ?(require_mli = false) ?(ban_stdout = false) root =
     let mls = List.filter (fun f -> Filename.check_suffix f ".ml") files in
     let pattern_diags =
       List.concat_map
-        (fun ml -> scan_file ~ban_stdout:(ban_stdout && not (stdout_exempt ml)) ml)
+        (fun ml -> scan_file ~ban_stdout:(ban_stdout && not (stdout_exempt ml)) ~ban_assert ml)
         mls
     in
     let mli_diags =
@@ -428,5 +472,5 @@ let scan_roots roots =
   List.concat_map
     (fun root ->
       let is_lib = Filename.basename root = "lib" in
-      scan_tree ~require_mli:is_lib ~ban_stdout:is_lib root)
+      scan_tree ~require_mli:is_lib ~ban_stdout:is_lib ~ban_assert:is_lib root)
     roots

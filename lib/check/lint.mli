@@ -14,6 +14,11 @@
       are recognized and exempt);
     - [lint/missing-mli] — a [lib/] module without an interface file,
       leaving its invariants unpublished;
+    - [lint/assert-false] — [assert false] in library code, which
+      crashes without a witness; a typed error
+      ([Resilience.Solver_error.fail]) carries one, and genuinely
+      unreachable arms are exempt when a sibling comment (same or
+      adjacent line, in the un-stripped source) cites the invariant;
     - [lint/print-stdout] — direct stdout printing ([print_string],
       [print_endline], …, [Printf.printf], [Format.printf]) in library
       code, which bypasses the injectable sinks of [lib/report] and the
@@ -28,20 +33,26 @@ val strip : string -> string
     spaces, preserving every newline so offsets keep their line
     numbers. Exposed for tests. *)
 
-val scan_source : ?ban_stdout:bool -> file:string -> string -> Diagnostic.t list
+val scan_source :
+  ?ban_stdout:bool -> ?ban_assert:bool -> file:string -> string -> Diagnostic.t list
 (** Scan file contents (already read) for the banned patterns. With
-    [ban_stdout] (default false), also flag direct stdout printing. *)
+    [ban_stdout] (default false), also flag direct stdout printing;
+    with [ban_assert] (default false), also flag undocumented
+    [assert false]. *)
 
-val scan_file : ?ban_stdout:bool -> string -> Diagnostic.t list
+val scan_file : ?ban_stdout:bool -> ?ban_assert:bool -> string -> Diagnostic.t list
 (** Read and {!scan_source} one [.ml] file. *)
 
-val scan_tree : ?require_mli:bool -> ?ban_stdout:bool -> string -> Diagnostic.t list
+val scan_tree :
+  ?require_mli:bool -> ?ban_stdout:bool -> ?ban_assert:bool -> string -> Diagnostic.t list
 (** Walk a directory (skipping [_build] and dot-directories), scanning
     every [.ml]. With [require_mli] (default false), also demand a
     sibling [.mli] for every [.ml]. With [ban_stdout] (default false),
     flag direct stdout printing — except under [report/] and [obs/]
-    path components, which host the sanctioned sinks. *)
+    path components, which host the sanctioned sinks. With
+    [ban_assert] (default false), flag undocumented [assert false]. *)
 
 val scan_roots : string list -> Diagnostic.t list
 (** Scan several roots; a root whose basename is ["lib"] gets
-    [require_mli:true] and [ban_stdout:true] automatically. *)
+    [require_mli:true], [ban_stdout:true] and [ban_assert:true]
+    automatically. *)

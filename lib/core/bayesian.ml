@@ -121,7 +121,12 @@ let optimal_mechanism ~alpha t ~n =
         (Array.init (n + 1) (fun i -> Array.init (n + 1) (fun r -> sol.values.(x.(i).(r)))))
     in
     (mech, sol.objective)
-  | Lp.Infeasible | Lp.Unbounded -> assert false
+  | Lp.Failed e ->
+    (* The geometric mechanism satisfies every constraint and the
+       expected loss is bounded below by 0, so an unbudgeted solve of
+       this LP cannot fail; if it ever does, the witness names the
+       solver stage instead of crashing on [assert false]. *)
+    Lp.Solver_error.fail ~context:"Bayesian.optimal_mechanism" e
 
 (** Is a post-processing matrix deterministic (every row a point
     mass)? Minimax consumers genuinely need randomization; Bayesian

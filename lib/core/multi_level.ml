@@ -64,6 +64,7 @@ let make_plan ~n ~levels =
       (Array.length arr - 1)
       (fun i ->
         Obs.span ~attrs:[ ("stage", Obs.Int i) ] "multilevel.stage" @@ fun () ->
+        Resilience.Fault.trip "multilevel.stage";
         transition ~n ~alpha:arr.(i) ~beta:arr.(i + 1))
   in
   { n; levels = arr; first; stages }

@@ -20,7 +20,7 @@ type result = {
   loss : Rat.t;  (** minimax loss of the induced mechanism *)
 }
 
-let solve ~(deployed : Mech.Mechanism.t) (consumer : Consumer.t) =
+let solve_budgeted ?budget ~(deployed : Mech.Mechanism.t) (consumer : Consumer.t) =
   let n = Mech.Mechanism.n deployed in
   if Consumer.n consumer <> n then
     invalid_arg "Optimal_interaction.solve: consumer range does not match mechanism";
@@ -53,14 +53,19 @@ let solve ~(deployed : Mech.Mechanism.t) (consumer : Consumer.t) =
       Lp.add_le p (Lp.Expr.sub (Lp.Expr.sum terms) (Lp.Expr.var d)) Rat.zero)
     (Side_info.members (Consumer.side_info consumer));
   Lp.set_objective p Lp.Minimize (Lp.Expr.var d);
-  match Lp.solve p with
+  match Lp.solve ?budget p with
   | Lp.Optimal sol ->
     let interaction =
       Array.init (n + 1) (fun r -> Array.init (n + 1) (fun r' -> sol.values.(t_var.(r).(r'))))
     in
     let induced = Mech.Mechanism.compose deployed interaction in
-    { interaction; induced; loss = sol.objective }
-  | Lp.Infeasible | Lp.Unbounded ->
+    Ok { interaction; induced; loss = sol.objective }
+  | Lp.Failed e -> Error e
+
+let solve ~deployed consumer =
+  match solve_budgeted ~deployed consumer with
+  | Ok r -> r
+  | Error e ->
     (* The identity interaction is always feasible and the loss is
-       bounded below by 0, so neither case can occur. *)
-    assert false
+       bounded below by 0, so an unbudgeted solve cannot fail. *)
+    Lp.Solver_error.fail ~context:"Optimal_interaction.solve" e

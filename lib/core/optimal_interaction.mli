@@ -9,7 +9,19 @@ type result = {
   loss : Rat.t;  (** minimax loss of the induced mechanism *)
 }
 
+val solve_budgeted :
+  ?budget:Lp.Budget.t ->
+  deployed:Mech.Mechanism.t ->
+  Consumer.t ->
+  (result, Lp.Solver_error.t) Stdlib.result
+(** The optimal interaction, or the typed reason the budgeted solve
+    stopped. Rung 2 of the degradation ladder ({!Serve}) runs this
+    against [G(n,α)].
+    @raise Invalid_argument when consumer and mechanism ranges
+    mismatch. *)
+
 val solve : deployed:Mech.Mechanism.t -> Consumer.t -> result
 (** @raise Invalid_argument when consumer and mechanism ranges
     mismatch. Always succeeds otherwise (the identity interaction is
-    feasible). *)
+    feasible); a solver bug falsifying that surfaces as
+    {!Lp.Solver_error.Error}. *)

@@ -58,17 +58,23 @@ let extract x (sol : Lp.solution) n =
   Mech.Mechanism.make
     (Array.init (n + 1) (fun i -> Array.init (n + 1) (fun r -> sol.values.(x.(i).(r)))))
 
-let solve ?pricing ?crash ~alpha (consumer : Consumer.t) =
+let solve_budgeted ?pricing ?crash ?budget ~alpha (consumer : Consumer.t) =
   let n = Consumer.n consumer in
   Obs.span ~attrs:[ ("n", Obs.Int n); ("alpha", Obs.Rat alpha) ] "core.optimal_mechanism"
   @@ fun () ->
   let p, x, d = build_problem ~alpha ~n consumer in
   Lp.set_objective p Lp.Minimize (Lp.Expr.var d);
-  match Lp.solve ?pricing ?crash p with
-  | Lp.Optimal sol -> { mechanism = extract x sol n; loss = sol.objective }
-  | Lp.Infeasible | Lp.Unbounded ->
-    (* The geometric mechanism is always feasible; loss >= 0. *)
-    assert false
+  match Lp.solve ?pricing ?crash ?budget p with
+  | Lp.Optimal sol -> Ok { mechanism = extract x sol n; loss = sol.objective }
+  | Lp.Failed e -> Error e
+
+let solve ?pricing ?crash ~alpha (consumer : Consumer.t) =
+  match solve_budgeted ?pricing ?crash ~alpha consumer with
+  | Ok r -> r
+  | Error e ->
+    (* The geometric mechanism is always feasible and loss >= 0, so
+       with no budget the solve cannot fail; surface the witness. *)
+    Lp.Solver_error.fail ~context:"Optimal_mechanism.solve" e
 
 (** Lexicographic (L, L') optimum from the Lemma-5 proof. *)
 let solve_structured ~alpha (consumer : Consumer.t) =
@@ -89,7 +95,10 @@ let solve_structured ~alpha (consumer : Consumer.t) =
   Lp.set_objective p Lp.Minimize secondary;
   match Lp.solve p with
   | Lp.Optimal sol -> { mechanism = extract x sol n; loss = first.loss }
-  | Lp.Infeasible | Lp.Unbounded -> assert false
+  | Lp.Failed e ->
+    (* Pinning d at the attained optimum keeps the LP feasible, and the
+       secondary objective is bounded below by 0. *)
+    Lp.Solver_error.fail ~context:"Optimal_mechanism.solve_structured" e
 
 (* ------------------------------------------------------------------ *)
 (* Lemma 5: structure of adjacent rows of structured optima           *)

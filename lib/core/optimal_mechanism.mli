@@ -9,9 +9,25 @@ val build_problem :
     information loss bounds; returns [(problem, x variables, d)].
     Exposed for tests and extensions. *)
 
+val solve_budgeted :
+  ?pricing:Lp.Simplex.Exact.pricing ->
+  ?crash:bool ->
+  ?budget:Lp.Budget.t ->
+  alpha:Rat.t ->
+  Consumer.t ->
+  (result, Lp.Solver_error.t) Stdlib.result
+(** Some optimal vertex, or the typed reason the solve stopped —
+    [Exhausted] when the budget (or an injected fault) ran out. The
+    degradation ladder in {!Serve} consumes the [Error] side.
+    @raise Invalid_argument on a bad [alpha]. *)
+
 val solve : ?pricing:Lp.Simplex.Exact.pricing -> ?crash:bool -> alpha:Rat.t -> Consumer.t -> result
 (** Some optimal vertex. The optional solver knobs exist for the
-    ablation bench; defaults are right for every other caller.
+    ablation bench; defaults are right for every other caller. Runs
+    unbudgeted, so failure is impossible by Theorem 1 (the geometric
+    mechanism is feasible, loss >= 0); should a solver bug falsify
+    that, the witness surfaces as {!Lp.Solver_error.Error}, never
+    [assert false].
     @raise Invalid_argument on a bad [alpha]. *)
 
 val solve_structured : alpha:Rat.t -> Consumer.t -> result

@@ -1,0 +1,150 @@
+(** Budgeted solving with certified degradation to the geometric
+    mechanism; see serve.mli for the ladder contract. *)
+
+type rung = Tailored | Geometric_remap | Geometric_raw
+
+type reason =
+  | Solver of Lp.Solver_error.t
+  | Uncertified of string
+
+type attempt = { attempted : rung; reason : reason }
+
+type provenance = {
+  rung : rung;
+  alpha : Rat.t;
+  n : int;
+  attempts : attempt list;
+  pivots_spent : int;
+  peak_bits : int;
+  checks : string list;
+}
+
+type served = {
+  mechanism : Mech.Mechanism.t;
+  loss : Rat.t;
+  provenance : provenance;
+}
+
+exception Certification_failed of { rung : string; rule : string }
+
+let rung_to_string = function
+  | Tailored -> "tailored"
+  | Geometric_remap -> "geometric+remap"
+  | Geometric_raw -> "geometric"
+
+let reason_to_string = function
+  | Solver e -> Lp.Solver_error.to_string e
+  | Uncertified rule -> "uncertified:" ^ rule
+
+let provenance_to_string p =
+  Printf.sprintf "rung=%s alpha=%s n=%d attempts=[%s] pivots_spent=%d peak_bits=%d checks=[%s]"
+    (rung_to_string p.rung) (Rat.to_string p.alpha) p.n
+    (String.concat ";"
+       (List.map
+          (fun a -> Printf.sprintf "%s:%s" (rung_to_string a.attempted) (reason_to_string a.reason))
+          p.attempts))
+    p.pivots_spent p.peak_bits
+    (String.concat "," p.checks)
+
+let reason_to_json = function
+  | Solver e -> Lp.Solver_error.to_json e
+  | Uncertified rule ->
+    Obs.Json.Obj [ ("verdict", Obs.Json.Str "uncertified"); ("rule", Obs.Json.Str rule) ]
+
+let provenance_to_json p =
+  Obs.Json.Obj
+    [
+      ("rung", Obs.Json.Str (rung_to_string p.rung));
+      ("alpha", Obs.Json.Str (Rat.to_string p.alpha));
+      ("n", Obs.Json.Int p.n);
+      ( "attempts",
+        Obs.Json.List
+          (List.map
+             (fun a ->
+               Obs.Json.Obj
+                 [
+                   ("rung", Obs.Json.Str (rung_to_string a.attempted));
+                   ("reason", reason_to_json a.reason);
+                 ])
+             p.attempts) );
+      ("pivots_spent", Obs.Json.Int p.pivots_spent);
+      ("peak_bits", Obs.Json.Int p.peak_bits);
+      ("checks", Obs.Json.List (List.map (fun c -> Obs.Json.Str c) p.checks));
+    ]
+
+(* Re-verify a candidate through the independent analyzer before
+   release. Derivability is only demanded where it holds by
+   construction: a tailored LP vertex need not factor through G. *)
+let certify ~alpha ~derivable m =
+  let matrix = Mech.Mechanism.matrix m in
+  let reports =
+    [ Check.Invariants.row_stochastic matrix; Check.Invariants.alpha_dp ~alpha matrix ]
+    @ (if derivable then [ Check.Invariants.derivability ~alpha matrix ] else [])
+  in
+  match List.find_opt (fun r -> not (Check.Invariants.passed r)) reports with
+  | Some r -> Error r.Check.Invariants.rule
+  | None -> Ok (List.map (fun r -> r.Check.Invariants.rule) reports)
+
+let spend_of_attempts attempts =
+  List.fold_left
+    (fun (pivots, bits) a ->
+      match a.reason with
+      | Solver (Lp.Solver_error.Exhausted ex) ->
+        (pivots + ex.Lp.Solver_error.pivots, max bits ex.Lp.Solver_error.peak_bits)
+      | _ -> (pivots, bits))
+    (0, 0) attempts
+
+let serve ?budget ~alpha (consumer : Consumer.t) =
+  Mech.Geometric.check_alpha alpha;
+  let n = Consumer.n consumer in
+  Obs.span ~attrs:[ ("n", Obs.Int n); ("alpha", Obs.Rat alpha) ] "core.serve" @@ fun () ->
+  let release rung attempts mechanism loss checks =
+    let pivots_spent, peak_bits = spend_of_attempts attempts in
+    {
+      mechanism;
+      loss;
+      provenance =
+        { rung; alpha; n; attempts = List.rev attempts; pivots_spent; peak_bits; checks };
+    }
+  in
+  let degrade rung reason =
+    Obs.incr "resilience.degradations";
+    { attempted = rung; reason }
+  in
+  (* Rung 1: the tailored §2.5 LP. *)
+  let tailored_failure =
+    match Optimal_mechanism.solve_budgeted ?budget ~alpha consumer with
+    | Ok r -> (
+      match certify ~alpha ~derivable:false r.Optimal_mechanism.mechanism with
+      | Ok checks ->
+        Either.Left (release Tailored [] r.Optimal_mechanism.mechanism r.Optimal_mechanism.loss checks)
+      | Error rule -> Either.Right (degrade Tailored (Uncertified rule)))
+    | Error e -> Either.Right (degrade Tailored (Solver e))
+  in
+  match tailored_failure with
+  | Either.Left served -> served
+  | Either.Right first ->
+    let geometric = Mech.Geometric.matrix ~n ~alpha in
+    (* Rung 2: G(n,α) + the optimal-interaction remap (Theorem 1). *)
+    let remap_failure =
+      match Optimal_interaction.solve_budgeted ?budget ~deployed:geometric consumer with
+      | Ok r -> (
+        match certify ~alpha ~derivable:true r.Optimal_interaction.induced with
+        | Ok checks ->
+          Either.Left
+            (release Geometric_remap [ first ] r.Optimal_interaction.induced
+               r.Optimal_interaction.loss checks)
+        | Error rule -> Either.Right (degrade Geometric_remap (Uncertified rule)))
+      | Error e -> Either.Right (degrade Geometric_remap (Solver e))
+    in
+    (match remap_failure with
+    | Either.Left served -> served
+    | Either.Right second -> (
+      (* Rung 3: raw G(n,α) — no LP, universally optimal by Theorem 2. *)
+      match certify ~alpha ~derivable:true geometric with
+      | Ok checks ->
+        release Geometric_raw [ second; first ] geometric
+          (Consumer.minimax_loss consumer geometric)
+          checks
+      | Error rule ->
+        raise (Certification_failed { rung = rung_to_string Geometric_raw; rule })))

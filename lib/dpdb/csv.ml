@@ -52,19 +52,24 @@ let parse_header line =
   in
   Schema.make (List.map col (split_csv_line line))
 
-let parse_value ty s =
+(* [at] locates the offending cell for error messages: 1-based data-row
+   number (header excluded) plus 1-based field index and column name. *)
+let parse_value ~at ty s =
   let s = String.trim s in
+  let bad what =
+    let row, field, column = at in
+    invalid_arg
+      (Printf.sprintf "Csv: row %d, field %d (%s): not %s: %S" row field column what s)
+  in
   match ty with
   | Value.Tint -> (
-    match int_of_string_opt s with
-    | Some n -> Value.Int n
-    | None -> invalid_arg (Printf.sprintf "Csv: not an int: %S" s))
+    match int_of_string_opt s with Some n -> Value.Int n | None -> bad "an int")
   | Value.Ttext -> Value.Text s
   | Value.Tbool -> (
     match String.lowercase_ascii s with
     | "true" | "1" | "yes" -> Value.Bool true
     | "false" | "0" | "no" -> Value.Bool false
-    | _ -> invalid_arg (Printf.sprintf "Csv: not a bool: %S" s))
+    | _ -> bad "a bool")
 
 (** Parse a whole CSV document into a database. *)
 let of_string text =
@@ -73,16 +78,22 @@ let of_string text =
   | header :: body ->
     let schema = parse_header header in
     let arity = Schema.arity schema in
-    let types =
-      List.map (fun name -> Schema.column_type schema name) (Schema.column_names schema)
-    in
-    let row line =
+    let columns = Schema.column_names schema in
+    let types = List.map (fun name -> Schema.column_type schema name) columns in
+    let row i line =
+      Resilience.Fault.trip "dpdb.csv.row";
       let fields = split_csv_line line in
       if List.length fields <> arity then
-        invalid_arg (Printf.sprintf "Csv: row has %d fields, want %d" (List.length fields) arity);
-      Array.of_list (List.map2 parse_value types fields)
+        invalid_arg
+          (Printf.sprintf "Csv: row %d has %d fields, want %d" (i + 1)
+             (List.length fields) arity);
+      Array.of_list
+        (List.map2
+           (fun (j, column, ty) s -> parse_value ~at:(i + 1, j + 1, column) ty s)
+           (List.mapi (fun j (column, ty) -> (j, column, ty)) (List.combine columns types))
+           fields)
     in
-    Database.of_rows schema (List.map row body)
+    Database.of_rows schema (List.mapi row body)
 
 (** Serialize a database back to CSV (inverse of {!of_string}). *)
 let to_string db =

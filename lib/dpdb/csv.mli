@@ -6,7 +6,10 @@
 
 val of_string : string -> Database.t
 (** @raise Invalid_argument on malformed documents (bad header, wrong
-    arity, untyped cells, empty input). *)
+    arity, untyped cells, empty input); cell errors name the 1-based
+    data row, field index and column, e.g.
+    ["Csv: row 3, field 2 (age): not an int: \"x\""]. Each data row
+    passes the ["dpdb.csv.row"] fault-injection site. *)
 
 val to_string : Database.t -> string
 (** Inverse of {!of_string} (round-trip tested). *)

@@ -14,6 +14,17 @@
 
     Example: [age >= 18 AND city = 'San Diego' AND has_flu = true]. *)
 
+type error = { position : int; message : string }
+
+let error_to_string { position; message } =
+  Printf.sprintf "at offset %d: %s" position message
+
+(* Internal control flow only; never escapes this module. *)
+exception Err of error
+
+let fail_at position fmt =
+  Printf.ksprintf (fun message -> raise (Err { position; message })) fmt
+
 type token =
   | Ident of string
   | Int_lit of int
@@ -29,30 +40,30 @@ type token =
   | Rparen
   | Comma
 
-exception Parse_error of string
-
-let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
-
 let is_ident_char c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
 
+(* Each token carries the offset of its first character, so parse
+   errors point into the caller's source string. *)
 let tokenize s =
   let n = String.length s in
   let out = ref [] in
   let i = ref 0 in
   while !i < n do
     let c = s.[!i] in
+    let start = !i in
+    let emit tok = out := (tok, start) :: !out in
     if c = ' ' || c = '\t' || c = '\n' then incr i
     else if c = '(' then begin
-      out := Lparen :: !out;
+      emit Lparen;
       incr i
     end
     else if c = ')' then begin
-      out := Rparen :: !out;
+      emit Rparen;
       incr i
     end
     else if c = ',' then begin
-      out := Comma :: !out;
+      emit Comma;
       incr i
     end
     else if c = '\'' then begin
@@ -75,38 +86,36 @@ let tokenize s =
           incr i
         end
       done;
-      if not !closed then fail "unterminated string literal";
-      out := Text_lit (Buffer.contents buf) :: !out
+      if not !closed then fail_at start "unterminated string literal";
+      emit (Text_lit (Buffer.contents buf))
     end
     else if c = '=' then begin
-      out := Op "=" :: !out;
+      emit (Op "=");
       incr i
     end
     else if c = '!' && !i + 1 < n && s.[!i + 1] = '=' then begin
-      out := Op "!=" :: !out;
+      emit (Op "!=");
       i := !i + 2
     end
     else if c = '<' || c = '>' then begin
       if !i + 1 < n && s.[!i + 1] = '=' then begin
-        out := Op (String.make 1 c ^ "=") :: !out;
+        emit (Op (String.make 1 c ^ "="));
         i := !i + 2
       end
       else begin
-        out := Op (String.make 1 c) :: !out;
+        emit (Op (String.make 1 c));
         incr i
       end
     end
     else if (c >= '0' && c <= '9') || (c = '-' && !i + 1 < n && s.[!i + 1] >= '0' && s.[!i + 1] <= '9')
     then begin
-      let start = !i in
       incr i;
       while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
         incr i
       done;
-      out := Int_lit (int_of_string (String.sub s start (!i - start))) :: !out
+      emit (Int_lit (int_of_string (String.sub s start (!i - start))))
     end
     else if is_ident_char c then begin
-      let start = !i in
       while !i < n && is_ident_char s.[!i] do
         incr i
       done;
@@ -121,38 +130,44 @@ let tokenize s =
         | "false" -> Kw_false
         | _ -> Ident word
       in
-      out := tok :: !out
+      emit tok
     end
-    else fail "unexpected character %C" c
+    else fail_at start "unexpected character %C" c
   done;
   List.rev !out
 
-(* Recursive-descent parser over a mutable token stream. *)
-type stream = { mutable tokens : token list }
+(* Recursive-descent parser over a mutable token stream. [eof] is the
+   input length: the position reported when tokens run out. *)
+type stream = { mutable tokens : (token * int) list; eof : int }
 
-let peek st = match st.tokens with [] -> None | t :: _ -> Some t
+let peek st = match st.tokens with [] -> None | (t, _) :: _ -> Some t
+
+let pos st = match st.tokens with [] -> st.eof | (_, p) :: _ -> p
 
 let advance st =
   match st.tokens with
-  | [] -> fail "unexpected end of input"
-  | t :: rest ->
+  | [] -> fail_at st.eof "unexpected end of input"
+  | (t, p) :: rest ->
     st.tokens <- rest;
-    t
+    (t, p)
 
 let expect st tok what =
-  let got = advance st in
-  if got <> tok then fail "expected %s" what
+  let p = pos st in
+  let got, _ = advance st in
+  if got <> tok then fail_at p "expected %s" what
 
 let literal st =
-  match advance st with
+  let p = pos st in
+  match fst (advance st) with
   | Int_lit n -> Value.Int n
   | Text_lit s -> Value.Text s
   | Kw_true -> Value.Bool true
   | Kw_false -> Value.Bool false
-  | _ -> fail "expected a literal (integer, 'text', true, false)"
+  | _ -> fail_at p "expected a literal (integer, 'text', true, false)"
 
 let atom_of st name =
-  match advance st with
+  let p = pos st in
+  match fst (advance st) with
   | Op "=" -> Predicate.Eq (name, literal st)
   | Op "!=" -> Predicate.Not (Predicate.Eq (name, literal st))
   | Op "<" -> Predicate.Lt (name, literal st)
@@ -163,13 +178,14 @@ let atom_of st name =
     expect st Lparen "'(' after IN";
     let rec items acc =
       let v = literal st in
-      match advance st with
+      let p = pos st in
+      match fst (advance st) with
       | Comma -> items (v :: acc)
       | Rparen -> List.rev (v :: acc)
-      | _ -> fail "expected ',' or ')' in IN list"
+      | _ -> fail_at p "expected ',' or ')' in IN list"
     in
     Predicate.In (name, items [])
-  | _ -> fail "expected a comparison operator or IN after %S" name
+  | _ -> fail_at p "expected a comparison operator or IN after %S" name
 
 let rec parse_or st =
   let left = parse_and st in
@@ -188,31 +204,36 @@ and parse_and st =
   | _ -> left
 
 and parse_unary st =
-  match advance st with
+  let p = pos st in
+  match fst (advance st) with
   | Kw_not -> Predicate.Not (parse_unary st)
   | Lparen ->
-    let p = parse_or st in
+    let pr = parse_or st in
     expect st Rparen "')'";
-    p
+    pr
   | Kw_true -> Predicate.True
   | Kw_false -> Predicate.False
   | Ident name -> atom_of st name
-  | _ -> fail "expected a predicate"
+  | _ -> fail_at p "expected a predicate"
 
-(** Parse a predicate expression.
-    @raise Parse_error on malformed input. *)
-let parse s =
-  let st = { tokens = tokenize s } in
-  let p = parse_or st in
-  (match st.tokens with
-   | [] -> ()
-   | _ -> fail "trailing input after predicate");
-  p
+(** Parse a predicate expression; errors carry the character offset of
+    the offending token. *)
+let parse s : (Predicate.t, error) result =
+  match
+    let st = { tokens = tokenize s; eof = String.length s } in
+    let p = parse_or st in
+    (match st.tokens with
+    | [] -> ()
+    | (_, tp) :: _ -> fail_at tp "trailing input after predicate");
+    p
+  with
+  | p -> Ok p
+  | exception Err e -> Error e
 
-let parse_opt s = try Some (parse s) with Parse_error _ -> None
+let parse_opt s = match parse s with Ok p -> Some p | Error _ -> None
 
 (** Parse directly into a count query. *)
-let parse_query ?name s = Count_query.make ?name (parse s)
+let parse_query ?name s = Result.map (Count_query.make ?name) (parse s)
 
 (** Validate the predicate's column references and literal types
     against a schema; returns the offending description on failure. *)

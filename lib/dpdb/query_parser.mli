@@ -12,18 +12,28 @@
       literal::= integer | 'single-quoted text' | true | false
     v}
 
-    Example: [age >= 18 AND city = 'San Diego' AND has_flu = true]. *)
+    Example: [age >= 18 AND city = 'San Diego' AND has_flu = true].
 
-exception Parse_error of string
+    Malformed input is an [Error], never an exception: the error
+    carries the character offset of the offending token so callers
+    (notably [dpopt query]) can point at it. *)
 
-val parse : string -> Predicate.t
-(** @raise Parse_error on malformed input. *)
+type error = {
+  position : int;  (** 0-based character offset into the input; the
+                       input length for unexpected end of input *)
+  message : string;
+}
+
+val error_to_string : error -> string
+(** ["at offset %d: %s"]. *)
+
+val parse : string -> (Predicate.t, error) result
 
 val parse_opt : string -> Predicate.t option
+(** [parse] with the error dropped. *)
 
-val parse_query : ?name:string -> string -> Count_query.t
-(** Parse directly into a count query.
-    @raise Parse_error on malformed input. *)
+val parse_query : ?name:string -> string -> (Count_query.t, error) result
+(** Parse directly into a count query. *)
 
 val type_check : Schema.t -> Predicate.t -> string option
 (** [None] when every referenced column exists with the literal's

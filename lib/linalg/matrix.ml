@@ -230,6 +230,7 @@ module Make (F : Field.S) = struct
   let inverse (m : t) : t option =
     Obs.span ~attrs:[ ("n", Obs.Int (rows m)) ] "matrix.inverse" @@ fun () ->
     Obs.incr "matrix.inversions";
+    Resilience.Fault.trip "matrix.inverse";
     let result = gauss_jordan m (identity (rows m)) in
     (match result with
      | Some inv when Obs.enabled () ->

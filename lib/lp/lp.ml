@@ -6,6 +6,8 @@
     rationals; see DESIGN.md for why exactness matters here. *)
 
 module Simplex = Simplex
+module Budget = Resilience.Budget
+module Solver_error = Resilience.Solver_error
 
 type var = int
 
@@ -104,7 +106,7 @@ let set_objective p sense expr =
   p.objective <- Expr.normalize expr
 
 type solution = { objective : Rat.t; values : Rat.t array }
-type outcome = Optimal of solution | Infeasible | Unbounded
+type outcome = Optimal of solution | Failed of Solver_error.t
 
 (* Compile the model to standard form  min c.x', A x' = b, x' >= 0:
    - variable with lower bound l:  x = x' + l;
@@ -198,7 +200,7 @@ let compile p =
     c_obj_shift = !obj_shift;
   }
 
-let solve_internal ?pricing ?crash ~want_duals p =
+let solve_internal ?pricing ?crash ?budget ~want_duals p =
   Obs.span
     ~attrs:[ ("nvars", Obs.Int p.nvars); ("nconstraints", Obs.Int (n_constraints p)) ]
     "lp.solve"
@@ -207,8 +209,9 @@ let solve_internal ?pricing ?crash ~want_duals p =
   let nv = p.nvars in
   let { ca; cb; cc; c_col_of_var; c_neg_col_of_var; c_lower; c_flip; c_obj_shift } = compile p in
   let result, duals =
-    if want_duals then Simplex.Exact.solve_standard_with_duals ?pricing ?crash ~a:ca ~b:cb ~c:cc ()
-    else (Simplex.Exact.solve_standard ?pricing ?crash ~a:ca ~b:cb ~c:cc (), None)
+    if want_duals then
+      Simplex.Exact.solve_standard_with_duals ?pricing ?crash ?budget ~a:ca ~b:cb ~c:cc ()
+    else (Simplex.Exact.solve_standard ?pricing ?crash ?budget ~a:ca ~b:cb ~c:cc (), None)
   in
   let duals =
     (* Standard form minimizes; for a Maximize model (costs negated)
@@ -218,8 +221,7 @@ let solve_internal ?pricing ?crash ~want_duals p =
     | d -> d
   in
   match result with
-  | Simplex.Exact.Infeasible -> (Infeasible, None)
-  | Simplex.Exact.Unbounded -> (Unbounded, None)
+  | Simplex.Exact.Failed e -> (Failed e, None)
   | Simplex.Exact.Optimal (raw_obj, x) ->
     let values =
       Array.init nv (fun v ->
@@ -236,14 +238,15 @@ let solve_internal ?pricing ?crash ~want_duals p =
     Obs.observe_bits "lp.objective_bits" objective;
     (Optimal { objective; values }, duals)
 
-let solve ?pricing ?crash p = fst (solve_internal ?pricing ?crash ~want_duals:false p)
+let solve ?pricing ?crash ?budget p =
+  fst (solve_internal ?pricing ?crash ?budget ~want_duals:false p)
 
 (* Per-constraint dual values (shadow prices), in the order constraints
    were added. For a Minimize model: a Ge constraint's dual is >= 0, a
    Le constraint's is <= 0; for Maximize the signs swap; Eq duals are
    free. *)
-let solve_with_duals ?pricing ?crash p =
-  match solve_internal ?pricing ?crash ~want_duals:true p with
+let solve_with_duals ?pricing ?crash ?budget p =
+  match solve_internal ?pricing ?crash ?budget ~want_duals:true p with
   | (Optimal _ as o), Some duals -> (o, Some duals)
   | o, _ -> (o, None)
 
@@ -262,8 +265,12 @@ let solve_float ?pricing p =
   let fb = Array.map Rat.to_float cb in
   let fc = Array.map Rat.to_float cc in
   match Simplex.Floating.solve_standard ~a:fa ~b:fb ~c:fc () with
-  | Simplex.Floating.Infeasible -> Finfeasible
-  | Simplex.Floating.Unbounded -> Funbounded
+  | Simplex.Floating.Failed Solver_error.Infeasible -> Finfeasible
+  | Simplex.Floating.Failed Solver_error.Unbounded -> Funbounded
+  | Simplex.Floating.Failed (Solver_error.Exhausted _ as e) ->
+    (* No budget is passed here, so only an injected fault reaches this
+       arm; the float mirror has no degradation story, so surface it. *)
+    Solver_error.fail ~context:"lp.solve_float" e
   | Simplex.Floating.Optimal (raw_obj, x) ->
     let fvalues =
       Array.init nv (fun v ->
@@ -302,5 +309,6 @@ let check_solution p (sol : solution) =
 
 let pp_outcome fmt = function
   | Optimal { objective; _ } -> Format.fprintf fmt "Optimal(%a)" Rat.pp objective
-  | Infeasible -> Format.fprintf fmt "Infeasible"
-  | Unbounded -> Format.fprintf fmt "Unbounded"
+  | Failed Solver_error.Infeasible -> Format.fprintf fmt "Infeasible"
+  | Failed Solver_error.Unbounded -> Format.fprintf fmt "Unbounded"
+  | Failed (Solver_error.Exhausted _ as e) -> Solver_error.pp fmt e

@@ -8,6 +8,13 @@
 
 module Simplex = Simplex
 
+module Budget = Resilience.Budget
+(** Re-export: callers write [Lp.Budget.make ~deadline_ms:50 ()]
+    without depending on [resilience] directly. *)
+
+module Solver_error = Resilience.Solver_error
+(** Re-export: the one taxonomy every failed solve reports through. *)
+
 type var = int
 (** Variable id, scoped to the problem that created it; indexes the
     [values] array of a {!solution}. *)
@@ -71,14 +78,26 @@ val set_objective : problem -> sense -> linexpr -> unit
 
 type solution = { objective : Rat.t; values : Rat.t array (** indexed by variable id *) }
 
-type outcome = Optimal of solution | Infeasible | Unbounded
+type outcome = Optimal of solution | Failed of Solver_error.t
 
-val solve : ?pricing:Simplex.Exact.pricing -> ?crash:bool -> problem -> outcome
+val solve :
+  ?pricing:Simplex.Exact.pricing ->
+  ?crash:bool ->
+  ?budget:Budget.t ->
+  problem ->
+  outcome
 (** Exact solve. The optional solver knobs exist for the ablation
-    bench; the defaults are right for all other callers. *)
+    bench; the defaults are right for all other callers. [budget]
+    bounds the solve — on exhaustion the outcome is
+    [Failed (Exhausted _)] naming the simplex stage and the budget
+    spent, never a bare exception. *)
 
 val solve_with_duals :
-  ?pricing:Simplex.Exact.pricing -> ?crash:bool -> problem -> outcome * Rat.t array option
+  ?pricing:Simplex.Exact.pricing ->
+  ?crash:bool ->
+  ?budget:Budget.t ->
+  problem ->
+  outcome * Rat.t array option
 (** Like {!solve} but also returns, on optimality, one dual value per
     constraint (in the order added) — the shadow prices. Sign
     conventions: minimizing, a [Ge] constraint's dual is non-negative

@@ -12,10 +12,67 @@
     for performance comparison. *)
 
 module Make (F : Linalg.Field.S) = struct
+  module Budget = Resilience.Budget
+  module Solver_error = Resilience.Solver_error
+  module Fault = Resilience.Fault
+
   type result =
     | Optimal of F.t * F.t array  (** objective value, primal solution *)
-    | Infeasible
-    | Unbounded
+    | Failed of Solver_error.t
+
+  (* Per-solve resource accounting shared by both phases. When no
+     budget is given and no fault plan is ambient the guard is inert:
+     each loop iteration pays one field read. *)
+  type guard = {
+    g_budget : Budget.t option;
+    g_faults : bool;  (** a fault plan was ambient at solve entry *)
+    g_track_bits : bool;
+    g_active : bool;
+    mutable g_pivots : int;
+    mutable g_peak_bits : int;
+  }
+
+  let make_guard budget =
+    let faults = Fault.enabled () in
+    let has_bits_cap =
+      match budget with Some b -> b.Budget.max_bits <> None | None -> false
+    in
+    {
+      g_budget = budget;
+      g_faults = faults;
+      g_track_bits = faults || has_bits_cap;
+      g_active = faults || Option.is_some budget;
+      g_pivots = 0;
+      g_peak_bits = 0;
+    }
+
+  (* One check per pricing iteration (and hence at entry of each phase,
+     before any pivot): first the ambient fault plan — a firing trigger
+     either forces an exhaustion verdict or injects bit blow-up — then
+     the budget dimensions in deterministic order (see {!Budget.check}). *)
+  let guard_check g ~site =
+    if not g.g_active then None
+    else begin
+      let exhaust kind =
+        Some
+          { Solver_error.site; kind; pivots = g.g_pivots; peak_bits = g.g_peak_bits }
+      in
+      let action = if g.g_faults then Fault.hit site else None in
+      match action with
+      | Some Fault.Trip -> exhaust Solver_error.Injected
+      | Some (Fault.Exhaust kind) -> exhaust kind
+      | (Some (Fault.Blowup_bits _) | None) as a ->
+        (match a with
+        | Some (Fault.Blowup_bits bits) ->
+          if bits > g.g_peak_bits then g.g_peak_bits <- bits
+        | _ -> ());
+        (match g.g_budget with
+        | None -> None
+        | Some b -> (
+          match Budget.check b ~pivots:g.g_pivots ~peak_bits:g.g_peak_bits with
+          | None -> None
+          | Some kind -> exhaust kind))
+    end
 
   (* The tableau has [m] constraint rows and one objective row (index
      [m]).  Columns: [0 .. total_cols-1] are variables, column
@@ -75,7 +132,7 @@ module Make (F : Linalg.Field.S) = struct
 
   type pricing = Dantzig_lex | Bland
 
-  let optimize ?(pricing = Dantzig_lex) tab ~allowed =
+  let optimize ?(pricing = Dantzig_lex) ~guard ~site tab ~allowed =
     let a = tab.t in
     (* Backstop: should the lexicographic tie-break ever fail to break
        a degenerate stall (its positivity precondition is not enforced
@@ -84,7 +141,19 @@ module Make (F : Linalg.Field.S) = struct
        outright (the PRICING ablation bench does). *)
     let use_bland = ref (pricing = Bland) in
     let stall = ref 0 in
+    let do_pivot ~row ~col =
+      guard.g_pivots <- guard.g_pivots + 1;
+      if guard.g_track_bits then begin
+        let bits = F.bit_size a.(row).(col) in
+        if bits > guard.g_peak_bits then guard.g_peak_bits <- bits
+      end;
+      pivot tab ~row ~col
+    in
     let rec loop () =
+      match guard_check guard ~site with
+      | Some ex -> `Exhausted ex
+      | None -> loop_body ()
+    and loop_body () =
       let entering = ref (-1) in
       if !use_bland then begin
         try
@@ -139,7 +208,7 @@ module Make (F : Linalg.Field.S) = struct
         match !candidates with
         | [] -> `Unbounded
         | [ only ] ->
-          pivot tab ~row:only ~col;
+          do_pivot ~row:only ~col;
           loop ()
         | several when !use_bland ->
           (* Bland's leaving rule: smallest basic-variable index. *)
@@ -148,7 +217,7 @@ module Make (F : Linalg.Field.S) = struct
               (fun acc i -> if tab.basis.(i) < tab.basis.(acc) then i else acc)
               (List.hd several) several
           in
-          pivot tab ~row ~col;
+          do_pivot ~row ~col;
           loop ()
         | several ->
           (* Lexicographic tie-break: compare rows divided by their
@@ -178,7 +247,7 @@ module Make (F : Linalg.Field.S) = struct
               narrow cands' (j + 1)
           in
           let row = narrow several 0 in
-          pivot tab ~row ~col;
+          do_pivot ~row ~col;
           loop ()
       end
     in
@@ -200,8 +269,9 @@ module Make (F : Linalg.Field.S) = struct
         done
     done
 
-  let solve_standard_internal ?pricing ?(crash = true) ~duals_out ~(a : F.t array array)
-      ~(b : F.t array) ~(c : F.t array) () : result =
+  let solve_standard_internal ?pricing ?(crash = true) ?budget ~duals_out
+      ~(a : F.t array array) ~(b : F.t array) ~(c : F.t array) () : result =
+    let guard = make_guard budget in
     let m = Array.length a in
     let n = Array.length c in
     Array.iter (fun row -> if Array.length row <> n then invalid_arg "Simplex: ragged A") a;
@@ -301,21 +371,28 @@ module Make (F : Linalg.Field.S) = struct
     end;
     (* Phase 1: minimize the sum of artificials (skipped when the crash
        basis covered every row). *)
-    let phase1_value =
-      if n_art = 0 then F.zero
+    let phase1_result =
+      if n_art = 0 then `Value F.zero
       else
         Obs.span "simplex.phase1" @@ fun () ->
         let pivots_before = Obs.counter_value "simplex.pivots" in
         let phase1_cost = Array.init total (fun j -> if j >= n then F.one else F.zero) in
         install_objective tab phase1_cost;
-        (match optimize ?pricing tab ~allowed:(fun _ -> true) with
-         | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
-         | `Optimal -> ());
+        let r =
+          match optimize ?pricing ~guard ~site:"simplex.phase1" tab ~allowed:(fun _ -> true) with
+          | `Unbounded ->
+            (* phase-1 objective is bounded below by 0 *)
+            Solver_error.fail ~context:"simplex.phase1" Solver_error.Unbounded
+          | `Exhausted ex -> `Exhausted ex
+          | `Optimal -> `Value (F.neg tab.t.(m).(rhs_col tab))
+        in
         Obs.incr ~by:(Obs.counter_value "simplex.pivots" - pivots_before) "simplex.phase1.pivots";
-        F.neg tab.t.(m).(rhs_col tab)
+        r
     in
-    if F.sign phase1_value > 0 then Infeasible
-    else begin
+    match phase1_result with
+    | `Exhausted ex -> Failed (Solver_error.Exhausted ex)
+    | `Value phase1_value when F.sign phase1_value > 0 -> Failed Solver_error.Infeasible
+    | `Value _ -> begin
       (* Drive any remaining artificials out of the basis. A basic
          artificial at value 0 either pivots on some structural column
          or sits in a redundant row (all-zero structural part), which
@@ -336,12 +413,13 @@ module Make (F : Linalg.Field.S) = struct
       let phase2_result =
         Obs.span "simplex.phase2" @@ fun () ->
         let pivots_before = Obs.counter_value "simplex.pivots" in
-        let r = optimize ?pricing tab ~allowed:(fun j -> j < n) in
+        let r = optimize ?pricing ~guard ~site:"simplex.phase2" tab ~allowed:(fun j -> j < n) in
         Obs.incr ~by:(Obs.counter_value "simplex.pivots" - pivots_before) "simplex.phase2.pivots";
         r
       in
       match phase2_result with
-      | `Unbounded -> Unbounded
+      | `Unbounded -> Failed Solver_error.Unbounded
+      | `Exhausted ex -> Failed (Solver_error.Exhausted ex)
       | `Optimal ->
         if Obs.enabled () then begin
           let max_bits = ref 0 in
@@ -370,18 +448,18 @@ module Make (F : Linalg.Field.S) = struct
         Optimal (obj, x)
     end
 
-  let solve_standard ?pricing ?crash ~a ~b ~c () : result =
+  let solve_standard ?pricing ?crash ?budget ~a ~b ~c () : result =
     let duals_out = ref None in
-    solve_standard_internal ?pricing ?crash ~duals_out ~a ~b ~c ()
+    solve_standard_internal ?pricing ?crash ?budget ~duals_out ~a ~b ~c ()
 
   (** Like {!solve_standard} but also returns, on optimality, the dual
       vector [y] (one entry per row, original row orientation): it
       satisfies [y·b = objective] (strong duality) and
       [c_j − y·A_j >= 0] for every column — a complete optimality
       certificate that tests verify independently. *)
-  let solve_standard_with_duals ?pricing ?crash ~a ~b ~c () =
+  let solve_standard_with_duals ?pricing ?crash ?budget ~a ~b ~c () =
     let duals_out = ref None in
-    let result = solve_standard_internal ?pricing ?crash ~duals_out ~a ~b ~c () in
+    let result = solve_standard_internal ?pricing ?crash ?budget ~duals_out ~a ~b ~c () in
     (result, !duals_out)
 
   (* Sanity checks over a claimed solution, used by tests and by the

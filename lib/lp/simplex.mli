@@ -15,10 +15,16 @@
     artificial variables. *)
 
 module Make (F : Linalg.Field.S) : sig
+  module Budget = Resilience.Budget
+  module Solver_error = Resilience.Solver_error
+  module Fault = Resilience.Fault
+
   type result =
     | Optimal of F.t * F.t array  (** objective value, primal solution *)
-    | Infeasible
-    | Unbounded
+    | Failed of Solver_error.t
+        (** infeasible, unbounded, or — under a {!Budget.t} or an
+            ambient {!Fault.plan} — exhausted mid-phase, with the
+            stage, pivots spent and peak coefficient bits. *)
 
   type pricing =
     | Dantzig_lex  (** most-negative reduced cost + lexicographic ratio test (default) *)
@@ -27,17 +33,26 @@ module Make (F : Linalg.Field.S) : sig
   val solve_standard :
     ?pricing:pricing ->
     ?crash:bool ->
+    ?budget:Budget.t ->
     a:F.t array array ->
     b:F.t array ->
     c:F.t array ->
     unit ->
     result
   (** [crash] (default true) enables the singleton-column crash basis.
+      [budget] bounds the solve: the guard checks the fault registry
+      and every budget dimension once per pricing iteration at the
+      sites ["simplex.phase1"] / ["simplex.phase2"], so exhaustion is
+      detected before the offending pivot, never after. Without a
+      budget or an ambient fault plan the per-iteration cost is one
+      field read and the pivot sequence is byte-identical to the
+      unguarded solver.
       @raise Invalid_argument on shape mismatches. *)
 
   val solve_standard_with_duals :
     ?pricing:pricing ->
     ?crash:bool ->
+    ?budget:Budget.t ->
     a:F.t array array ->
     b:F.t array ->
     c:F.t array ->

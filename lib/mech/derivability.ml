@@ -50,6 +50,7 @@ let satisfies_condition ~alpha m = condition_violations ~alpha m = []
 let factor ~alpha m =
   let n = Mechanism.n m in
   Obs.span ~attrs:[ ("n", Obs.Int n) ] "derivability.factor" @@ fun () ->
+  Resilience.Fault.trip "mech.factor";
   let g = Mechanism.matrix (Geometric.matrix ~n ~alpha) in
   match Qm.inverse g with
   | None -> invalid_arg "Derivability.factor: geometric matrix singular (impossible for 0<alpha<1)"

@@ -119,7 +119,10 @@ val span : ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
     even when [f] raises (the exception is re-raised). *)
 
 val incr : ?by:int -> string -> unit
-(** Bump a named counter (created at zero on first use). *)
+(** Bump a named counter (created at zero on first use). Resilience
+    events flow through here too: ["resilience.degradations"] counts
+    serve-ladder rung drops and ["fault.trips"] counts fired
+    fault-injection triggers. *)
 
 val observe : string -> int -> unit
 (** Record one value into a named histogram. *)

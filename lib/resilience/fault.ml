@@ -1,0 +1,59 @@
+type action =
+  | Trip
+  | Exhaust of Solver_error.budget_kind
+  | Blowup_bits of int
+
+type trigger = { site : string; hits : int; action : action }
+
+type plan = {
+  triggers : trigger list;
+  counts : (string, int) Hashtbl.t;
+  mutable trips : int;
+}
+
+let plan triggers = { triggers; counts = Hashtbl.create 8; trips = 0 }
+
+exception Injected of { site : string; hit : int }
+
+let () =
+  Printexc.register_printer (function
+    | Injected { site; hit } ->
+      Some (Printf.sprintf "Fault.Injected(site=%s,hit=%d)" site hit)
+    | _ -> None)
+
+let ambient : plan option ref = ref None
+let install p = ambient := p
+let enabled () = !ambient <> None
+
+let with_plan p f =
+  let previous = !ambient in
+  ambient := Some p;
+  Fun.protect ~finally:(fun () -> ambient := previous) f
+
+let hit site =
+  match !ambient with
+  | None -> None
+  | Some p ->
+    let n = 1 + (try Hashtbl.find p.counts site with Not_found -> 0) in
+    Hashtbl.replace p.counts site n;
+    let fires t = t.site = site && (t.hits = 0 || t.hits = n) in
+    (match List.find_opt fires p.triggers with
+    | None -> None
+    | Some t ->
+      p.trips <- p.trips + 1;
+      Obs.incr "fault.trips";
+      Some t.action)
+
+let trip site =
+  match hit site with
+  | None -> ()
+  | Some _ ->
+    let n =
+      match !ambient with
+      | Some p -> ( try Hashtbl.find p.counts site with Not_found -> 0)
+      | None -> 0
+    in
+    raise (Injected { site; hit = n })
+
+let hit_count p site = try Hashtbl.find p.counts site with Not_found -> 0
+let trips p = p.trips

@@ -1,0 +1,57 @@
+(* Consolidated solver-failure taxonomy; see solver_error.mli. *)
+
+type budget_kind =
+  | Deadline
+  | Pivots
+  | Bits
+  | Injected
+
+type exhaustion = {
+  site : string;
+  kind : budget_kind;
+  pivots : int;
+  peak_bits : int;
+}
+
+type t =
+  | Infeasible
+  | Unbounded
+  | Exhausted of exhaustion
+
+exception Error of { context : string; error : t }
+
+let kind_to_string = function
+  | Deadline -> "deadline"
+  | Pivots -> "pivots"
+  | Bits -> "bits"
+  | Injected -> "injected"
+
+let to_string = function
+  | Infeasible -> "infeasible"
+  | Unbounded -> "unbounded"
+  | Exhausted { site; kind; pivots; peak_bits } ->
+    Printf.sprintf "exhausted(site=%s,kind=%s,pivots=%d,peak_bits=%d)" site
+      (kind_to_string kind) pivots peak_bits
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let fail ~context error = raise (Error { context; error })
+
+let to_json = function
+  | Infeasible -> Obs.Json.Obj [ ("verdict", Obs.Json.Str "infeasible") ]
+  | Unbounded -> Obs.Json.Obj [ ("verdict", Obs.Json.Str "unbounded") ]
+  | Exhausted { site; kind; pivots; peak_bits } ->
+    Obs.Json.Obj
+      [
+        ("verdict", Obs.Json.Str "exhausted");
+        ("site", Obs.Json.Str site);
+        ("kind", Obs.Json.Str (kind_to_string kind));
+        ("pivots", Obs.Json.Int pivots);
+        ("peak_bits", Obs.Json.Int peak_bits);
+      ]
+
+let () =
+  Printexc.register_printer (function
+    | Error { context; error } ->
+      Some (Printf.sprintf "Solver_error.Error(%s: %s)" context (to_string error))
+    | _ -> None)

@@ -1,0 +1,49 @@
+(** One taxonomy for every way an exact solve can fail to return an
+    optimum, so no bare exception escapes [lib/].
+
+    Infeasibility and unboundedness are mathematical verdicts about the
+    problem; {!Exhausted} is an operational verdict about the solve —
+    some {!Budget} dimension ran out (or a {!Fault} plan injected an
+    exhaustion) before the simplex reached a vertex. An [Exhausted]
+    value always names the site that tripped and carries the budget
+    spent up to that point, so degradation decisions and provenance
+    records are exact and replayable. *)
+
+(** Which budget dimension ran out. *)
+type budget_kind =
+  | Deadline  (** the wall-clock deadline on the budget's clock passed *)
+  | Pivots  (** the simplex pivot allowance was spent *)
+  | Bits  (** a pivot coefficient crossed the bit-size ceiling *)
+  | Injected  (** a {!Fault} plan forced exhaustion at the site *)
+
+type exhaustion = {
+  site : string;  (** trigger site, e.g. ["simplex.phase2"] *)
+  kind : budget_kind;
+  pivots : int;  (** pivots spent in the exhausted solve *)
+  peak_bits : int;  (** largest pivot-coefficient bit size observed; 0
+                        when bit tracking was off *)
+}
+
+type t =
+  | Infeasible
+  | Unbounded
+  | Exhausted of exhaustion
+
+exception Error of { context : string; error : t }
+(** The escape hatch for call sites where a failure is impossible by
+    theorem (e.g. the §2.5 LP always admits the geometric mechanism):
+    instead of [assert false], raise a witness that says which solver
+    failed, where, and why. A printer is registered. *)
+
+val fail : context:string -> t -> 'a
+(** [fail ~context e] raises {!Error}. *)
+
+val kind_to_string : budget_kind -> string
+val to_string : t -> string
+(** Deterministic rendering, e.g.
+    ["exhausted(site=simplex.phase2,kind=pivots,pivots=128,peak_bits=341)"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Obs.Json.t
+(** Structured form for CLI output and provenance records. *)

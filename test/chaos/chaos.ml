@@ -1,0 +1,159 @@
+(* Chaos harness (`dune build @chaos`, or `make chaos`).
+
+   Sweeps the deterministic fault matrix — every registered trigger
+   site crossed with every action and both hit disciplines (first hit,
+   every hit) — and asserts the system's two resilience contracts:
+
+   - solver sites ("simplex.phase1"/"simplex.phase2"): whatever fault
+     fires inside the LP, [Minimax.Serve.serve] still returns a
+     mechanism for each example consumer, its provenance names the
+     ladder rung taken, and [Check.Invariants] independently certifies
+     α-DP (plus Theorem-2 derivability on geometric rungs);
+
+   - non-solver sites ("matrix.inverse", "mech.factor",
+     "multilevel.stage", "dpdb.csv.row"): the injected fault surfaces
+     as a clean [Fault.Injected] — and the identical call succeeds once
+     the plan is gone, so a trip corrupts no state.
+
+   Everything here is deterministic: no clocks, no randomness, exact
+   hit counts — the same matrix trips the same faults every run. *)
+
+let q = Rat.of_ints
+
+module B = Resilience.Budget
+module F = Resilience.Fault
+module E = Resilience.Solver_error
+module S = Minimax.Serve
+module I = Check.Invariants
+
+let failures = ref 0
+
+let check label ok =
+  if not ok then begin
+    incr failures;
+    Printf.printf "FAIL %s\n" label
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Solver sites: the serve ladder must absorb every fault.            *)
+(* ------------------------------------------------------------------ *)
+
+let solver_sites = [ "simplex.phase1"; "simplex.phase2" ]
+
+let actions =
+  [
+    ("trip", F.Trip);
+    ("exhaust-deadline", F.Exhaust E.Deadline);
+    ("exhaust-pivots", F.Exhaust E.Pivots);
+    ("exhaust-bits", F.Exhaust E.Bits);
+    ("exhaust-injected", F.Exhaust E.Injected);
+    ("blowup-bits", F.Blowup_bits 4096);
+  ]
+
+let consumers =
+  [
+    ("absolute", Minimax.Loss.absolute);
+    ("zero-one", Minimax.Loss.zero_one);
+  ]
+
+let alpha = q 1 2
+let n = 4
+
+let certified_serve label plan ~budget =
+  let consumer loss = Minimax.Consumer.make ~loss ~side_info:(Minimax.Side_info.full n) () in
+  List.iter
+    (fun (lname, loss) ->
+      let label = Printf.sprintf "%s consumer=%s" label lname in
+      match F.with_plan plan (fun () -> S.serve ?budget ~alpha (consumer loss)) with
+      | exception e ->
+        check (label ^ ": serve raised " ^ Printexc.to_string e) false
+      | s ->
+        let m = Mech.Mechanism.matrix s.S.mechanism in
+        let rung = s.S.provenance.S.rung in
+        check (label ^ ": provenance names a rung") (S.rung_to_string rung <> "");
+        check (label ^ ": alpha-dp certified") (I.passed (I.alpha_dp ~alpha m));
+        if rung <> S.Tailored then
+          check (label ^ ": derivability certified") (I.passed (I.derivability ~alpha m)))
+    consumers
+
+let solver_matrix () =
+  List.iter
+    (fun site ->
+      List.iter
+        (fun (aname, action) ->
+          List.iter
+            (fun hits ->
+              let label = Printf.sprintf "site=%s action=%s hits=%d" site aname hits in
+              let plan = F.plan [ { F.site; hits; action } ] in
+              (* Blowup_bits only matters against a bit ceiling. *)
+              let budget =
+                match action with
+                | F.Blowup_bits _ -> Some (B.make ~max_bits:256 ())
+                | _ -> None
+              in
+              certified_serve label plan ~budget)
+            [ 1; 0 ])
+        actions)
+    solver_sites;
+  (* The acceptance scenario: the LP budget exhausts at EVERY simplex
+     site on every hit — no LP can run, the ladder must bottom out on
+     raw G(n,α) and still certify. *)
+  let plan =
+    F.plan
+      (List.map (fun site -> { F.site; hits = 0; action = F.Exhaust E.Pivots }) solver_sites)
+  in
+  certified_serve "all-sites-exhausted" plan ~budget:None
+
+(* ------------------------------------------------------------------ *)
+(* Non-solver sites: clean Injected, no state corruption.             *)
+(* ------------------------------------------------------------------ *)
+
+let trip_sites =
+  [
+    ( "matrix.inverse",
+      fun () ->
+        ignore
+          (Linalg.Matrix.Q.inverse
+             (Array.init 3 (fun i -> Array.init 3 (fun j -> if i = j then q 2 1 else Rat.zero)))) );
+    ( "mech.factor",
+      fun () -> ignore (Mech.Derivability.derive ~alpha (Mech.Geometric.matrix ~n ~alpha)) );
+    ( "multilevel.stage",
+      fun () -> ignore (Minimax.Multi_level.make_plan ~n ~levels:[ q 1 3; q 1 2 ]) );
+    ( "dpdb.csv.row", fun () -> ignore (Dpdb.Csv.of_string "age:int\n30\n41\n") );
+  ]
+
+let trip_matrix () =
+  List.iter
+    (fun (site, workload) ->
+      let plan = F.plan [ { F.site; hits = 1; action = F.Trip } ] in
+      (match F.with_plan plan workload with
+       | exception F.Injected { site = s; hit = 1 } ->
+         check (site ^ ": Injected names the site") (s = site)
+       | exception e ->
+         check (site ^ ": clean Injected, got " ^ Printexc.to_string e) false
+       | () -> check (site ^ ": trip fired") false);
+      check (site ^ ": exactly one trip recorded") (F.trips plan = 1);
+      (* The same workload with no plan installed must succeed: a trip
+         leaves no residue behind. *)
+      match workload () with
+      | () -> ()
+      | exception e -> check (site ^ ": retry clean, got " ^ Printexc.to_string e) false)
+    trip_sites
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  solver_matrix ();
+  trip_matrix ();
+  let scenarios =
+    (List.length solver_sites * List.length actions * 2 + 1) * List.length consumers
+    + List.length trip_sites
+  in
+  if !failures > 0 then begin
+    Printf.printf "chaos: %d failure(s) across %d scenarios\n" !failures scenarios;
+    exit 1
+  end;
+  Printf.printf "chaos: clean (%d scenarios: %d solver-site plans x %d consumers, %d trip sites)\n"
+    scenarios
+    (List.length solver_sites * List.length actions * 2 + 1)
+    (List.length consumers) (List.length trip_sites)

@@ -247,6 +247,23 @@ let test_lint_print_stdout () =
    [test_lint_own_tree_clean]: lib/report prints through its sinks and
    scan_roots bans stdout everywhere else under lib/. *)
 
+let test_lint_assert_false () =
+  let flagged ?ban_assert s = rules (L.scan_source ?ban_assert ~file:"t.ml" s) in
+  Alcotest.(check (list string)) "bare assert false flagged" [ "lint/assert-false" ]
+    (flagged ~ban_assert:true "let f = function Some x -> x | None -> assert false\n");
+  (* a sibling comment citing the invariant exempts the arm *)
+  Alcotest.(check (list string)) "comment on same line exempt" []
+    (flagged ~ban_assert:true
+       "let f = function Some x -> x | None -> assert false (* caller checked *)\n");
+  Alcotest.(check (list string)) "comment on previous line exempt" []
+    (flagged ~ban_assert:true
+       "let f = function\n  | Some x -> x\n  (* unreachable: g never returns None *)\n  | None -> assert false\n");
+  (* assert with a real condition is fine, and the rule is off by default *)
+  Alcotest.(check (list string)) "assert cond not flagged" []
+    (flagged ~ban_assert:true "let f x = assert (x > 0); x\n");
+  Alcotest.(check (list string)) "off by default" []
+    (flagged "let f = function Some x -> x | None -> assert false\n")
+
 let test_lint_strip () =
   (* Nested comments, strings inside comments, char literals. *)
   let s = L.strip "a (* one (* two *) \"*)\" still *) b \"lit\" 'c' '\\n' 'a" in
@@ -304,6 +321,7 @@ let () =
           Alcotest.test_case "obj-magic" `Quick test_lint_obj_magic;
           Alcotest.test_case "float-eq" `Quick test_lint_float_eq;
           Alcotest.test_case "print-stdout" `Quick test_lint_print_stdout;
+          Alcotest.test_case "assert-false" `Quick test_lint_assert_false;
           Alcotest.test_case "strip" `Quick test_lint_strip;
           Alcotest.test_case "own tree clean" `Quick test_lint_own_tree_clean;
         ] );

@@ -51,9 +51,12 @@ let test_csv_bool_forms () =
 let test_csv_errors () =
   Alcotest.check_raises "bad header" (Invalid_argument "Csv: bad column spec \"a:float\" (want name:int|text|bool)")
     (fun () -> ignore (Csv.of_string "a:float\n1\n"));
-  Alcotest.check_raises "bad int" (Invalid_argument "Csv: not an int: \"xyz\"") (fun () ->
-      ignore (Csv.of_string "a:int\nxyz\n"));
-  Alcotest.check_raises "ragged" (Invalid_argument "Csv: row has 1 fields, want 2") (fun () ->
+  Alcotest.check_raises "bad int" (Invalid_argument "Csv: row 1, field 1 (a): not an int: \"xyz\"")
+    (fun () -> ignore (Csv.of_string "a:int\nxyz\n"));
+  Alcotest.check_raises "bad cell locates row and column"
+    (Invalid_argument "Csv: row 2, field 2 (age): not an int: \"old\"")
+    (fun () -> ignore (Csv.of_string "name:text,age:int\nann,34\nbob,old\n"));
+  Alcotest.check_raises "ragged" (Invalid_argument "Csv: row 1 has 1 fields, want 2") (fun () ->
       ignore (Csv.of_string "a:int,b:int\n1\n"));
   Alcotest.check_raises "empty" (Invalid_argument "Csv: empty document") (fun () ->
       ignore (Csv.of_string "\n\n"))
@@ -74,7 +77,12 @@ let schema = Dpdb.Schema.make [ ("age", V.Tint); ("city", V.Ttext); ("sick", V.T
 
 let row age city sick = [| V.Int age; V.Text city; V.Bool sick |]
 
-let eval s r = Dpdb.Predicate.eval schema r (Qp.parse s)
+let parse_exn s =
+  match Qp.parse s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse %S failed %s" s (Qp.error_to_string e)
+
+let eval s r = Dpdb.Predicate.eval schema r (parse_exn s)
 
 let test_parse_atoms () =
   let r = row 34 "San Diego" true in
@@ -119,7 +127,16 @@ let test_parse_errors () =
   bad "age = 1 garbage";
   bad "AND age = 1";
   bad "age IN ()";
-  bad "age ** 2"
+  bad "age ** 2";
+  (* errors carry the offset of the offending token *)
+  let position s =
+    match Qp.parse s with
+    | Error e -> e.Qp.position
+    | Ok _ -> Alcotest.failf "should not parse: %s" s
+  in
+  Alcotest.(check int) "bad char offset" 4 (position "age ** 2");
+  Alcotest.(check int) "trailing-input offset" 8 (position "age = 1 garbage");
+  Alcotest.(check int) "eof offset" 5 (position "age =")
 
 let test_parse_roundtrip_via_to_string () =
   (* to_string of a parsed predicate re-parses to the same evaluation *)
@@ -129,8 +146,8 @@ let test_parse_roundtrip_via_to_string () =
   let rows = [ row 34 "San Diego" true; row 4 "Fresno" false; row 2 "LA" true ] in
   List.iter
     (fun s ->
-      let p = Qp.parse s in
-      let p' = Qp.parse (Dpdb.Predicate.to_string p) in
+      let p = parse_exn s in
+      let p' = parse_exn (Dpdb.Predicate.to_string p) in
       List.iter
         (fun r ->
           Alcotest.(check bool) (s ^ " on a row")
@@ -140,16 +157,20 @@ let test_parse_roundtrip_via_to_string () =
     inputs
 
 let test_type_check () =
-  Alcotest.(check bool) "well-typed" true (Qp.type_check schema (Qp.parse "age >= 18") = None);
+  Alcotest.(check bool) "well-typed" true (Qp.type_check schema (parse_exn "age >= 18") = None);
   Alcotest.(check bool) "ill-typed literal" true
-    (Qp.type_check schema (Qp.parse "age = 'ten'") <> None);
+    (Qp.type_check schema (parse_exn "age = 'ten'") <> None);
   Alcotest.(check bool) "unknown column" true
-    (Qp.type_check schema (Qp.parse "salary > 10") <> None)
+    (Qp.type_check schema (parse_exn "salary > 10") <> None)
 
 let test_parse_query_end_to_end () =
   let rng = Prob.Rng.of_int 9 in
   let db = Dpdb.Generator.population rng 50 ~flu_rate:0.3 in
-  let parsed = Qp.parse_query ~name:"parsed" "has_flu = true AND age >= 18" in
+  let parsed =
+    match Qp.parse_query ~name:"parsed" "has_flu = true AND age >= 18" with
+    | Ok query -> query
+    | Error e -> Alcotest.failf "parse_query failed %s" (Qp.error_to_string e)
+  in
   let manual =
     Dpdb.Count_query.make
       Dpdb.Predicate.(Eq ("has_flu", V.Bool true) &&& Ge ("age", V.Int 18))

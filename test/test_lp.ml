@@ -11,8 +11,8 @@ let solve_expect_optimal p =
   | Lp.Optimal s ->
     Alcotest.(check bool) "certificate" true (Lp.check_solution p s);
     s
-  | Lp.Infeasible -> Alcotest.fail "unexpected infeasible"
-  | Lp.Unbounded -> Alcotest.fail "unexpected unbounded"
+  | Lp.Failed Lp.Solver_error.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Lp.Failed e -> Alcotest.fail (Lp.Solver_error.to_string e)
 
 (* --------------------------------------------------------------- *)
 (* Textbook cases                                                   *)
@@ -59,7 +59,7 @@ let test_infeasible () =
   Lp.add_le p (Lp.Expr.var x) (q 1 1);
   Lp.set_objective p Lp.Minimize (Lp.Expr.var x);
   match Lp.solve p with
-  | Lp.Infeasible -> ()
+  | Lp.Failed Lp.Solver_error.Infeasible -> ()
   | _ -> Alcotest.fail "expected infeasible"
 
 let test_infeasible_eq () =
@@ -69,7 +69,7 @@ let test_infeasible_eq () =
   Lp.add_eq p Lp.Expr.(add (var x) (var y)) Rat.two;
   Lp.set_objective p Lp.Minimize (Lp.Expr.var x);
   match Lp.solve p with
-  | Lp.Infeasible -> ()
+  | Lp.Failed Lp.Solver_error.Infeasible -> ()
   | _ -> Alcotest.fail "expected infeasible"
 
 let test_unbounded () =
@@ -77,7 +77,7 @@ let test_unbounded () =
   let x = Lp.fresh_var p in
   Lp.set_objective p Lp.Maximize (Lp.Expr.var x);
   match Lp.solve p with
-  | Lp.Unbounded -> ()
+  | Lp.Failed Lp.Solver_error.Unbounded -> ()
   | _ -> Alcotest.fail "expected unbounded"
 
 let test_unbounded_direction () =
@@ -88,7 +88,7 @@ let test_unbounded_direction () =
   Lp.add_le p Lp.Expr.(sub (var x) (var y)) Rat.one;
   Lp.set_objective p Lp.Maximize Lp.Expr.(add (var x) (var y));
   match Lp.solve p with
-  | Lp.Unbounded -> ()
+  | Lp.Failed Lp.Solver_error.Unbounded -> ()
   | _ -> Alcotest.fail "expected unbounded"
 
 let test_free_variables () =
@@ -253,7 +253,7 @@ let prop_2d_matches_brute_force =
          match (Lp.solve p, brute_force_2d constraints (cx, cy)) with
          | Lp.Optimal s, Some v -> Rat.equal s.objective v
          | Lp.Optimal _, None -> false
-         | (Lp.Infeasible | Lp.Unbounded), _ -> false
+         | Lp.Failed _, _ -> false
          (* all-positive coefficients with positive rhs: always feasible
             (origin) and bounded *)))
 

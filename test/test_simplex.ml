@@ -38,13 +38,13 @@ let test_negative_rhs_normalization () =
 let test_infeasible_standard () =
   (* x0 = 1 and x0 = 2 simultaneously. *)
   match solve [ [ (1, 1) ]; [ (1, 1) ] ] [ (1, 1); (2, 1) ] [ (0, 1) ] with
-  | Sx.Infeasible -> ()
+  | Sx.Failed Sx.Solver_error.Infeasible -> ()
   | _ -> Alcotest.fail "infeasible expected"
 
 let test_unbounded_standard () =
   (* min -x0 with x0 - x1 = 0: x0 can grow with x1. *)
   match solve [ [ (1, 1); (-1, 1) ] ] [ (0, 1) ] [ (-1, 1); (0, 1) ] with
-  | Sx.Unbounded -> ()
+  | Sx.Failed Sx.Solver_error.Unbounded -> ()
   | _ -> Alcotest.fail "unbounded expected"
 
 let test_zero_rows_zero_cols () =
@@ -108,7 +108,7 @@ let test_configurations_agree_random () =
             Alcotest.(check bool) "feasible" true (Sx.check_feasible ~a ~b x)
           | _ -> Alcotest.fail "status disagrees")
         rest
-    | (Sx.Infeasible | Sx.Unbounded) :: _ ->
+    | Sx.Failed _ :: _ ->
       (* feasible by construction; min of nonneg costs over a polytope
          may still be unbounded only if a recession direction with
          negative cost exists — costs are positive, so bounded. *)
