@@ -1,4 +1,4 @@
-.PHONY: all build test lint chaos bench bench-json clean
+.PHONY: all build test lint chaos bench bench-json engine-bench clean
 
 all: build
 
@@ -27,7 +27,13 @@ bench:
 # number in the file name is the PR sequence number, so successive
 # PRs leave comparable snapshots behind.
 bench-json:
-	dune exec bench/main.exe -- --bench-json BENCH_3.json
+	dune exec bench/main.exe -- --bench-json BENCH_4.json
+
+# Just the serving-engine experiment (E1): cache + compiled samplers +
+# Domain pool, checking byte-identical output across worker counts.
+# The >= 2x parallel-speedup criterion only binds on >= 4 cores.
+engine-bench:
+	dune exec bench/main.exe -- engine
 
 clean:
 	dune clean

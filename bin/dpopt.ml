@@ -4,6 +4,7 @@
      geometric   print or sample the geometric mechanism
      optimal     solve the tailored optimal-mechanism LP (§2.5)
      serve       budgeted solve with certified degradation to G(n,α)
+     engine      serve a request stream through the multicore engine
      interact    solve a consumer's optimal interaction (§2.4.3)
      release     multi-level collusion-resistant release (Algorithm 1)
      verify      check a mechanism matrix for DP and derivability
@@ -74,7 +75,7 @@ let decimal_arg =
 
 (* --deadline-ms / --max-pivots / --max-bits: a solve budget. All
    unset means no budget at all (the solver's zero-overhead path). *)
-let budget_term =
+let budget_flags =
   let deadline =
     let doc = "Wall-clock budget for the solve, in milliseconds." in
     Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
@@ -87,11 +88,25 @@ let budget_term =
     let doc = "Ceiling on pivot-coefficient bit sizes (exhausts instead of thrashing)." in
     Arg.(value & opt (some int) None & info [ "max-bits" ] ~docv:"B" ~doc)
   in
-  let mk deadline_ms max_pivots max_bits =
+  let mk deadline_ms max_pivots max_bits = (deadline_ms, max_pivots, max_bits) in
+  Term.(const mk $ deadline $ pivots $ bits)
+
+let budget_term =
+  let mk (deadline_ms, max_pivots, max_bits) =
     if deadline_ms = None && max_pivots = None && max_bits = None then None
     else Some (Lp.Budget.make ?deadline_ms ?max_pivots ?max_bits ())
   in
-  Term.(const mk $ deadline $ pivots $ bits)
+  Term.(const mk $ budget_flags)
+
+(* The engine compiles each distinct consumer separately, so it takes
+   the budget as a thunk: every compile gets a fresh deadline window
+   instead of all of them racing one wall clock started at CLI parse. *)
+let budget_thunk_term =
+  let mk (deadline_ms, max_pivots, max_bits) =
+    if deadline_ms = None && max_pivots = None && max_bits = None then None
+    else Some (fun () -> Lp.Budget.make ?deadline_ms ?max_pivots ?max_bits ())
+  in
+  Term.(const mk $ budget_flags)
 
 let loss_conv =
   let parse s =
@@ -187,8 +202,14 @@ let geometric_cmd =
     | Some i when i < 0 || i > n -> `Error (false, "input out of {0..n}")
     | Some i ->
       let rng = Prob.Rng.of_int seed in
-      let out = List.init samples (fun _ -> Mech.Mechanism.sample g ~input:i rng) in
-      print_endline (String.concat " " (List.map string_of_int out));
+      (* One compiled alias table amortized over the batch: O(1) per
+         draw instead of an O(n) exact-rational CDF walk per draw.
+         [Compiled.draws] keeps the exact path for K=1, so
+         single-sample seed streams are unchanged from before compiled
+         samplers existed. *)
+      let sampler = Engine.Compiled.sampler_of_mechanism g in
+      let out = Engine.Compiled.draws sampler ~input:i ~count:samples rng in
+      print_endline (String.concat " " (List.map string_of_int (Array.to_list out)));
       `Ok ()
   in
   let term =
@@ -297,6 +318,174 @@ let serve_cmd =
          "Serve a consumer within a budget (--deadline-ms / --max-pivots / --max-bits), \
           degrading from the tailored LP to the geometric mechanism rather than failing; \
           the released mechanism is re-certified and carries its provenance.")
+    term
+
+(* ----------------------------------------------------------------- *)
+(* engine                                                            *)
+(* ----------------------------------------------------------------- *)
+
+let engine_cmd =
+  let file =
+    let doc =
+      "Read requests from $(docv) instead of stdin. One request per line in the key=value \
+       grammar, e.g. 'n=6 alpha=1/2 loss=absolute side=full input=3 count=1000'; blank \
+       lines and lines starting with '#' are ignored."
+    in
+    Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+  in
+  let workers =
+    let doc =
+      "Worker domains for the sampling pool (1 = inline single-domain fallback; default: \
+       the runtime's recommendation). Output is byte-identical for every setting."
+    in
+    Arg.(value & opt (some int) None & info [ "w"; "workers" ] ~docv:"W" ~doc)
+  in
+  let cache =
+    let doc = "Mechanism-cache capacity: compiled artifacts kept, LRU-evicted beyond it." in
+    Arg.(value & opt int 64 & info [ "cache" ] ~docv:"CAP" ~doc)
+  in
+  let print_samples =
+    let doc = "Print each request's samples (space-separated) under its summary line." in
+    Arg.(value & flag & info [ "print-samples" ] ~doc)
+  in
+  let json =
+    let doc = "Print one JSON object per response (and a summary object) instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let read_lines = function
+    | Some f -> In_channel.with_open_text f In_channel.input_lines
+    | None ->
+      let rec go acc =
+        match In_channel.input_line stdin with
+        | Some l -> go (l :: acc)
+        | None -> List.rev acc
+      in
+      go []
+  in
+  let cache_state (r : Engine.response) =
+    if r.Engine.cache_bypassed then "bypass" else if r.Engine.cache_hit then "hit" else "miss"
+  in
+  let run () file workers cache print_samples json seed budget =
+    let lines = try Ok (read_lines file) with Sys_error m -> Error m in
+    match lines with
+    | Error m -> `Error (false, m)
+    | Ok lines -> (
+      let parse (lineno, acc) line =
+        let s = String.trim line in
+        if s = "" || s.[0] = '#' then (lineno + 1, acc)
+        else
+          let r =
+            match Engine.Request.of_line s with
+            | Ok r -> Ok r
+            | Error m -> Error (Printf.sprintf "line %d: %s" lineno m)
+          in
+          (lineno + 1, r :: acc)
+      in
+      let _, parsed = List.fold_left parse (1, []) lines in
+      let first_error = List.find_opt Result.is_error (List.rev parsed) in
+      match first_error with
+      | Some (Error m) -> `Error (false, m)
+      | Some (Ok _) | None -> (
+        let requests =
+          Array.of_list (List.rev (List.filter_map Result.to_option parsed))
+        in
+        if Array.length requests = 0 then
+          `Error (false, "no requests (input was empty)")
+        else
+          match
+            Engine.with_engine ?domains:workers ~cache_capacity:cache ?budget (fun e ->
+              let t0 = Obs.Clock.monotonic () in
+              let responses = Engine.run_batch ~seed e requests in
+              let t1 = Obs.Clock.monotonic () in
+              (* [Engine.domains] is 0 for the inline pool; as far as the
+                 user is concerned one domain did the sampling. *)
+              (responses, Int64.sub t1 t0, Engine.cache_stats e, max 1 (Engine.domains e)))
+          with
+          | exception Engine.Compiled.Uncertified { key; rule } ->
+            `Error (false, Printf.sprintf "release for %s failed re-certification (%s)" key rule)
+          | responses, elapsed_ns, stats, domains ->
+            let module S = Minimax.Serve in
+            let total_samples =
+              Array.fold_left (fun a r -> a + Array.length r.Engine.samples) 0 responses
+            in
+            let seconds = Int64.to_float elapsed_ns /. 1e9 in
+            let per_s = if seconds > 0. then float_of_int total_samples /. seconds else 0. in
+            Array.iteri
+              (fun i (r : Engine.response) ->
+                if json then
+                  let open Obs.Json in
+                  print_endline
+                    (to_string
+                       (Obj
+                          [
+                            ("index", Int i);
+                            ("key", Str r.Engine.key);
+                            ("rung", Str (S.rung_to_string r.Engine.rung));
+                            ("loss", rat r.Engine.loss);
+                            ("cache", Str (cache_state r));
+                            ("input", Int r.Engine.request.Engine.Request.input);
+                            ( "samples",
+                              if print_samples then
+                                List
+                                  (Array.to_list
+                                     (Array.map (fun s -> Int s) r.Engine.samples))
+                              else Int (Array.length r.Engine.samples) );
+                          ]))
+                else begin
+                  Printf.printf "[%3d] %s  rung=%s loss=%s cache=%s samples=%d\n" i
+                    r.Engine.key
+                    (S.rung_to_string r.Engine.rung)
+                    (Rat.to_string r.Engine.loss) (cache_state r)
+                    (Array.length r.Engine.samples);
+                  if print_samples then
+                    print_endline
+                      (String.concat " "
+                         (List.map string_of_int (Array.to_list r.Engine.samples)))
+                end)
+              responses;
+            let summary =
+              Printf.sprintf
+                "%d request(s), %d sample(s) in %.3fs (%.0f samples/s) on %d worker \
+                 domain(s); cache: %d hit(s) %d miss(es) %d eviction(s)"
+                (Array.length responses) total_samples seconds per_s domains
+                stats.Engine.Cache.hits stats.Engine.Cache.misses stats.Engine.Cache.evictions
+            in
+            if json then
+              let open Obs.Json in
+              print_endline
+                (to_string
+                   (Obj
+                      [
+                        ("requests", Int (Array.length responses));
+                        ("samples", Int total_samples);
+                        ("elapsed_ns", Int (Int64.to_int elapsed_ns));
+                        ("samples_per_s", Int (int_of_float per_s));
+                        ("workers", Int domains);
+                        ( "cache",
+                          Obj
+                            [
+                              ("hits", Int stats.Engine.Cache.hits);
+                              ("misses", Int stats.Engine.Cache.misses);
+                              ("evictions", Int stats.Engine.Cache.evictions);
+                              ("insertions", Int stats.Engine.Cache.insertions);
+                            ] );
+                      ]))
+            else print_endline summary;
+            `Ok ()))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ obs_term $ file $ workers $ cache $ print_samples $ json $ seed_arg
+       $ budget_thunk_term))
+  in
+  Cmd.v
+    (Cmd.info "engine"
+       ~doc:
+         "Serve a stream of requests through the multicore engine: requests naming the same \
+          consumer share one cached, re-certified, alias-compiled mechanism; sampling fans \
+          out over a Domain pool and merges deterministically (byte-identical output for \
+          any --workers, given --seed).")
     term
 
 (* ----------------------------------------------------------------- *)
@@ -612,6 +801,7 @@ let main =
       geometric_cmd;
       optimal_cmd;
       serve_cmd;
+      engine_cmd;
       interact_cmd;
       release_cmd;
       verify_cmd;

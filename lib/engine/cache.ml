@@ -1,0 +1,87 @@
+(* Bounded LRU over string keys; see cache.mli. Recency is a
+   monotonically increasing stamp per entry; eviction scans for the
+   minimum stamp, O(capacity), which stays cheap at the capacities a
+   mechanism cache uses. *)
+
+type 'a entry = { value : 'a; mutable stamp : int }
+
+type 'a t = {
+  cap : int;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable insertions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; insertions : int }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (2 * capacity);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    insertions = 0;
+  }
+
+let capacity t = t.cap
+let size t = Hashtbl.length t.tbl
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.stamp <- t.tick
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+    touch t e;
+    t.hits <- t.hits + 1;
+    Obs.incr "engine.cache.hits";
+    Some e.value
+  | None ->
+    t.misses <- t.misses + 1;
+    Obs.incr "engine.cache.misses";
+    None
+
+let mem t key = Hashtbl.mem t.tbl key
+
+let peek t key = Option.map (fun e -> e.value) (Hashtbl.find_opt t.tbl key)
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, stamp) when stamp <= e.stamp -> acc
+        | _ -> Some (key, e.stamp))
+      t.tbl None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, _) ->
+    Hashtbl.remove t.tbl key;
+    t.evictions <- t.evictions + 1;
+    Obs.incr "engine.cache.evictions"
+
+let add t key value =
+  (match Hashtbl.find_opt t.tbl key with
+  | Some _ -> Hashtbl.remove t.tbl key
+  | None -> if Hashtbl.length t.tbl >= t.cap then evict_lru t);
+  let e = { value; stamp = 0 } in
+  touch t e;
+  Hashtbl.add t.tbl key e;
+  t.insertions <- t.insertions + 1;
+  Obs.incr "engine.cache.insertions"
+
+let stats (t : 'a t) : stats =
+  { hits = t.hits; misses = t.misses; evictions = t.evictions; insertions = t.insertions }
+
+let keys t =
+  Hashtbl.fold (fun key e acc -> (key, e.stamp) :: acc) t.tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.map fst

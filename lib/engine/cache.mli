@@ -1,0 +1,49 @@
+(** Bounded LRU cache for compiled artifacts.
+
+    Keys are the canonical strings of {!Request.canonical_key}; values
+    are whatever the engine compiles (the type is a parameter so tests
+    can exercise the policy with cheap values). Capacity is a hard
+    bound: inserting into a full cache evicts the least-recently-used
+    entry first.
+
+    Recency is advanced by both {!find} hits and {!add}. Eviction scans
+    for the oldest stamp — O(capacity) — which is the right trade for
+    this workload: capacities are small (each entry holds an LP solve),
+    and the scan is branch-predictable, allocation-free and trivially
+    correct.
+
+    Every operation bumps ambient {!Obs} counters
+    ([engine.cache.hits] / [.misses] / [.evictions] / [.insertions]);
+    local {!stats} are kept as well so callers can report without a
+    recorder installed. Not domain-safe by design: the engine performs
+    all compilation and caching on the coordinator domain, and only
+    fans out sampling. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val size : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** [Some v] marks the entry most-recently used and counts a hit;
+    [None] counts a miss. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or overwrite, marking the entry most-recently used; evicts
+    the least-recently-used entry when inserting over capacity. *)
+
+val mem : 'a t -> string -> bool
+(** Recency- and counter-neutral membership test. *)
+
+val peek : 'a t -> string -> 'a option
+(** Recency- and counter-neutral lookup, for audits and tests. *)
+
+type stats = { hits : int; misses : int; evictions : int; insertions : int }
+
+val stats : 'a t -> stats
+
+val keys : 'a t -> string list
+(** Most-recently-used first. *)

@@ -1,0 +1,79 @@
+(* Compiled mechanisms; see compiled.mli. *)
+
+module M = Mech.Mechanism
+module S = Minimax.Serve
+module I = Check.Invariants
+
+type sampler = { mech : M.t; tables : Prob.Discrete.Alias.table array }
+
+let sampler_of_mechanism mech =
+  let size = M.size mech in
+  let tables =
+    Array.init size (fun i -> Prob.Discrete.Alias.build (M.row_distribution mech i))
+  in
+  { mech; tables }
+
+let sampler_mechanism s = s.mech
+
+let draw s ~input rng =
+  if input < 0 || input >= Array.length s.tables then
+    invalid_arg "Compiled.draw: input out of {0..n}";
+  Prob.Discrete.Alias.sample s.tables.(input) rng
+
+let draws s ~input ~count rng =
+  if count < 1 then invalid_arg "Compiled.draws: count must be >= 1";
+  if count = 1 then [| M.sample s.mech ~input rng |]
+  else begin
+    if input < 0 || input >= Array.length s.tables then
+      invalid_arg "Compiled.draws: input out of {0..n}";
+    let table = s.tables.(input) in
+    Array.init count (fun _ -> Prob.Discrete.Alias.sample table rng)
+  end
+
+type t = {
+  key : string;
+  served : S.served;
+  certificates : I.certificate list;
+  sampler : sampler;
+}
+
+exception Uncertified of { key : string; rule : string }
+
+let () =
+  Printexc.register_printer (function
+    | Uncertified { key; rule } ->
+      Some (Printf.sprintf "Compiled.Uncertified(key=%s,rule=%s)" key rule)
+    | _ -> None)
+
+(* Independent re-audit of the released mechanism. Serve already
+   certified it once; compiling re-runs the analyzer so the cached
+   artifact carries the actual replayable certificates, not just the
+   rule names, and so a cache can be audited without trusting the
+   ladder. Derivability is only demanded where it holds by
+   construction (the geometric rungs). *)
+let recertify ~key ~alpha (served : S.served) =
+  let matrix = M.matrix served.S.mechanism in
+  let reports =
+    [ I.row_stochastic matrix; I.alpha_dp ~alpha matrix ]
+    @
+    match served.S.provenance.S.rung with
+    | S.Tailored -> []
+    | S.Geometric_remap | S.Geometric_raw -> [ I.derivability ~alpha matrix ]
+  in
+  List.map
+    (fun (r : I.report) ->
+      match r.I.certificate with
+      | Some c -> c
+      | None -> raise (Uncertified { key; rule = r.I.rule }))
+    reports
+
+let compile ?budget ~alpha ~key consumer =
+  Obs.span ~attrs:[ ("key", Obs.Str key) ] "engine.compile" @@ fun () ->
+  let served = S.serve ?budget ~alpha consumer in
+  let certificates = recertify ~key ~alpha served in
+  let sampler = sampler_of_mechanism served.S.mechanism in
+  Obs.incr "engine.compiles";
+  { key; served; certificates; sampler }
+
+let rung t = t.served.S.provenance.S.rung
+let loss t = t.served.S.loss

@@ -1,0 +1,132 @@
+(* The serving engine; see engine.mli. *)
+
+module Request = Request
+module Cache = Cache
+module Compiled = Compiled
+module Pool = Pool
+
+type t = {
+  pool : Pool.t;
+  cache : Compiled.t Cache.t;
+  budget : (unit -> Lp.Budget.t) option;
+  mutable closed : bool;
+}
+
+let create ?domains ?(cache_capacity = 64) ?budget () =
+  let domains =
+    match domains with Some d -> d | None -> Pool.recommended_domains ()
+  in
+  {
+    pool = Pool.create ~domains;
+    cache = Cache.create ~capacity:cache_capacity;
+    budget;
+    closed = false;
+  }
+
+let domains t = Pool.domains t.pool
+let cache_stats t = Cache.stats t.cache
+let cached_keys t = Cache.keys t.cache
+
+type response = {
+  request : Request.t;
+  key : string;
+  samples : int array;
+  rung : Minimax.Serve.rung;
+  loss : Rat.t;
+  cache_hit : bool;
+  cache_bypassed : bool;
+}
+
+(* Compile-or-fetch for one request, on the coordinator domain. A
+   tripped "engine.cache" site degrades to a cacheless compile: the
+   request is still served, the cache is never touched mid-fault (so a
+   trip cannot corrupt or partially populate it), and the bypass is
+   counted. *)
+let resolve t (req : Request.t) =
+  let key = Request.canonical_key req in
+  let compile () =
+    let budget = Option.map (fun mk -> mk ()) t.budget in
+    Compiled.compile ?budget ~alpha:req.Request.alpha ~key (Request.consumer req)
+  in
+  let bypass =
+    match Resilience.Fault.trip "engine.cache" with
+    | () -> false
+    | exception Resilience.Fault.Injected { site = "engine.cache"; _ } -> true
+  in
+  if bypass then begin
+    Obs.incr "engine.cache.bypassed";
+    (compile (), false, true)
+  end
+  else
+    match Cache.find t.cache key with
+    | Some c -> (c, true, false)
+    | None ->
+      let c = compile () in
+      Cache.add t.cache key c;
+      (c, false, false)
+
+let run_batch ?(seed = 42) t (requests : Request.t array) =
+  if t.closed then invalid_arg "Engine.run_batch: engine is shut down";
+  let len = Array.length requests in
+  let total_samples = Array.fold_left (fun acc r -> acc + r.Request.count) 0 requests in
+  Obs.span
+    ~attrs:[ ("requests", Obs.Int len); ("samples", Obs.Int total_samples) ]
+    "engine.batch"
+  @@ fun () ->
+  Obs.incr ~by:len "engine.requests";
+  (* Phase 1 (coordinator): every distinct consumer compiled at most
+     once, in request order. *)
+  let resolved = Array.map (resolve t) requests in
+  (* Phase 2 (pool): one split stream per request index — stream i
+     depends only on (seed, i), so results cannot depend on which
+     worker runs which job, or on how many workers exist. The pristine
+     copies feed deterministic inline retries after worker faults. *)
+  let streams = Prob.Rng.streams (Prob.Rng.of_int seed) len in
+  let pristine = Array.map Prob.Rng.copy streams in
+  let results = Array.make len [||] in
+  let sample_into rng i =
+    let c, _, _ = resolved.(i) in
+    let req = requests.(i) in
+    results.(i) <-
+      Compiled.draws c.Compiled.sampler ~input:req.Request.input ~count:req.Request.count rng
+  in
+  let job i =
+    Resilience.Fault.trip "engine.worker";
+    sample_into streams.(i) i
+  in
+  let failures = Pool.run t.pool ~jobs:job ~count:len in
+  List.iter
+    (fun (i, e) ->
+      match e with
+      | Resilience.Fault.Injected { site = "engine.worker"; _ } ->
+        (* The job never touched its stream (the trip precedes the
+           first draw), so replaying from the pristine copy is
+           byte-identical to what the worker would have produced. *)
+        Obs.incr "engine.worker.retries";
+        sample_into pristine.(i) i
+      | e -> raise e)
+    failures;
+  Obs.incr ~by:total_samples "engine.samples";
+  Array.init len (fun i ->
+      let c, cache_hit, cache_bypassed = resolved.(i) in
+      {
+        request = requests.(i);
+        key = c.Compiled.key;
+        samples = results.(i);
+        rung = Compiled.rung c;
+        loss = Compiled.loss c;
+        cache_hit;
+        cache_bypassed;
+      })
+
+let artifact t req = Cache.peek t.cache (Request.canonical_key req)
+
+let shutdown t =
+  if not t.closed then begin
+    t.closed <- true;
+    Pool.shutdown t.pool
+  end
+
+let with_engine ?domains ?cache_capacity ?budget f =
+  let t = create ?domains ?cache_capacity ?budget () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

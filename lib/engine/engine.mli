@@ -1,0 +1,76 @@
+(** The serving engine: one deployed solve, millions of answers.
+
+    Theorem 1 says a single mechanism — [G(n,α)] plus per-consumer
+    post-processing — serves every minimax consumer at once; this
+    module is that statement as a runtime. Requests naming the same
+    consumer (same {!Request.canonical_key}) share one compiled
+    artifact from a bounded LRU {!Cache}: the {!Minimax.Serve} ladder
+    runs once, its release is re-certified through
+    {!Check.Invariants}, per-row {!Prob.Discrete.Alias} tables are
+    built once, and from then on every sample is O(1). Batches fan out
+    over a {!Pool} of Domains and merge by request index, so output is
+    byte-identical for any worker count given the batch seed.
+
+    Fault sites (see {!Resilience.Fault}):
+    - ["engine.cache"] — tripped per request at cache-lookup time; the
+      engine degrades to compiling without the cache (counter
+      ["engine.cache.bypassed"]) rather than failing the request;
+    - ["engine.worker"] — tripped per job inside a worker; the
+      coordinator re-executes the job inline from its pristine stream
+      (counter ["engine.worker.retries"]), output unchanged.
+
+    Counters: ["engine.requests"], ["engine.samples"],
+    ["engine.compiles"], ["engine.cache.hits" / ".misses" /
+    ".evictions" / ".insertions" / ".bypassed"],
+    ["engine.worker.<id>.jobs"], ["engine.worker.retries"]; histogram
+    ["engine.pool.queue_depth"]; spans ["engine.compile"] and
+    ["engine.batch"]. *)
+
+module Request = Request
+module Cache = Cache
+module Compiled = Compiled
+module Pool = Pool
+
+type t
+
+val create : ?domains:int -> ?cache_capacity:int -> ?budget:(unit -> Lp.Budget.t) -> unit -> t
+(** [domains] defaults to {!Pool.recommended_domains}[ ()] ([<= 1]
+    means the inline single-domain fallback); [cache_capacity]
+    defaults to [64]. [budget] is invoked once per compile so each
+    solve gets a fresh deadline window; compiles that exhaust it
+    degrade down the serve ladder instead of failing
+    (see {!Minimax.Serve}). *)
+
+val domains : t -> int
+val cache_stats : t -> Cache.stats
+val cached_keys : t -> string list
+
+(** One answered request. *)
+type response = {
+  request : Request.t;
+  key : string;  (** the canonical key it was served under *)
+  samples : int array;  (** [request.count] draws, in draw order *)
+  rung : Minimax.Serve.rung;  (** ladder rung of the serving mechanism *)
+  loss : Rat.t;  (** the consumer's minimax loss of that mechanism *)
+  cache_hit : bool;
+  cache_bypassed : bool;  (** compiled outside the cache (fault trip) *)
+}
+
+val run_batch : ?seed:int -> t -> Request.t array -> response array
+(** Serve a batch (default [seed 42]). Compilation runs on the calling
+    domain in request order; sampling fans out over the pool with one
+    split {!Prob.Rng} stream per request index. For a fixed seed the
+    returned samples are byte-identical for every [domains] setting.
+    @raise Invalid_argument after {!shutdown}
+    @raise Compiled.Uncertified if a release fails re-certification *)
+
+val artifact : t -> Request.t -> Compiled.t option
+(** The cached artifact that would serve this request, if present
+    (recency- and counter-neutral). *)
+
+val shutdown : t -> unit
+(** Stop the pool. Idempotent. *)
+
+val with_engine :
+  ?domains:int -> ?cache_capacity:int -> ?budget:(unit -> Lp.Budget.t) -> (t -> 'a) -> 'a
+(** [create], run, and {!shutdown} (also on exceptions). *)

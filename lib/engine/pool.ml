@@ -1,0 +1,136 @@
+(* Domain worker pool; see pool.mli.
+
+   One mutex guards all shared state; [work] wakes workers when a
+   batch arrives (or the pool closes), [finished] wakes the
+   coordinator when the last job of a batch completes. Workers pull
+   the next unclaimed index under the lock and execute it outside the
+   lock, so job bodies run in parallel and the critical sections are a
+   few loads and stores. *)
+
+type batch = {
+  jobs : int -> unit;
+  count : int;
+  mutable next : int;  (** first unclaimed index *)
+  mutable completed : int;
+  mutable failures : (int * exn) list;
+}
+
+type t = {
+  requested : int;  (** worker count; 0 = inline pool *)
+  mutex : Mutex.t;
+  work : Condition.t;
+  finished : Condition.t;
+  mutable batch : batch option;
+  mutable closing : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let domains t = t.requested
+
+let recommended_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* Run one job outside the lock, recording the outcome under it. The
+   queue depth at grab time and the worker's throughput counter go to
+   the ambient Obs recorder, which is domain-safe. *)
+let execute t batch ~worker_id index =
+  Obs.observe "engine.pool.queue_depth" (batch.count - index);
+  Obs.incr (Printf.sprintf "engine.worker.%d.jobs" worker_id);
+  let outcome = try Ok (batch.jobs index) with e -> Error e in
+  Mutex.lock t.mutex;
+  (match outcome with
+  | Ok () -> ()
+  | Error e -> batch.failures <- (index, e) :: batch.failures);
+  batch.completed <- batch.completed + 1;
+  if batch.completed = batch.count then Condition.broadcast t.finished;
+  Mutex.unlock t.mutex
+
+let worker_loop t worker_id =
+  Mutex.lock t.mutex;
+  let rec loop () =
+    match t.batch with
+    | Some b when b.next < b.count ->
+      let index = b.next in
+      b.next <- index + 1;
+      Mutex.unlock t.mutex;
+      execute t b ~worker_id index;
+      Mutex.lock t.mutex;
+      loop ()
+    | _ ->
+      if t.closing then Mutex.unlock t.mutex
+      else begin
+        Condition.wait t.work t.mutex;
+        loop ()
+      end
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 0 then invalid_arg "Pool.create: negative domain count";
+  let requested = if domains <= 1 then 0 else domains in
+  let t =
+    {
+      requested;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      batch = None;
+      closing = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init requested (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
+
+let run_inline batch =
+  for index = 0 to batch.count - 1 do
+    Obs.observe "engine.pool.queue_depth" (batch.count - index);
+    Obs.incr "engine.worker.0.jobs";
+    (try batch.jobs index
+     with e -> batch.failures <- (index, e) :: batch.failures);
+    batch.completed <- batch.completed + 1
+  done
+
+let run t ~jobs ~count =
+  if count < 0 then invalid_arg "Pool.run: negative count";
+  let batch = { jobs; count; next = 0; completed = 0; failures = [] } in
+  if t.requested = 0 then begin
+    if t.closing then invalid_arg "Pool.run: pool is shut down";
+    run_inline batch
+  end
+  else begin
+    Mutex.lock t.mutex;
+    if t.closing then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run: pool is shut down"
+    end;
+    if t.batch <> None then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run: a batch is already in flight"
+    end;
+    t.batch <- Some batch;
+    Condition.broadcast t.work;
+    while batch.completed < batch.count do
+      Condition.wait t.finished t.mutex
+    done;
+    t.batch <- None;
+    Mutex.unlock t.mutex
+  end;
+  List.sort (fun (a, _) (b, _) -> compare a b) batch.failures
+
+let shutdown t =
+  if t.requested = 0 then t.closing <- true
+  else begin
+    Mutex.lock t.mutex;
+    if not t.closing then begin
+      t.closing <- true;
+      Condition.broadcast t.work
+    end;
+    let workers = t.workers in
+    t.workers <- [||];
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join workers
+  end
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

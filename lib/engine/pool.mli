@@ -1,0 +1,52 @@
+(** A Domain worker pool with a mutex/condition work queue.
+
+    The pool executes {e index-addressed batches}: {!run} hands jobs
+    [0 .. count-1] to whichever workers are free and returns when all
+    have finished. Determinism is the caller's half of the contract —
+    a job must depend only on its index (the engine derives one
+    {!Prob.Rng} stream per index) and write only state owned by its
+    index — and the pool's half is that it never reorders, drops, or
+    duplicates an index. Under that split, batch output is
+    byte-identical for {e any} worker count, including the inline
+    fallback.
+
+    [create ~domains] spawns [domains] workers ([Domain.spawn]); with
+    [domains <= 1] no Domain is ever spawned and {!run} executes
+    inline on the calling domain — the single-core fallback path.
+
+    A job that raises does not poison the pool: the exception is
+    captured against its index and the remaining jobs still run;
+    {!run} returns all failures in index order so the caller can retry
+    or re-raise deterministically.
+
+    Observability: each grabbed job records the queue depth at grab
+    time (histogram ["engine.pool.queue_depth"]) and bumps its worker's
+    throughput counter (["engine.worker.<id>.jobs"], id [0] for the
+    inline path). Workers are plain [Domain]s; anything they record
+    relies on {!Obs} (and {!Resilience.Fault}) being domain-safe. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn the workers. [domains <= 1] creates an inline (no-Domain)
+    pool. @raise Invalid_argument on negative [domains]. *)
+
+val domains : t -> int
+(** Worker count; [0] for an inline pool. *)
+
+val run : t -> jobs:(int -> unit) -> count:int -> (int * exn) list
+(** Execute [jobs i] for every [i] in [0 .. count-1]; block until all
+    complete. Returns captured failures in increasing index order
+    (empty on full success). Batches are serial: concurrent {!run}
+    calls on one pool are a programming error and raise
+    [Invalid_argument]. @raise Invalid_argument after {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Stop and join all workers. Idempotent. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [create], run [f], and {!shutdown} (also on exceptions). *)
+
+val recommended_domains : unit -> int
+(** Workers to use by default: the runtime's recommended domain count
+    minus one for the coordinator, at least 1. *)

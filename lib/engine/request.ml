@@ -1,0 +1,249 @@
+(* Serving requests and canonical cache keys; see request.mli. *)
+
+type loss_spec =
+  | Absolute
+  | Squared
+  | Zero_one
+  | Deadzone of int
+  | Capped of int
+  | Asymmetric of Rat.t * Rat.t
+
+type side_spec =
+  | Full
+  | At_least of int
+  | At_most of int
+  | Interval of int * int
+  | Members of int list
+
+type t = {
+  n : int;
+  alpha : Rat.t;
+  loss : loss_spec;
+  side : side_spec;
+  input : int;
+  count : int;
+}
+
+let loss_spec_to_string = function
+  | Absolute -> "absolute"
+  | Squared -> "squared"
+  | Zero_one -> "zero-one"
+  | Deadzone w -> Printf.sprintf "deadzone:%d" w
+  | Capped c -> Printf.sprintf "capped:%d" c
+  | Asymmetric (o, u) -> Printf.sprintf "asym:%s,%s" (Rat.to_string o) (Rat.to_string u)
+
+let side_spec_to_string = function
+  | Full -> "full"
+  | At_least k -> Printf.sprintf ">=%d" k
+  | At_most k -> Printf.sprintf "<=%d" k
+  | Interval (lo, hi) -> Printf.sprintf "%d-%d" lo hi
+  | Members ms -> String.concat "," (List.map string_of_int ms)
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let validate_loss = function
+  | Absolute | Squared | Zero_one -> None
+  | Deadzone w when w < 0 -> Some "deadzone width must be non-negative"
+  | Capped c when c < 1 -> Some "capped cap must be >= 1"
+  | Asymmetric (o, u) when Rat.sign o <= 0 || Rat.sign u <= 0 ->
+    Some "asymmetric costs must be positive"
+  | Deadzone _ | Capped _ | Asymmetric _ -> None
+
+let validate_side ~n = function
+  | Full -> None
+  | At_least k | At_most k ->
+    if k < 0 || k > n then Some (Printf.sprintf "side bound %d out of {0..%d}" k n) else None
+  | Interval (lo, hi) ->
+    if lo < 0 || hi > n || lo > hi then
+      Some (Printf.sprintf "side interval %d-%d not within {0..%d}" lo hi n)
+    else None
+  | Members [] -> Some "side member list is empty"
+  | Members ms ->
+    List.find_map
+      (fun m ->
+        if m < 0 || m > n then Some (Printf.sprintf "side member %d out of {0..%d}" m n)
+        else None)
+      ms
+
+let make ?(input = 0) ?(count = 1) ~n ~alpha ~loss ~side () =
+  if n < 1 then Error "n must be >= 1"
+  else if Rat.sign alpha <= 0 || Rat.compare alpha Rat.one >= 0 then
+    Error "alpha must lie strictly between 0 and 1"
+  else if input < 0 || input > n then Error (Printf.sprintf "input %d out of {0..%d}" input n)
+  else if count < 1 then Error "count must be >= 1"
+  else
+    match validate_loss loss with
+    | Some m -> Error m
+    | None -> (
+      match validate_side ~n side with
+      | Some m -> Error m
+      | None -> Ok { n; alpha; loss; side; input; count })
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Side information reduced to its member set over {0..n}. *)
+let side_members ~n = function
+  | Full -> List.init (n + 1) Fun.id
+  | At_least k -> List.init (n - k + 1) (fun i -> k + i)
+  | At_most k -> List.init (k + 1) Fun.id
+  | Interval (lo, hi) -> List.init (hi - lo + 1) (fun i -> lo + i)
+  | Members ms -> List.sort_uniq compare ms
+
+(* Losses that are equal as functions on {0..n}² key identically:
+   deadzone:0 is |i−r|; capped:c with c >= n never saturates because
+   |i−r| <= n; asym:1,1 charges one per unit on both sides. *)
+let canonical_loss ~n = function
+  | Deadzone 0 -> Absolute
+  | Capped c when c >= n -> Absolute
+  | Asymmetric (o, u) when Rat.is_one o && Rat.is_one u -> Absolute
+  | l -> l
+
+let canonical_key t =
+  let members = side_members ~n:t.n t.side in
+  let side =
+    if List.length members = t.n + 1 then "full"
+    else String.concat "," (List.map string_of_int members)
+  in
+  Printf.sprintf "n=%d;a=%s;l=%s;s=%s" t.n (Rat.to_string t.alpha)
+    (loss_spec_to_string (canonical_loss ~n:t.n t.loss))
+    side
+
+(* ------------------------------------------------------------------ *)
+(* Consumer construction                                               *)
+(* ------------------------------------------------------------------ *)
+
+let loss_fn t =
+  let module L = Minimax.Loss in
+  match t.loss with
+  | Absolute -> L.absolute
+  | Squared -> L.squared
+  | Zero_one -> L.zero_one
+  | Deadzone w -> L.deadzone ~width:w
+  | Capped c -> L.capped ~cap:c
+  | Asymmetric (o, u) -> L.asymmetric ~over:o ~under:u
+
+let side_info t =
+  let module S = Minimax.Side_info in
+  match t.side with
+  | Full -> S.full t.n
+  | At_least k -> S.at_least ~n:t.n k
+  | At_most k -> S.at_most ~n:t.n k
+  | Interval (lo, hi) -> S.interval ~n:t.n lo hi
+  | Members ms -> S.make ~n:t.n ms
+
+let consumer t = Minimax.Consumer.make ~loss:(loss_fn t) ~side_info:(side_info t) ()
+
+(* ------------------------------------------------------------------ *)
+(* Line grammar                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_loss s =
+  match String.split_on_char ':' s with
+  | [ "absolute" ] | [ "abs" ] -> Ok Absolute
+  | [ "squared" ] | [ "sq" ] -> Ok Squared
+  | [ "zero-one" ] | [ "01" ] -> Ok Zero_one
+  | [ "deadzone"; w ] -> (
+    match int_of_string_opt w with
+    | Some w -> Ok (Deadzone w)
+    | None -> Error "deadzone:<width> needs an integer")
+  | [ "capped"; c ] -> (
+    match int_of_string_opt c with
+    | Some c -> Ok (Capped c)
+    | None -> Error "capped:<cap> needs an integer")
+  | [ "asym"; ou ] -> (
+    match String.split_on_char ',' ou with
+    | [ o; u ] -> (
+      match (Rat.of_string_opt o, Rat.of_string_opt u) with
+      | Some over, Some under -> Ok (Asymmetric (over, under))
+      | _ -> Error "asym:<over>,<under> needs two rationals")
+    | _ -> Error "asym:<over>,<under>")
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown loss %S (absolute | squared | zero-one | deadzone:<w> | capped:<c> | \
+          asym:<over>,<under>)"
+         s)
+
+let parse_side s =
+  let prefixed p = String.length s > 2 && String.sub s 0 2 = p in
+  let tail () = String.sub s 2 (String.length s - 2) in
+  if s = "full" then Ok Full
+  else if prefixed ">=" then
+    match int_of_string_opt (tail ()) with
+    | Some k -> Ok (At_least k)
+    | None -> Error ">=k needs an integer"
+  else if prefixed "<=" then
+    match int_of_string_opt (tail ()) with
+    | Some k -> Ok (At_most k)
+    | None -> Error "<=k needs an integer"
+  else if String.contains s '-' then
+    match String.split_on_char '-' s with
+    | [ lo; hi ] -> (
+      match (int_of_string_opt lo, int_of_string_opt hi) with
+      | Some lo, Some hi -> Ok (Interval (lo, hi))
+      | _ -> Error "range must be lo-hi with integers")
+    | _ -> Error "range must be lo-hi"
+  else
+    let members = List.map int_of_string_opt (String.split_on_char ',' s) in
+    if List.for_all Option.is_some members then
+      Ok (Members (List.filter_map Fun.id members))
+    else Error (Printf.sprintf "cannot parse side information %S" s)
+
+let of_line line =
+  let fields =
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  let kv =
+    List.map
+      (fun field ->
+        match String.index_opt field '=' with
+        | None -> Error (Printf.sprintf "expected key=value, got %S" field)
+        | Some i ->
+          Ok
+            ( String.sub field 0 i,
+              String.sub field (i + 1) (String.length field - i - 1) ))
+      fields
+  in
+  match List.find_map (function Error m -> Some m | Ok _ -> None) kv with
+  | Some m -> Error m
+  | None -> (
+    let kv = List.filter_map Result.to_option kv in
+    let find k = List.assoc_opt k kv in
+    let int_field k =
+      match find k with
+      | None -> Ok None
+      | Some v -> (
+        match int_of_string_opt v with
+        | Some i -> Ok (Some i)
+        | None -> Error (Printf.sprintf "%s=%S is not an integer" k v))
+    in
+    match List.find_opt (fun (k, _) -> not (List.mem k [ "n"; "alpha"; "loss"; "side"; "input"; "count" ])) kv with
+    | Some (k, _) -> Error (Printf.sprintf "unknown field %S" k)
+    | None -> (
+      match (int_field "n", int_field "input", int_field "count") with
+      | Error m, _, _ | _, Error m, _ | _, _, Error m -> Error m
+      | Ok n, Ok input, Ok count -> (
+        match n with
+        | None -> Error "missing field n="
+        | Some n -> (
+          match Option.map Rat.of_string_opt (find "alpha") with
+          | None -> Error "missing field alpha="
+          | Some None -> Error "alpha= is not a rational (use p/q or decimals)"
+          | Some (Some alpha) -> (
+            let loss =
+              match find "loss" with None -> Ok Absolute | Some s -> parse_loss s
+            in
+            let side = match find "side" with None -> Ok Full | Some s -> parse_side s in
+            match (loss, side) with
+            | Error m, _ | _, Error m -> Error m
+            | Ok loss, Ok side -> make ?input ?count ~n ~alpha ~loss ~side ())))))
+
+let to_line t =
+  Printf.sprintf "n=%d alpha=%s loss=%s side=%s input=%d count=%d" t.n (Rat.to_string t.alpha)
+    (loss_spec_to_string t.loss) (side_spec_to_string t.side) t.input t.count

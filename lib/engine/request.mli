@@ -1,0 +1,83 @@
+(** Serving requests and their canonical cache keys.
+
+    A request names a consumer — [(n, α, loss, side information)] — and
+    a query against it: the true result to perturb and how many samples
+    to draw. The consumer part determines which compiled mechanism can
+    answer it; {!canonical_key} renders that part into a string under
+    which the engine caches compiled artifacts.
+
+    Canonicalization means distinct spellings of the same consumer
+    share one cache entry (and therefore one LP solve):
+
+    - side information is reduced to its member set: [>=0], [0-n] and
+      an explicit list of all of [{0..n}] all collapse to [full], and
+      member lists are sorted and deduplicated;
+    - losses that coincide as functions on [{0..n}²] collapse:
+      [deadzone:0], [capped:c] with [c >= n], and [asym:1,1] are all
+      exactly [|i−r|] there and key as [absolute];
+    - [α] is keyed by {!Rat.to_string}, which is already canonical
+      (reduced fraction, normalized sign). *)
+
+(** Loss function, by name — the engine needs a comparable description,
+    not a closure, to key its cache. Mirrors the [dpopt --loss]
+    grammar. *)
+type loss_spec =
+  | Absolute
+  | Squared
+  | Zero_one
+  | Deadzone of int  (** zero within the band, linear beyond *)
+  | Capped of int  (** [min cap |i−r|] *)
+  | Asymmetric of Rat.t * Rat.t  (** per-unit over / under costs *)
+
+(** Side information, by name. Mirrors the [dpopt --side] grammar. *)
+type side_spec =
+  | Full
+  | At_least of int
+  | At_most of int
+  | Interval of int * int
+  | Members of int list
+
+type t = private {
+  n : int;
+  alpha : Rat.t;
+  loss : loss_spec;
+  side : side_spec;
+  input : int;  (** the true result to perturb, in [{0..n}] *)
+  count : int;  (** samples to draw, [>= 1] *)
+}
+
+val make :
+  ?input:int ->
+  ?count:int ->
+  n:int ->
+  alpha:Rat.t ->
+  loss:loss_spec ->
+  side:side_spec ->
+  unit ->
+  (t, string) result
+(** Validated constructor (default [input 0], [count 1]): [n >= 1],
+    [0 < α < 1], [input ∈ {0..n}], [count >= 1], well-formed loss
+    parameters, side information non-empty and within [{0..n}]. *)
+
+val of_line : string -> (t, string) result
+(** Parse one request line of whitespace-separated [key=value] pairs:
+    [n=6 alpha=1/2 loss=absolute side=full input=3 count=1000].
+    [input] and [count] are optional; losses are
+    [absolute | squared | zero-one | deadzone:<w> | capped:<c> |
+    asym:<over>,<under>]; side is
+    [full | lo-hi | >=k | <=k | m1,m2,...]. *)
+
+val to_line : t -> string
+(** Render in the {!of_line} grammar (parses back to an equal
+    request). *)
+
+val canonical_key : t -> string
+(** The consumer part only — [input]/[count] never enter the key. Equal
+    keys mean one cached solve serves both requests. *)
+
+val loss_fn : t -> Minimax.Loss.t
+val side_info : t -> Minimax.Side_info.t
+val consumer : t -> Minimax.Consumer.t
+
+val loss_spec_to_string : loss_spec -> string
+val side_spec_to_string : side_spec -> string

@@ -148,6 +148,16 @@ let create ?(clock = Clock.monotonic) () =
 
 let ambient : t option ref = ref None
 
+(* Domain safety: the engine's worker pool records into one ambient
+   recorder from several Domains at once. A single global mutex
+   serializes every recorder mutation and read-out; the disabled path
+   is untouched — each entry point still starts with one ref read and
+   only reaches for the lock when a recorder is installed. Reading the
+   ref itself is a single-word load, safe on every domain. *)
+let lock = Mutex.create ()
+
+let locked f = Mutex.protect lock f
+
 let set_current o = ambient := o
 
 let current () = !ambient
@@ -171,14 +181,20 @@ let span ?(attrs = []) name f =
   | None -> f ()
   | Some r ->
     let start_ns = r.clock () in
-    let depth = r.depth in
-    r.depth <- depth + 1;
+    let depth =
+      locked (fun () ->
+          let depth = r.depth in
+          r.depth <- depth + 1;
+          depth)
+    in
     Fun.protect
       ~finally:(fun () ->
         let stop_ns = r.clock () in
-        r.depth <- depth;
-        r.spans_rev <-
-          { name; start_ns; dur_ns = Int64.sub stop_ns start_ns; depth; attrs } :: r.spans_rev)
+        locked (fun () ->
+            r.depth <- depth;
+            r.spans_rev <-
+              { name; start_ns; dur_ns = Int64.sub stop_ns start_ns; depth; attrs }
+              :: r.spans_rev))
       f
 
 let counter_cell r name =
@@ -193,8 +209,9 @@ let incr ?(by = 1) name =
   match !ambient with
   | None -> ()
   | Some r ->
-    let c = counter_cell r name in
-    c := !c + by
+    locked (fun () ->
+        let c = counter_cell r name in
+        c := !c + by)
 
 let histogram_cell r name =
   match Hashtbl.find_opt r.histograms name with
@@ -207,62 +224,70 @@ let histogram_cell r name =
 let observe name v =
   match !ambient with
   | None -> ()
-  | Some r -> Histogram.observe (histogram_cell r name) v
+  | Some r -> locked (fun () -> Histogram.observe (histogram_cell r name) v)
 
 let observe_bits name q =
   match !ambient with
   | None -> ()
-  | Some r -> Histogram.observe (histogram_cell r name) (Rat.bit_size q)
+  | Some r ->
+    (* Compute the bit size outside the lock: it can be expensive. *)
+    let bits = Rat.bit_size q in
+    locked (fun () -> Histogram.observe (histogram_cell r name) bits)
 
 let counter_value name =
   match !ambient with
   | None -> 0
-  | Some r -> (
-    match Hashtbl.find_opt r.counters name with
-    | Some c -> !c
-    | None -> 0)
+  | Some r ->
+    locked (fun () ->
+        match Hashtbl.find_opt r.counters name with
+        | Some c -> !c
+        | None -> 0)
 
 (* ------------------------------------------------------------------ *)
 (* Read-out                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let spans r = List.rev r.spans_rev
+let spans r = locked (fun () -> List.rev r.spans_rev)
 
 let counters r =
-  Hashtbl.fold (fun k c acc -> (k, !c) :: acc) r.counters []
+  locked (fun () -> Hashtbl.fold (fun k c acc -> (k, !c) :: acc) r.counters [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let counter r name =
-  match Hashtbl.find_opt r.counters name with
-  | Some c -> !c
-  | None -> 0
+  locked (fun () ->
+      match Hashtbl.find_opt r.counters name with
+      | Some c -> !c
+      | None -> 0)
 
 let histograms r =
-  Hashtbl.fold (fun k h acc -> (k, h) :: acc) r.histograms []
+  locked (fun () -> Hashtbl.fold (fun k h acc -> (k, h) :: acc) r.histograms [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let histogram r name = Hashtbl.find_opt r.histograms name
+let histogram r name = locked (fun () -> Hashtbl.find_opt r.histograms name)
 
 let histogram_max r name =
-  match Hashtbl.find_opt r.histograms name with
-  | Some h -> Histogram.max h
-  | None -> 0
+  locked (fun () ->
+      match Hashtbl.find_opt r.histograms name with
+      | Some h -> Histogram.max h
+      | None -> 0)
 
 let merge_into ~into src =
-  Hashtbl.iter
-    (fun k c ->
-      let cell = counter_cell into k in
-      cell := !cell + !c)
-    src.counters;
-  Hashtbl.iter
-    (fun k h -> Histogram.merge ~into:(histogram_cell into k) h)
-    src.histograms
+  locked (fun () ->
+      Hashtbl.iter
+        (fun k c ->
+          let cell = counter_cell into k in
+          cell := !cell + !c)
+        src.counters;
+      Hashtbl.iter
+        (fun k h -> Histogram.merge ~into:(histogram_cell into k) h)
+        src.histograms)
 
 let reset r =
-  r.depth <- 0;
-  r.spans_rev <- [];
-  Hashtbl.reset r.counters;
-  Hashtbl.reset r.histograms
+  locked (fun () ->
+      r.depth <- 0;
+      r.spans_rev <- [];
+      Hashtbl.reset r.counters;
+      Hashtbl.reset r.histograms)
 
 (* ------------------------------------------------------------------ *)
 (* Sinks                                                               *)

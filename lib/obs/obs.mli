@@ -91,8 +91,12 @@ end
 
 type t
 (** A recorder: collects spans, counters and histograms against one
-    clock. Not thread-safe; the intended use is one ambient recorder
-    per process (or per experiment, swapped with {!with_recorder}). *)
+    clock. Domain-safe: every mutation and read-out is serialized
+    behind one internal mutex, so worker Domains (the engine's pool)
+    can record into the ambient recorder concurrently. The intended
+    use is still one ambient recorder per process (or per experiment,
+    swapped with {!with_recorder}); installing/swapping recorders from
+    several domains at once is not coordinated. *)
 
 val create : ?clock:Clock.t -> unit -> t
 (** Fresh recorder; its epoch is the clock reading at creation, and

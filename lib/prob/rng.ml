@@ -44,3 +44,12 @@ let bool t = Int64.logand (next_int64 t) 1L = 1L
 let split t =
   let s = next_int64 t in
   { state = Int64.logxor s 0xD1B54A32D192ED03L }
+
+(* k sequential splits. The i-th stream depends only on the parent's
+   state and i, never on which thread of control later consumes it —
+   this is what lets the engine's worker pool hand stream i to
+   whichever Domain picks up job i and still produce byte-identical
+   batches for every worker count. *)
+let streams t k =
+  if k < 0 then invalid_arg "Rng.streams: negative count";
+  Array.init k (fun _ -> split t)

@@ -32,3 +32,9 @@ val bool : t -> bool
 val split : t -> t
 (** Derive a generator with an independent stream (for parallel
     experiment arms); advances the parent. *)
+
+val streams : t -> int -> t array
+(** [streams t k] is [k] sequential {!split}s of [t]. Stream [i]
+    depends only on [t]'s state and [i] — not on scheduling — so a
+    worker pool that indexes streams by job produces identical output
+    for any worker count. @raise Invalid_argument on negative [k]. *)

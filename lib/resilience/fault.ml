@@ -25,35 +25,50 @@ let ambient : plan option ref = ref None
 let install p = ambient := p
 let enabled () = !ambient <> None
 
+(* Domain safety: worker Domains hit trigger sites concurrently
+   ("engine.worker" fires inside the pool). One global mutex guards
+   the per-site hit counters and the trip tally; the disabled path is
+   still a single ref read. The ambient Obs counter is bumped outside
+   the lock — Obs has its own. *)
+let lock = Mutex.create ()
+
 let with_plan p f =
   let previous = !ambient in
   ambient := Some p;
   Fun.protect ~finally:(fun () -> ambient := previous) f
 
-let hit site =
+(* Count the hit and match triggers under the lock, returning the
+   1-based hit number alongside the action so callers never re-read a
+   counter another domain may since have advanced. *)
+let hit_numbered site =
   match !ambient with
   | None -> None
   | Some p ->
-    let n = 1 + (try Hashtbl.find p.counts site with Not_found -> 0) in
-    Hashtbl.replace p.counts site n;
-    let fires t = t.site = site && (t.hits = 0 || t.hits = n) in
-    (match List.find_opt fires p.triggers with
+    let fired =
+      Mutex.protect lock (fun () ->
+          let n = 1 + (try Hashtbl.find p.counts site with Not_found -> 0) in
+          Hashtbl.replace p.counts site n;
+          let fires t = t.site = site && (t.hits = 0 || t.hits = n) in
+          match List.find_opt fires p.triggers with
+          | None -> None
+          | Some t ->
+            p.trips <- p.trips + 1;
+            Some (t.action, n))
+    in
+    (match fired with
     | None -> None
-    | Some t ->
-      p.trips <- p.trips + 1;
+    | Some _ ->
       Obs.incr "fault.trips";
-      Some t.action)
+      fired)
+
+let hit site = Option.map fst (hit_numbered site)
 
 let trip site =
-  match hit site with
+  match hit_numbered site with
   | None -> ()
-  | Some _ ->
-    let n =
-      match !ambient with
-      | Some p -> ( try Hashtbl.find p.counts site with Not_found -> 0)
-      | None -> 0
-    in
-    raise (Injected { site; hit = n })
+  | Some (_, n) -> raise (Injected { site; hit = n })
 
-let hit_count p site = try Hashtbl.find p.counts site with Not_found -> 0
-let trips p = p.trips
+let hit_count p site =
+  Mutex.protect lock (fun () -> try Hashtbl.find p.counts site with Not_found -> 0)
+
+let trips p = Mutex.protect lock (fun () -> p.trips)

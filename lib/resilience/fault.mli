@@ -12,7 +12,14 @@
     Plans are deterministic by construction: triggers match on exact
     hit counts and the registry holds no clock or randomness, so the
     same plan against the same code path trips the same faults in the
-    same order, every run. *)
+    same order, every run.
+
+    The registry is domain-safe: hit counters and the trip tally are
+    serialized behind an internal mutex (sites like ["engine.worker"]
+    fire concurrently from the engine's Domain pool), and a firing
+    {!hit} reports the hit number it matched rather than re-reading a
+    counter other domains may advance. The disabled path is still a
+    single ref read. *)
 
 (** What happens when a trigger fires. *)
 type action =

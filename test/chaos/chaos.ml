@@ -13,7 +13,13 @@
    - non-solver sites ("matrix.inverse", "mech.factor",
      "multilevel.stage", "dpdb.csv.row"): the injected fault surfaces
      as a clean [Fault.Injected] — and the identical call succeeds once
-     the plan is gone, so a trip corrupts no state.
+     the plan is gone, so a trip corrupts no state;
+
+   - engine sites ("engine.cache", "engine.worker"): a faulted batch
+     is absorbed, not surfaced — the cache trip degrades to cacheless
+     compiles and the worker trip to inline retries — and the served
+     samples are byte-identical to a clean run's, with every artifact
+     that did enter the cache still carrying its certificates.
 
    Everything here is deterministic: no clocks, no randomness, exact
    hit counts — the same matrix trips the same faults every run. *)
@@ -141,19 +147,83 @@ let trip_matrix () =
     trip_sites
 
 (* ------------------------------------------------------------------ *)
+(* Engine sites: faulted batches serve the same bytes as clean ones.  *)
+(* ------------------------------------------------------------------ *)
+
+module En = Engine
+module Rq = Engine.Request
+
+(* Three requests, two naming the same consumer — so the cache path
+   (miss, miss, hit) and both fault sites all get exercised. *)
+let engine_requests =
+  let mk input count loss =
+    match Rq.make ~input ~count ~n ~alpha ~loss ~side:Rq.Full () with
+    | Ok r -> r
+    | Error m -> failwith ("chaos engine request: " ^ m)
+  in
+  [| mk 1 50 Rq.Absolute; mk 3 40 Rq.Zero_one; mk 2 30 Rq.Absolute |]
+
+(* (label, site, hits, expected trips, expected cache insertions).
+   A tripped cache lookup compiles outside the cache, so bypassing
+   every request leaves the cache empty; worker trips never touch the
+   cache at all. *)
+let engine_scenarios =
+  [
+    ("engine.cache trip, first request", "engine.cache", 1, 1, 2);
+    ("engine.cache trip, every request", "engine.cache", 0, 3, 0);
+    ("engine.worker trip, one job", "engine.worker", 1, 1, 2);
+    ("engine.worker trip, every job", "engine.worker", 0, 3, 2);
+  ]
+
+let engine_matrix () =
+  let samples rs = Array.map (fun (r : En.response) -> r.En.samples) rs in
+  let run plan =
+    En.with_engine ~domains:1 (fun e ->
+        let go () = En.run_batch ~seed:7 e engine_requests in
+        let rs = match plan with None -> go () | Some p -> F.with_plan p go in
+        let cached_certified =
+          Array.for_all
+            (fun (r : En.response) ->
+              match En.artifact e r.En.request with
+              | None -> true (* bypassed compiles never enter the cache *)
+              | Some a -> a.En.Compiled.certificates <> [])
+            rs
+        in
+        (rs, En.cache_stats e, cached_certified))
+  in
+  let baseline, _, _ = run None in
+  List.iter
+    (fun (label, site, hits, expect_trips, expect_insertions) ->
+      let p = F.plan [ { F.site; hits; action = F.Trip } ] in
+      match run (Some p) with
+      | exception e ->
+        check (label ^ ": batch absorbed the fault, got " ^ Printexc.to_string e) false
+      | rs, stats, certified ->
+        check (label ^ ": output byte-identical to clean run") (samples rs = samples baseline);
+        check (label ^ ": cached artifacts certified") certified;
+        check (label ^ ": trip count") (F.trips p = expect_trips);
+        check (label ^ ": cache insertions")
+          (stats.En.Cache.insertions = expect_insertions))
+    engine_scenarios
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   solver_matrix ();
   trip_matrix ();
+  engine_matrix ();
   let scenarios =
     (List.length solver_sites * List.length actions * 2 + 1) * List.length consumers
     + List.length trip_sites
+    + List.length engine_scenarios
   in
   if !failures > 0 then begin
     Printf.printf "chaos: %d failure(s) across %d scenarios\n" !failures scenarios;
     exit 1
   end;
-  Printf.printf "chaos: clean (%d scenarios: %d solver-site plans x %d consumers, %d trip sites)\n"
+  Printf.printf
+    "chaos: clean (%d scenarios: %d solver-site plans x %d consumers, %d trip sites, %d \
+     engine scenarios)\n"
     scenarios
     (List.length solver_sites * List.length actions * 2 + 1)
-    (List.length consumers) (List.length trip_sites)
+    (List.length consumers) (List.length trip_sites) (List.length engine_scenarios)

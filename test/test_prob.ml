@@ -50,6 +50,18 @@ let test_rng_copy_and_split () =
   let c = Rng.split a in
   Alcotest.(check bool) "split independent stream" true (Rng.next_int64 a <> Rng.next_int64 c)
 
+let test_rng_streams () =
+  let k = 5 in
+  let a = Rng.streams (Rng.of_int 13) k and b = Rng.streams (Rng.of_int 13) k in
+  Alcotest.(check int) "count" k (Array.length a);
+  Array.iteri
+    (fun i s -> Alcotest.(check int64) "stream i deterministic" (Rng.next_int64 s) (Rng.next_int64 b.(i)))
+    a;
+  let firsts = Array.to_list (Array.map Rng.next_int64 (Rng.streams (Rng.of_int 13) k)) in
+  Alcotest.(check int) "streams pairwise distinct" k (List.length (List.sort_uniq compare firsts));
+  Alcotest.check_raises "negative count" (Invalid_argument "Rng.streams: negative count")
+    (fun () -> ignore (Rng.streams (Rng.of_int 1) (-1)))
+
 (* --------------------------------------------------------------- *)
 (* Discrete distributions                                           *)
 (* --------------------------------------------------------------- *)
@@ -127,6 +139,22 @@ let test_alias_matches_inverse_cdf () =
   let rng = Rng.of_int 99 in
   let xs = Array.init 40_000 (fun _ -> D.Alias.sample tbl rng) in
   Alcotest.(check bool) "alias χ² fits target" true (S.fits xs d)
+
+let test_alias_vs_exact_tv () =
+  (* The engine swaps the inverse-CDF sampler for alias tables; this
+     pins down that the two draw from the same distribution — fixed
+     seeds, empirical total-variation distance within bound, both
+     between the samplers and from each to the target pmf. *)
+  let d = D.of_assoc [ (0, 0.35); (1, 0.05); (2, 0.25); (3, 0.2); (4, 0.15) ] in
+  let tbl = D.Alias.build d in
+  let n = 60_000 in
+  let xs_exact = S.draw d (Rng.of_int 2024) n in
+  let rng = Rng.of_int 4048 in
+  let xs_alias = Array.init n (fun _ -> D.Alias.sample tbl rng) in
+  let between = D.total_variation (S.empirical xs_exact) (S.empirical xs_alias) in
+  Alcotest.(check bool) "tv(alias, exact) < 0.02" true (between < 0.02);
+  Alcotest.(check bool) "tv(alias, target) < 0.02" true (S.empirical_tv xs_alias d < 0.02);
+  Alcotest.(check bool) "tv(exact, target) < 0.02" true (S.empirical_tv xs_exact d < 0.02)
 
 let test_empirical () =
   let xs = [| 1; 1; 2; 2; 2; 3 |] in
@@ -236,6 +264,7 @@ let () =
           Alcotest.test_case "int range" `Quick test_rng_int_range;
           Alcotest.test_case "int uniformity" `Slow test_rng_int_uniform;
           Alcotest.test_case "copy and split" `Quick test_rng_copy_and_split;
+          Alcotest.test_case "streams" `Quick test_rng_streams;
         ] );
       ( "discrete",
         [
@@ -253,6 +282,7 @@ let () =
           Alcotest.test_case "inverse-cdf matches pmf" `Slow test_sample_matches_pmf;
           Alcotest.test_case "point sampler" `Quick test_point_sampler;
           Alcotest.test_case "alias matches target" `Slow test_alias_matches_inverse_cdf;
+          Alcotest.test_case "alias vs exact sampler (TV)" `Slow test_alias_vs_exact_tv;
           Alcotest.test_case "empirical" `Quick test_empirical;
           Alcotest.test_case "summary" `Quick test_summary;
           Alcotest.test_case "chi-square detects bias" `Quick test_chi_square_detects_bias;
