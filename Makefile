@@ -1,4 +1,4 @@
-.PHONY: all build test lint chaos bench bench-json engine-bench clean
+.PHONY: all build test lint chaos serve-smoke bench bench-json engine-bench clean
 
 all: build
 
@@ -19,6 +19,12 @@ lint:
 chaos:
 	dune build @chaos
 
+# End-to-end serving smoke: dpserved on an ephemeral port + a dpopt
+# client round trip, byte-identical to `dpopt engine`, then a graceful
+# SIGTERM drain (@runtest depends on this too).
+serve-smoke:
+	dune build @serve-smoke
+
 bench:
 	dune exec bench/main.exe
 
@@ -27,7 +33,7 @@ bench:
 # number in the file name is the PR sequence number, so successive
 # PRs leave comparable snapshots behind.
 bench-json:
-	dune exec bench/main.exe -- --bench-json BENCH_4.json
+	dune exec bench/main.exe -- --bench-json BENCH_5.json
 
 # Just the serving-engine experiment (E1): cache + compiled samplers +
 # Domain pool, checking byte-identical output across worker counts.

@@ -5,6 +5,7 @@
      optimal     solve the tailored optimal-mechanism LP (§2.5)
      serve       budgeted solve with certified degradation to G(n,α)
      engine      serve a request stream through the multicore engine
+     client      send request lines to a running dpserved over TCP
      interact    solve a consumer's optimal interaction (§2.4.3)
      release     multi-level collusion-resistant release (Algorithm 1)
      verify      check a mechanism matrix for DP and derivability
@@ -282,35 +283,59 @@ let optimal_cmd =
 
 let serve_cmd =
   let json =
-    let doc = "Also print the provenance record as one JSON object." in
+    let doc =
+      "Also print the release as one JSON response object in the unified PROTOCOL.md \
+       schema (the same shape dpserved and `dpopt engine --json` emit)."
+    in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
+  let loss_spec_arg =
+    let doc =
+      "Loss function: absolute, squared, zero-one, deadzone:<w>, capped:<c>, or \
+       asym:<over>,<under>."
+    in
+    Arg.(value & opt string "absolute" & info [ "l"; "loss" ] ~docv:"LOSS" ~doc)
+  in
   let run () n alpha loss side decimal json budget =
-    match consumer_of ~n ~loss ~side with
+    let specs =
+      match
+        (Engine.Request.loss_spec_of_string loss, Engine.Request.side_spec_of_string side)
+      with
+      | Ok l, Ok s -> Ok (l, s)
+      | Error m, _ | _, Error m -> Error m
+    in
+    match specs with
     | Error m -> `Error (false, m)
-    | Ok consumer ->
-      let module S = Minimax.Serve in
-      let s = S.serve ?budget ~alpha consumer in
-      let p = s.S.provenance in
-      Printf.printf "consumer   : %s\n" (Minimax.Consumer.label consumer);
-      Printf.printf "rung       : %s%s\n"
-        (S.rung_to_string p.S.rung)
-        (match p.S.rung with
-         | S.Tailored -> " (the §2.5 LP optimum)"
-         | S.Geometric_remap -> " (G(n,α) + optimal interaction, Theorem 1)"
-         | S.Geometric_raw -> " (raw G(n,α), Theorem 2)");
-      Printf.printf "loss       : %s (= %s)\n" (Rat.to_string s.S.loss)
-        (Rat.to_decimal_string ~places:6 s.S.loss);
-      Printf.printf "provenance : %s\n" (S.provenance_to_string p);
-      if json then print_endline (Obs.Json.to_string (S.provenance_to_json p));
-      print_mechanism ~decimal s.S.mechanism;
-      `Ok ()
+    | Ok (loss, side) -> (
+      match Engine.Request.make ~n ~alpha ~loss ~side () with
+      | Error m -> `Error (false, m)
+      | Ok request ->
+        let module S = Minimax.Serve in
+        let consumer = Engine.Request.consumer request in
+        let s = S.serve ?budget ~alpha consumer in
+        let p = s.S.provenance in
+        Printf.printf "consumer   : %s\n" (Minimax.Consumer.label consumer);
+        Printf.printf "rung       : %s%s\n"
+          (S.rung_to_string p.S.rung)
+          (match p.S.rung with
+           | S.Tailored -> " (the §2.5 LP optimum)"
+           | S.Geometric_remap -> " (G(n,α) + optimal interaction, Theorem 1)"
+           | S.Geometric_raw -> " (raw G(n,α), Theorem 2)");
+        Printf.printf "loss       : %s (= %s)\n" (Rat.to_string s.S.loss)
+          (Rat.to_decimal_string ~places:6 s.S.loss);
+        Printf.printf "provenance : %s\n" (S.provenance_to_string p);
+        if json then
+          print_endline
+            (Server.Response.to_line
+               (Server.Response.of_served ~key:(Engine.Request.canonical_key request) s));
+        print_mechanism ~decimal s.S.mechanism;
+        `Ok ())
   in
   let term =
     Term.(
       ret
-        (const run $ obs_term $ n_arg $ alpha_arg $ loss_arg $ side_arg $ decimal_arg $ json
-       $ budget_term))
+        (const run $ obs_term $ n_arg $ alpha_arg $ loss_spec_arg $ side_arg $ decimal_arg
+       $ json $ budget_term))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -324,15 +349,28 @@ let serve_cmd =
 (* engine                                                            *)
 (* ----------------------------------------------------------------- *)
 
-let engine_cmd =
-  let file =
-    let doc =
-      "Read requests from $(docv) instead of stdin. One request per line in the key=value \
-       grammar, e.g. 'n=6 alpha=1/2 loss=absolute side=full input=3 count=1000'; blank \
-       lines and lines starting with '#' are ignored."
-    in
-    Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+(* Request lines for `engine` (local) and `client` (over TCP): same
+   versioned grammar, same file conventions. *)
+let request_file_arg =
+  let doc =
+    "Read requests from $(docv) instead of stdin. One request per line in the versioned \
+     key=value grammar (PROTOCOL.md), e.g. 'v=1 id=q1 n=6 alpha=1/2 loss=absolute \
+     side=full input=3 count=1000'; blank lines and lines starting with '#' are ignored."
   in
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let read_request_lines = function
+  | Some f -> In_channel.with_open_text f In_channel.input_lines
+  | None ->
+    let rec go acc =
+      match In_channel.input_line stdin with
+      | Some l -> go (l :: acc)
+      | None -> List.rev acc
+    in
+    go []
+
+let engine_cmd =
+  let file = request_file_arg in
   let workers =
     let doc =
       "Worker domains for the sampling pool (1 = inline single-domain fallback; default: \
@@ -349,24 +387,17 @@ let engine_cmd =
     Arg.(value & flag & info [ "print-samples" ] ~doc)
   in
   let json =
-    let doc = "Print one JSON object per response (and a summary object) instead of text." in
+    let doc =
+      "Print one JSON response per request in the unified PROTOCOL.md schema (and a \
+       summary object) instead of text."
+    in
     Arg.(value & flag & info [ "json" ] ~doc)
-  in
-  let read_lines = function
-    | Some f -> In_channel.with_open_text f In_channel.input_lines
-    | None ->
-      let rec go acc =
-        match In_channel.input_line stdin with
-        | Some l -> go (l :: acc)
-        | None -> List.rev acc
-      in
-      go []
   in
   let cache_state (r : Engine.response) =
     if r.Engine.cache_bypassed then "bypass" else if r.Engine.cache_hit then "hit" else "miss"
   in
   let run () file workers cache print_samples json seed budget =
-    let lines = try Ok (read_lines file) with Sys_error m -> Error m in
+    let lines = try Ok (read_request_lines file) with Sys_error m -> Error m in
     match lines with
     | Error m -> `Error (false, m)
     | Ok lines -> (
@@ -376,8 +407,11 @@ let engine_cmd =
         else
           let r =
             match Engine.Request.of_line s with
-            | Ok r -> Ok r
-            | Error m -> Error (Printf.sprintf "line %d: %s" lineno m)
+            | Ok w -> Ok w
+            | Error e ->
+              Error
+                (Printf.sprintf "line %d: %s" lineno
+                   (Engine.Request.wire_error_to_string e))
           in
           (lineno + 1, r :: acc)
       in
@@ -385,52 +419,60 @@ let engine_cmd =
       let first_error = List.find_opt Result.is_error (List.rev parsed) in
       match first_error with
       | Some (Error m) -> `Error (false, m)
-      | Some (Ok _) | None -> (
-        let requests =
-          Array.of_list (List.rev (List.filter_map Result.to_option parsed))
-        in
-        if Array.length requests = 0 then
-          `Error (false, "no requests (input was empty)")
-        else
-          match
+      | Some (Ok _) | None ->
+        let wires = Array.of_list (List.rev (List.filter_map Result.to_option parsed)) in
+        if Array.length wires = 0 then `Error (false, "no requests (input was empty)")
+        else begin
+          (* One seeder for the whole file: line k with seed s draws
+             the k-th split of Rng.of_int s — the same chain the server
+             walks per connection, and (when every line shares the
+             batch seed) the same streams run_batch would use. *)
+          let seeder = Engine.Seeder.create () in
+          let jobs =
+            Array.map
+              (fun (w : Engine.Request.wire) ->
+                let seed = Option.value w.Engine.Request.seed ~default:seed in
+                {
+                  Engine.request = w.Engine.Request.request;
+                  stream = Engine.Seeder.stream seeder ~seed;
+                  budget = None;
+                })
+              wires
+          in
+          let results, elapsed_ns, stats, domains =
             Engine.with_engine ?domains:workers ~cache_capacity:cache ?budget (fun e ->
               let t0 = Obs.Clock.monotonic () in
-              let responses = Engine.run_batch ~seed e requests in
+              let results = Engine.run_jobs e jobs in
               let t1 = Obs.Clock.monotonic () in
               (* [Engine.domains] is 0 for the inline pool; as far as the
                  user is concerned one domain did the sampling. *)
-              (responses, Int64.sub t1 t0, Engine.cache_stats e, max 1 (Engine.domains e)))
-          with
-          | exception Engine.Compiled.Uncertified { key; rule } ->
-            `Error (false, Printf.sprintf "release for %s failed re-certification (%s)" key rule)
-          | responses, elapsed_ns, stats, domains ->
-            let module S = Minimax.Serve in
-            let total_samples =
-              Array.fold_left (fun a r -> a + Array.length r.Engine.samples) 0 responses
-            in
-            let seconds = Int64.to_float elapsed_ns /. 1e9 in
-            let per_s = if seconds > 0. then float_of_int total_samples /. seconds else 0. in
-            Array.iteri
-              (fun i (r : Engine.response) ->
+              (results, Int64.sub t1 t0, Engine.cache_stats e, max 1 (Engine.domains e)))
+          in
+          let module S = Minimax.Serve in
+          let total_samples =
+            Array.fold_left
+              (fun a -> function
+                | Ok (r : Engine.response) -> a + Array.length r.Engine.samples
+                | Error _ -> a)
+              0 results
+          in
+          let error_count =
+            Array.fold_left (fun a -> function Ok _ -> a | Error _ -> a + 1) 0 results
+          in
+          let seconds = Int64.to_float elapsed_ns /. 1e9 in
+          let per_s = if seconds > 0. then float_of_int total_samples /. seconds else 0. in
+          Array.iteri
+            (fun i result ->
+              let id = wires.(i).Engine.Request.id in
+              match result with
+              | Error e ->
                 if json then
-                  let open Obs.Json in
                   print_endline
-                    (to_string
-                       (Obj
-                          [
-                            ("index", Int i);
-                            ("key", Str r.Engine.key);
-                            ("rung", Str (S.rung_to_string r.Engine.rung));
-                            ("loss", rat r.Engine.loss);
-                            ("cache", Str (cache_state r));
-                            ("input", Int r.Engine.request.Engine.Request.input);
-                            ( "samples",
-                              if print_samples then
-                                List
-                                  (Array.to_list
-                                     (Array.map (fun s -> Int s) r.Engine.samples))
-                              else Int (Array.length r.Engine.samples) );
-                          ]))
+                    (Server.Response.to_line (Server.Response.of_job_error ?id e))
+                else Printf.printf "[%3d] ERROR %s\n" i (Engine.job_error_to_string e)
+              | Ok (r : Engine.response) ->
+                if json then
+                  print_endline (Server.Response.to_line (Server.Response.of_engine ?id r))
                 else begin
                   Printf.printf "[%3d] %s  rung=%s loss=%s cache=%s samples=%d\n" i
                     r.Engine.key
@@ -442,36 +484,40 @@ let engine_cmd =
                       (String.concat " "
                          (List.map string_of_int (Array.to_list r.Engine.samples)))
                 end)
-              responses;
-            let summary =
-              Printf.sprintf
-                "%d request(s), %d sample(s) in %.3fs (%.0f samples/s) on %d worker \
-                 domain(s); cache: %d hit(s) %d miss(es) %d eviction(s)"
-                (Array.length responses) total_samples seconds per_s domains
-                stats.Engine.Cache.hits stats.Engine.Cache.misses stats.Engine.Cache.evictions
-            in
-            if json then
-              let open Obs.Json in
-              print_endline
-                (to_string
-                   (Obj
-                      [
-                        ("requests", Int (Array.length responses));
-                        ("samples", Int total_samples);
-                        ("elapsed_ns", Int (Int64.to_int elapsed_ns));
-                        ("samples_per_s", Int (int_of_float per_s));
-                        ("workers", Int domains);
-                        ( "cache",
-                          Obj
-                            [
-                              ("hits", Int stats.Engine.Cache.hits);
-                              ("misses", Int stats.Engine.Cache.misses);
-                              ("evictions", Int stats.Engine.Cache.evictions);
-                              ("insertions", Int stats.Engine.Cache.insertions);
-                            ] );
-                      ]))
-            else print_endline summary;
-            `Ok ()))
+            results;
+          let summary =
+            Printf.sprintf
+              "%d request(s), %d sample(s)%s in %.3fs (%.0f samples/s) on %d worker \
+               domain(s); cache: %d hit(s) %d miss(es) %d eviction(s)"
+              (Array.length results) total_samples
+              (if error_count > 0 then Printf.sprintf ", %d error(s)" error_count else "")
+              seconds per_s domains stats.Engine.Cache.hits stats.Engine.Cache.misses
+              stats.Engine.Cache.evictions
+          in
+          if json then
+            let open Obs.Json in
+            print_endline
+              (to_string
+                 (Obj
+                    [
+                      ("requests", Int (Array.length results));
+                      ("samples", Int total_samples);
+                      ("errors", Int error_count);
+                      ("elapsed_ns", Int (Int64.to_int elapsed_ns));
+                      ("samples_per_s", Int (int_of_float per_s));
+                      ("workers", Int domains);
+                      ( "cache",
+                        Obj
+                          [
+                            ("hits", Int stats.Engine.Cache.hits);
+                            ("misses", Int stats.Engine.Cache.misses);
+                            ("evictions", Int stats.Engine.Cache.evictions);
+                            ("insertions", Int stats.Engine.Cache.insertions);
+                          ] );
+                    ]))
+          else print_endline summary;
+          `Ok ()
+        end)
   in
   let term =
     Term.(
@@ -486,6 +532,73 @@ let engine_cmd =
           consumer share one cached, re-certified, alias-compiled mechanism; sampling fans \
           out over a Domain pool and merges deterministically (byte-identical output for \
           any --workers, given --seed).")
+    term
+
+(* ----------------------------------------------------------------- *)
+(* client                                                            *)
+(* ----------------------------------------------------------------- *)
+
+let client_cmd =
+  let host_arg =
+    let doc = "Server host (name or dotted quad)." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+  in
+  let port_arg =
+    let doc = "Server port (the one dpserved printed at startup)." in
+    Arg.(required & opt (some int) None & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+  in
+  let resolve host =
+    match Unix.inet_addr_of_string host with
+    | a -> Ok a
+    | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+        Error (Printf.sprintf "cannot resolve host %S" host)
+      | h -> Ok h.Unix.h_addr_list.(0))
+  in
+  let run () host port file =
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+    let lines = try Ok (read_request_lines file) with Sys_error m -> Error m in
+    match (lines, resolve host) with
+    | Error m, _ | _, Error m -> `Error (false, m)
+    | Ok lines, Ok addr -> (
+      let module F = Server.Framing in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
+      | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        `Error
+          (false, Printf.sprintf "cannot connect to %s:%d: %s" host port (Unix.error_message e))
+      | () -> (
+        let w = F.writer fd in
+        List.iter
+          (fun l ->
+            let s = String.trim l in
+            if s <> "" && s.[0] <> '#' then F.enqueue w s)
+          lines;
+        match F.flush_blocking w with
+        | F.Closed ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          `Error (false, "server closed the connection before reading every request")
+        | F.Blocked (* unreachable: flush_blocking waits out Blocked *) | F.Flushed ->
+          (* Half-close: requests done, now stream responses to EOF. *)
+          (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+          let r = F.reader fd in
+          let rec pump () =
+            let { F.lines; eof; overflow = _ } = F.poll r in
+            List.iter print_endline lines;
+            if not eof then pump ()
+          in
+          pump ();
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          `Ok ()))
+  in
+  let term = Term.(ret (const run $ obs_term $ host_arg $ port_arg $ request_file_arg)) in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send request lines (v=1 key=value grammar, PROTOCOL.md) to a running dpserved \
+          and print its JSON responses, one per line, in admission order.")
     term
 
 (* ----------------------------------------------------------------- *)
@@ -802,6 +915,7 @@ let main =
       optimal_cmd;
       serve_cmd;
       engine_cmd;
+      client_cmd;
       interact_cmd;
       release_cmd;
       verify_cmd;

@@ -1,0 +1,99 @@
+(* dpserved — the TCP serving daemon.
+
+   A thin shell over Minimax_dp.Server: parse flags into a config,
+   print the bound address (port 0 picks an ephemeral port, so scripts
+   parse this line), serve until SIGINT/SIGTERM, then drain — every
+   admitted request is answered and flushed before exit. A second
+   signal while draining exits immediately. *)
+
+open Cmdliner
+module Server = Minimax_dp.Server
+
+let host_arg =
+  let doc = "Bind address." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let port_arg =
+  let doc = "TCP port; 0 picks an ephemeral port (printed at startup)." in
+  Arg.(value & opt int 0 & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+
+let workers_arg =
+  let doc =
+    "Worker domains for the sampling pool (1 = inline fallback; default: the runtime's \
+     recommendation). Response bytes are identical for every setting."
+  in
+  Arg.(value & opt (some int) None & info [ "w"; "workers" ] ~docv:"W" ~doc)
+
+let cache_arg =
+  let doc = "Mechanism-cache capacity (compiled artifacts kept, LRU-evicted beyond it)." in
+  Arg.(value & opt int 64 & info [ "cache" ] ~docv:"CAP" ~doc)
+
+let queue_arg =
+  let doc =
+    "Admission-control bound: requests admitted but not yet dispatched. Beyond it new \
+     requests get a typed 'overloaded' response immediately."
+  in
+  Arg.(value & opt int 64 & info [ "queue" ] ~docv:"Q" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Per-connection wall-clock window, ms: compiles degrade against it, and requests \
+     arriving after it expires get 'deadline_exceeded'."
+  in
+  Arg.(value & opt (some int) None & info [ "conn-deadline-ms" ] ~docv:"MS" ~doc)
+
+let pivots_arg =
+  let doc = "Per-connection simplex pivot budget." in
+  Arg.(value & opt (some int) None & info [ "max-pivots" ] ~docv:"K" ~doc)
+
+let bits_arg =
+  let doc = "Per-connection ceiling on pivot-coefficient bit sizes." in
+  Arg.(value & opt (some int) None & info [ "max-bits" ] ~docv:"B" ~doc)
+
+let seed_arg =
+  let doc = "Seed for request lines that carry no seed= field." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let run host port workers cache queue deadline pivots bits seed =
+  let config =
+    {
+      Server.host;
+      port;
+      domains = workers;
+      cache_capacity = cache;
+      queue_capacity = queue;
+      conn_deadline_ms = deadline;
+      max_pivots = pivots;
+      max_bits = bits;
+      default_seed = seed;
+    }
+  in
+  match Server.create ~config () with
+  | exception Unix.Unix_error (e, _, _) ->
+    `Error (false, Printf.sprintf "cannot bind %s:%d: %s" host port (Unix.error_message e))
+  | t ->
+    Printf.printf "dpserved: listening on %s:%d\n%!" host (Server.port t);
+    let draining = ref false in
+    let on_signal _ =
+      if !draining then exit 130
+      else begin
+        draining := true;
+        Server.stop t
+      end
+    in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    Server.serve t;
+    Printf.printf "dpserved: drained\n%!";
+    `Ok ()
+
+let main =
+  let doc = "serve minimax-DP mechanisms over TCP (v=1 line protocol; see PROTOCOL.md)" in
+  Cmd.v
+    (Cmd.info "dpserved" ~version:"1.0.0" ~doc)
+    Term.(
+      ret
+        (const run $ host_arg $ port_arg $ workers_arg $ cache_arg $ queue_arg $ deadline_arg
+       $ pivots_arg $ bits_arg $ seed_arg))
+
+let () = exit (Cmd.eval main)

@@ -398,15 +398,41 @@ let scan_print_stdout ~file stripped =
   List.sort_uniq compare (bare @ printf)
 
 (* ------------------------------------------------------------------ *)
+(* Rule: raw Unix writes outside the framing layer                     *)
+(* ------------------------------------------------------------------ *)
+
+(* lib/server/framing.ml is the tree's single point of contact with
+   write(2): short writes, EAGAIN, dead peers and the injected
+   "server.write" fault are all handled there, once. A raw Unix write
+   anywhere else reopens every one of those holes. *)
+let unix_write_fns = [ "write"; "single_write"; "write_substring"; "single_write_substring" ]
+
+let scan_unix_write ~file stripped =
+  List.concat_map
+    (fun fn ->
+      List.map
+        (fun off ->
+          D.error ~rule:"lint/unix-write"
+            (D.Source_line { file; line = line_of_offset stripped off })
+            ("Unix." ^ fn
+            ^ " outside lib/server/framing.ml bypasses the one place that handles short \
+               writes, EAGAIN, dead peers and injected write faults; enqueue on a \
+               Server.Framing.writer instead"))
+        (module_call_occurrences stripped ~modname:"Unix" ~fn))
+    unix_write_fns
+
+(* ------------------------------------------------------------------ *)
 (* File and tree drivers                                               *)
 (* ------------------------------------------------------------------ *)
 
-let scan_source ?(ban_stdout = false) ?(ban_assert = false) ~file src =
+let scan_source ?(ban_stdout = false) ?(ban_assert = false) ?(ban_unix_write = false) ~file
+    src =
   let stripped = strip src in
   scan_obj_magic ~file stripped
   @ scan_catch_all ~file stripped
   @ scan_float_eq ~file stripped
   @ (if ban_stdout then scan_print_stdout ~file stripped else [])
+  @ (if ban_unix_write then scan_unix_write ~file stripped else [])
   @ (if ban_assert then scan_assert_false ~file ~original:src stripped else [])
 
 let read_file path =
@@ -415,14 +441,19 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let scan_file ?ban_stdout ?ban_assert path =
-  scan_source ?ban_stdout ?ban_assert ~file:path (read_file path)
+let scan_file ?ban_stdout ?ban_assert ?ban_unix_write path =
+  scan_source ?ban_stdout ?ban_assert ?ban_unix_write ~file:path (read_file path)
 
 (* The sink directories themselves may print. *)
 let stdout_exempt path =
   List.exists
     (fun component -> component = "report" || component = "obs")
     (String.split_on_char '/' path)
+
+(* The framing layer itself is where the raw writes live. *)
+let unix_write_exempt path =
+  Filename.basename path = "framing.ml"
+  && List.exists (fun component -> component = "server") (String.split_on_char '/' path)
 
 let rec walk dir acc =
   match Sys.readdir dir with
@@ -437,7 +468,8 @@ let rec walk dir acc =
       acc entries
   | exception Sys_error _ -> acc
 
-let scan_tree ?(require_mli = false) ?(ban_stdout = false) ?(ban_assert = false) root =
+let scan_tree ?(require_mli = false) ?(ban_stdout = false) ?(ban_assert = false)
+    ?(ban_unix_write = false) root =
   if not (Sys.file_exists root && Sys.is_directory root) then
     [ D.error ~rule:"lint/missing-dir"
         (D.Source_line { file = root; line = 0 })
@@ -447,7 +479,12 @@ let scan_tree ?(require_mli = false) ?(ban_stdout = false) ?(ban_assert = false)
     let mls = List.filter (fun f -> Filename.check_suffix f ".ml") files in
     let pattern_diags =
       List.concat_map
-        (fun ml -> scan_file ~ban_stdout:(ban_stdout && not (stdout_exempt ml)) ~ban_assert ml)
+        (fun ml ->
+          scan_file
+            ~ban_stdout:(ban_stdout && not (stdout_exempt ml))
+            ~ban_assert
+            ~ban_unix_write:(ban_unix_write && not (unix_write_exempt ml))
+            ml)
         mls
     in
     let mli_diags =
@@ -472,5 +509,6 @@ let scan_roots roots =
   List.concat_map
     (fun root ->
       let is_lib = Filename.basename root = "lib" in
-      scan_tree ~require_mli:is_lib ~ban_stdout:is_lib ~ban_assert:is_lib root)
+      scan_tree ~require_mli:is_lib ~ban_stdout:is_lib ~ban_assert:is_lib
+        ~ban_unix_write:true root)
     roots

@@ -4,6 +4,7 @@ module Request = Request
 module Cache = Cache
 module Compiled = Compiled
 module Pool = Pool
+module Seeder = Seeder
 
 type t = {
   pool : Pool.t;
@@ -33,6 +34,7 @@ type response = {
   samples : int array;
   rung : Minimax.Serve.rung;
   loss : Rat.t;
+  provenance : Minimax.Serve.provenance;
   cache_hit : bool;
   cache_bypassed : bool;
 }
@@ -42,10 +44,12 @@ type response = {
    request is still served, the cache is never touched mid-fault (so a
    trip cannot corrupt or partially populate it), and the bypass is
    counted. *)
-let resolve t (req : Request.t) =
+let resolve ?budget t (req : Request.t) =
   let key = Request.canonical_key req in
   let compile () =
-    let budget = Option.map (fun mk -> mk ()) t.budget in
+    let budget =
+      match budget with Some _ -> budget | None -> Option.map (fun mk -> mk ()) t.budget
+    in
     Compiled.compile ?budget ~alpha:req.Request.alpha ~key (Request.consumer req)
   in
   let bypass =
@@ -65,34 +69,60 @@ let resolve t (req : Request.t) =
       Cache.add t.cache key c;
       (c, false, false)
 
-let run_batch ?(seed = 42) t (requests : Request.t array) =
-  if t.closed then invalid_arg "Engine.run_batch: engine is shut down";
-  let len = Array.length requests in
-  let total_samples = Array.fold_left (fun acc r -> acc + r.Request.count) 0 requests in
+type job = { request : Request.t; stream : Prob.Rng.t; budget : Lp.Budget.t option }
+
+type job_error = Uncertified of { key : string; rule : string }
+
+let job_error_to_string = function
+  | Uncertified { key; rule } ->
+    Printf.sprintf "release for %s failed certification (%s)" key rule
+
+let run_jobs t (jobs : job array) =
+  if t.closed then invalid_arg "Engine.run_jobs: engine is shut down";
+  let len = Array.length jobs in
+  let total_samples =
+    Array.fold_left (fun acc j -> acc + j.request.Request.count) 0 jobs
+  in
   Obs.span
     ~attrs:[ ("requests", Obs.Int len); ("samples", Obs.Int total_samples) ]
     "engine.batch"
   @@ fun () ->
   Obs.incr ~by:len "engine.requests";
   (* Phase 1 (coordinator): every distinct consumer compiled at most
-     once, in request order. *)
-  let resolved = Array.map (resolve t) requests in
-  (* Phase 2 (pool): one split stream per request index — stream i
-     depends only on (seed, i), so results cannot depend on which
-     worker runs which job, or on how many workers exist. The pristine
-     copies feed deterministic inline retries after worker faults. *)
-  let streams = Prob.Rng.streams (Prob.Rng.of_int seed) len in
-  let pristine = Array.map Prob.Rng.copy streams in
+     once, in job order. A failed certification poisons only its own
+     job — the rest of the batch still serves. *)
+  let resolved =
+    Array.map
+      (fun j ->
+        match resolve ?budget:j.budget t j.request with
+        | r -> Ok r
+        | exception Compiled.Uncertified { key; rule } -> Error (Uncertified { key; rule })
+        | exception Minimax.Serve.Certification_failed { rung; rule } ->
+          Error
+            (Uncertified
+               { key = Request.canonical_key j.request; rule = rung ^ "." ^ rule }))
+      jobs
+  in
+  (* Phase 2 (pool): each job samples from its caller-provided stream,
+     so results cannot depend on which worker runs which job, or on how
+     many workers exist. The pristine copies feed deterministic inline
+     retries after worker faults. *)
+  let pristine = Array.map (fun j -> Prob.Rng.copy j.stream) jobs in
   let results = Array.make len [||] in
   let sample_into rng i =
-    let c, _, _ = resolved.(i) in
-    let req = requests.(i) in
-    results.(i) <-
-      Compiled.draws c.Compiled.sampler ~input:req.Request.input ~count:req.Request.count rng
+    match resolved.(i) with
+    | Error _ -> ()
+    | Ok (c, _, _) ->
+      let req = jobs.(i).request in
+      results.(i) <-
+        Compiled.draws c.Compiled.sampler ~input:req.Request.input ~count:req.Request.count rng
   in
   let job i =
-    Resilience.Fault.trip "engine.worker";
-    sample_into streams.(i) i
+    match resolved.(i) with
+    | Error _ -> ()
+    | Ok _ ->
+      Resilience.Fault.trip "engine.worker";
+      sample_into jobs.(i).stream i
   in
   let failures = Pool.run t.pool ~jobs:job ~count:len in
   List.iter
@@ -106,18 +136,39 @@ let run_batch ?(seed = 42) t (requests : Request.t array) =
         sample_into pristine.(i) i
       | e -> raise e)
     failures;
-  Obs.incr ~by:total_samples "engine.samples";
+  let served_samples =
+    Array.fold_left (fun acc (r : int array) -> acc + Array.length r) 0 results
+  in
+  Obs.incr ~by:served_samples "engine.samples";
   Array.init len (fun i ->
-      let c, cache_hit, cache_bypassed = resolved.(i) in
-      {
-        request = requests.(i);
-        key = c.Compiled.key;
-        samples = results.(i);
-        rung = Compiled.rung c;
-        loss = Compiled.loss c;
-        cache_hit;
-        cache_bypassed;
-      })
+      match resolved.(i) with
+      | Error e -> Error e
+      | Ok (c, cache_hit, cache_bypassed) ->
+        Ok
+          {
+            request = jobs.(i).request;
+            key = c.Compiled.key;
+            samples = results.(i);
+            rung = Compiled.rung c;
+            loss = Compiled.loss c;
+            provenance = c.Compiled.served.Minimax.Serve.provenance;
+            cache_hit;
+            cache_bypassed;
+          })
+
+let run_batch ?(seed = 42) t (requests : Request.t array) =
+  if t.closed then invalid_arg "Engine.run_batch: engine is shut down";
+  (* One split stream per request index — exactly the chain a
+     per-request [Seeder] walks when every line shares this seed. *)
+  let streams = Prob.Rng.streams (Prob.Rng.of_int seed) (Array.length requests) in
+  let jobs =
+    Array.mapi (fun i request -> { request; stream = streams.(i); budget = None }) requests
+  in
+  Array.map
+    (function
+      | Ok r -> r
+      | Error (Uncertified { key; rule }) -> raise (Compiled.Uncertified { key; rule }))
+    (run_jobs t jobs)
 
 let artifact t req = Cache.peek t.cache (Request.canonical_key req)
 

@@ -30,6 +30,7 @@ module Request = Request
 module Cache = Cache
 module Compiled = Compiled
 module Pool = Pool
+module Seeder = Seeder
 
 type t
 
@@ -52,15 +53,44 @@ type response = {
   samples : int array;  (** [request.count] draws, in draw order *)
   rung : Minimax.Serve.rung;  (** ladder rung of the serving mechanism *)
   loss : Rat.t;  (** the consumer's minimax loss of that mechanism *)
+  provenance : Minimax.Serve.provenance;
+      (** full serve-ladder provenance of the compiled artifact *)
   cache_hit : bool;
   cache_bypassed : bool;  (** compiled outside the cache (fault trip) *)
 }
 
+(** One unit of incremental-batch work: a request, the {!Prob.Rng}
+    stream its samples must come from (typically a {!Seeder} hand-out),
+    and an optional per-job budget overriding the engine-wide thunk —
+    how the server threads each connection's deadline down to the
+    compile it pays for. *)
+type job = { request : Request.t; stream : Prob.Rng.t; budget : Lp.Budget.t option }
+
+type job_error =
+  | Uncertified of { key : string; rule : string }
+      (** the release failed re-certification; [rule] names the failed
+          check (prefixed [<rung>.] when the serve ladder itself
+          refused to certify) *)
+
+val job_error_to_string : job_error -> string
+
+val run_jobs : t -> job array -> (response, job_error) result array
+(** Serve an incremental batch, one result per job, in job order.
+    Compilation runs on the calling domain in job order; sampling fans
+    out over the pool, each job drawing from its own [stream] — so for
+    fixed streams the samples are byte-identical for every [domains]
+    setting. Unlike {!run_batch}, a certification failure is returned
+    in that job's slot instead of raised, and the rest of the batch
+    still serves.
+    @raise Invalid_argument after {!shutdown} *)
+
 val run_batch : ?seed:int -> t -> Request.t array -> response array
-(** Serve a batch (default [seed 42]). Compilation runs on the calling
-    domain in request order; sampling fans out over the pool with one
-    split {!Prob.Rng} stream per request index. For a fixed seed the
-    returned samples are byte-identical for every [domains] setting.
+(** Serve a batch (default [seed 42]). Equivalent to {!run_jobs} with
+    stream [i] the [i]-th split of [Rng.of_int seed] and no per-job
+    budgets: compilation runs on the calling domain in request order;
+    sampling fans out over the pool with one split {!Prob.Rng} stream
+    per request index. For a fixed seed the returned samples are
+    byte-identical for every [domains] setting.
     @raise Invalid_argument after {!shutdown}
     @raise Compiled.Uncertified if a release fails re-certification *)
 

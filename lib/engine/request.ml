@@ -138,8 +138,35 @@ let side_info t =
 let consumer t = Minimax.Consumer.make ~loss:(loss_fn t) ~side_info:(side_info t) ()
 
 (* ------------------------------------------------------------------ *)
-(* Line grammar                                                        *)
+(* Line grammar (wire protocol v1; see PROTOCOL.md)                    *)
 (* ------------------------------------------------------------------ *)
+
+let version = 1
+
+type wire = { id : string option; seed : int option; request : t }
+
+type wire_error =
+  | Unsupported_version of { got : string option }
+  | Unknown_key of { key : string }
+  | Malformed of { msg : string }
+  | Invalid of { msg : string }
+
+let wire_error_kind = function
+  | Unsupported_version _ -> "unsupported_version"
+  | Unknown_key _ -> "unknown_key"
+  | Malformed _ -> "malformed"
+  | Invalid _ -> "invalid"
+
+let wire_error_to_string = function
+  | Unsupported_version { got = None } ->
+    Printf.sprintf "missing protocol version (every request line starts with v=%d)" version
+  | Unsupported_version { got = Some v } ->
+    Printf.sprintf "unsupported protocol version %S (this server speaks v=%d)" v version
+  | Unknown_key { key } ->
+    Printf.sprintf
+      "unknown key %S (v=%d knows v, id, seed, n, alpha, loss, side, input, count)" key version
+  | Malformed { msg } -> msg
+  | Invalid { msg } -> msg
 
 let parse_loss s =
   match String.split_on_char ':' s with
@@ -193,57 +220,109 @@ let parse_side s =
       Ok (Members (List.filter_map Fun.id members))
     else Error (Printf.sprintf "cannot parse side information %S" s)
 
+let known_keys = [ "v"; "id"; "seed"; "n"; "alpha"; "loss"; "side"; "input"; "count" ]
+
+let valid_id s =
+  let n = String.length s in
+  n >= 1 && n <= 64
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '-' || c = '_' || c = '.' || c = ':')
+       s
+
 let of_line line =
   let fields =
     String.split_on_char ' ' line
     |> List.concat_map (String.split_on_char '\t')
     |> List.filter (fun s -> s <> "")
   in
-  let kv =
-    List.map
-      (fun field ->
-        match String.index_opt field '=' with
-        | None -> Error (Printf.sprintf "expected key=value, got %S" field)
-        | Some i ->
-          Ok
-            ( String.sub field 0 i,
-              String.sub field (i + 1) (String.length field - i - 1) ))
-      fields
+  let split field =
+    match String.index_opt field '=' with
+    | None -> Error (Malformed { msg = Printf.sprintf "expected key=value, got %S" field })
+    | Some i ->
+      Ok (String.sub field 0 i, String.sub field (i + 1) (String.length field - i - 1))
   in
-  match List.find_map (function Error m -> Some m | Ok _ -> None) kv with
-  | Some m -> Error m
-  | None -> (
-    let kv = List.filter_map Result.to_option kv in
-    let find k = List.assoc_opt k kv in
-    let int_field k =
-      match find k with
-      | None -> Ok None
-      | Some v -> (
-        match int_of_string_opt v with
-        | Some i -> Ok (Some i)
-        | None -> Error (Printf.sprintf "%s=%S is not an integer" k v))
-    in
-    match List.find_opt (fun (k, _) -> not (List.mem k [ "n"; "alpha"; "loss"; "side"; "input"; "count" ])) kv with
-    | Some (k, _) -> Error (Printf.sprintf "unknown field %S" k)
-    | None -> (
-      match (int_field "n", int_field "input", int_field "count") with
-      | Error m, _, _ | _, Error m, _ | _, _, Error m -> Error m
-      | Ok n, Ok input, Ok count -> (
-        match n with
-        | None -> Error "missing field n="
-        | Some n -> (
-          match Option.map Rat.of_string_opt (find "alpha") with
-          | None -> Error "missing field alpha="
-          | Some None -> Error "alpha= is not a rational (use p/q or decimals)"
-          | Some (Some alpha) -> (
-            let loss =
-              match find "loss" with None -> Ok Absolute | Some s -> parse_loss s
-            in
-            let side = match find "side" with None -> Ok Full | Some s -> parse_side s in
-            match (loss, side) with
-            | Error m, _ | _, Error m -> Error m
-            | Ok loss, Ok side -> make ?input ?count ~n ~alpha ~loss ~side ())))))
+  let rec pairs acc = function
+    | [] -> Ok (List.rev acc)
+    | f :: rest -> ( match split f with Error e -> Error e | Ok kv -> pairs (kv :: acc) rest)
+  in
+  match pairs [] fields with
+  | Error e -> Error e
+  | Ok [] -> Error (Malformed { msg = "empty request line" })
+  | Ok ((k0, v0) :: rest) -> (
+    if k0 <> "v" then Error (Unsupported_version { got = None })
+    else if v0 <> string_of_int version then Error (Unsupported_version { got = Some v0 })
+    else
+      (* Unknown keys are typed rejections, never silent drops: a v=2
+         client talking to a v=1 server hears about it immediately. *)
+      match List.find_opt (fun (k, _) -> not (List.mem k known_keys)) rest with
+      | Some (k, _) -> Error (Unknown_key { key = k })
+      | None -> (
+        let all = ("v", v0) :: rest in
+        let dup =
+          List.find_opt
+            (fun (k, _) -> List.length (List.filter (fun (k', _) -> k' = k) all) > 1)
+            all
+        in
+        match dup with
+        | Some (k, _) -> Error (Malformed { msg = Printf.sprintf "duplicate key %S" k })
+        | None -> (
+          let find k = List.assoc_opt k rest in
+          let int_field k =
+            match find k with
+            | None -> Ok None
+            | Some v -> (
+              match int_of_string_opt v with
+              | Some i -> Ok (Some i)
+              | None -> Error (Invalid { msg = Printf.sprintf "%s=%S is not an integer" k v }))
+          in
+          let id =
+            match find "id" with
+            | None -> Ok None
+            | Some s ->
+              if valid_id s then Ok (Some s)
+              else
+                Error
+                  (Malformed
+                     { msg = Printf.sprintf "id %S must be 1-64 chars of [A-Za-z0-9._:-]" s })
+          in
+          match (id, int_field "seed", int_field "n", int_field "input", int_field "count") with
+          | Error e, _, _, _, _
+          | _, Error e, _, _, _
+          | _, _, Error e, _, _
+          | _, _, _, Error e, _
+          | _, _, _, _, Error e -> Error e
+          | Ok id, Ok seed, Ok n, Ok input, Ok count -> (
+            match n with
+            | None -> Error (Invalid { msg = "missing field n=" })
+            | Some n -> (
+              match Option.map Rat.of_string_opt (find "alpha") with
+              | None -> Error (Invalid { msg = "missing field alpha=" })
+              | Some None ->
+                Error (Invalid { msg = "alpha= is not a rational (use p/q or decimals)" })
+              | Some (Some alpha) -> (
+                let loss =
+                  match find "loss" with None -> Ok Absolute | Some s -> parse_loss s
+                in
+                let side =
+                  match find "side" with None -> Ok Full | Some s -> parse_side s
+                in
+                match (loss, side) with
+                | Error m, _ | _, Error m -> Error (Invalid { msg = m })
+                | Ok loss, Ok side -> (
+                  match make ?input ?count ~n ~alpha ~loss ~side () with
+                  | Ok request -> Ok { id; seed; request }
+                  | Error m -> Error (Invalid { msg = m }))))))))
 
-let to_line t =
-  Printf.sprintf "n=%d alpha=%s loss=%s side=%s input=%d count=%d" t.n (Rat.to_string t.alpha)
-    (loss_spec_to_string t.loss) (side_spec_to_string t.side) t.input t.count
+let to_line ?id ?seed t =
+  Printf.sprintf "v=%d%s%s n=%d alpha=%s loss=%s side=%s input=%d count=%d" version
+    (match id with None -> "" | Some i -> " id=" ^ i)
+    (match seed with None -> "" | Some s -> Printf.sprintf " seed=%d" s)
+    t.n (Rat.to_string t.alpha) (loss_spec_to_string t.loss) (side_spec_to_string t.side)
+    t.input t.count
+
+let loss_spec_of_string = parse_loss
+let side_spec_of_string = parse_side

@@ -59,17 +59,59 @@ val make :
     [0 < α < 1], [input ∈ {0..n}], [count >= 1], well-formed loss
     parameters, side information non-empty and within [{0..n}]. *)
 
-val of_line : string -> (t, string) result
+(** {1 Wire protocol (v1)}
+
+    The line grammar is versioned: every request line starts with
+    [v=1], and unknown keys are typed rejections rather than silent
+    drops. PROTOCOL.md documents the forward-compatibility policy. *)
+
+val version : int
+(** The protocol version this build speaks ([1]). *)
+
+type wire = {
+  id : string option;
+      (** caller-chosen tag echoed on the response (1–64 chars of
+          [[A-Za-z0-9._:-]]) *)
+  seed : int option;  (** per-request determinism seed *)
+  request : t;
+}
+(** A parsed request line: the consumer/query payload plus the
+    transport-level envelope fields. *)
+
+type wire_error =
+  | Unsupported_version of { got : string option }
+      (** missing [v=] first key, or a version this build doesn't
+          speak *)
+  | Unknown_key of { key : string }
+  | Malformed of { msg : string }  (** frame-level: not [key=value], duplicate key, bad [id] *)
+  | Invalid of { msg : string }  (** field-level: bad value or failed {!make} validation *)
+
+val wire_error_kind : wire_error -> string
+(** Stable machine-readable tag: [unsupported_version], [unknown_key],
+    [malformed], [invalid]. *)
+
+val wire_error_to_string : wire_error -> string
+
+val of_line : string -> (wire, wire_error) result
 (** Parse one request line of whitespace-separated [key=value] pairs:
-    [n=6 alpha=1/2 loss=absolute side=full input=3 count=1000].
+    [v=1 id=q7 seed=42 n=6 alpha=1/2 loss=absolute side=full input=3
+    count=1000]. [v] must come first and equal {!version}; [id], [seed],
     [input] and [count] are optional; losses are
     [absolute | squared | zero-one | deadzone:<w> | capped:<c> |
     asym:<over>,<under>]; side is
     [full | lo-hi | >=k | <=k | m1,m2,...]. *)
 
-val to_line : t -> string
-(** Render in the {!of_line} grammar (parses back to an equal
-    request). *)
+val to_line : ?id:string -> ?seed:int -> t -> string
+(** Render in the {!of_line} grammar, [v=1] first (parses back to an
+    equal request with the same envelope). *)
+
+val loss_spec_of_string : string -> (loss_spec, string) result
+(** Parse the [loss=] value grammar on its own (shared with the
+    [dpopt --loss] flag). *)
+
+val side_spec_of_string : string -> (side_spec, string) result
+(** Parse the [side=] value grammar on its own (shared with the
+    [dpopt --side] flag). *)
 
 val canonical_key : t -> string
 (** The consumer part only — [input]/[count] never enter the key. Equal

@@ -1,0 +1,25 @@
+(* Per-connection stream allocation.
+
+   The k-th request carrying seed s (on one connection / input file)
+   draws the k-th sequential [Rng.split] of [Rng.of_int s].  The chain
+   depends only on (s, k) — never on when other connections' requests
+   arrive or which worker runs the job — which is what makes server
+   responses byte-identical under any interleaving.  When every line in
+   a batch shares one seed, the chain reproduces exactly the
+   [Rng.streams] array [Engine.run_batch] uses, so file-mode output is
+   unchanged byte for byte. *)
+
+type t = (int, Prob.Rng.t) Hashtbl.t
+
+let create () = Hashtbl.create 8
+
+let stream t ~seed =
+  let parent =
+    match Hashtbl.find_opt t seed with
+    | Some p -> p
+    | None ->
+      let p = Prob.Rng.of_int seed in
+      Hashtbl.add t seed p;
+      p
+  in
+  Prob.Rng.split parent

@@ -1,0 +1,17 @@
+(** Deterministic per-request stream allocation.
+
+    A seeder hands the k-th request carrying seed [s] the k-th
+    sequential {!Prob.Rng.split} of [Prob.Rng.of_int s] — a function of
+    [(s, k)] alone. One seeder per connection (or per input file) makes
+    response bytes independent of connection interleaving and worker
+    count; a batch whose lines all share one seed reproduces the
+    {!Prob.Rng.streams} array [Engine.run_batch] draws, byte for
+    byte. Not domain-safe: confine each seeder to the thread that owns
+    its connection. *)
+
+type t
+
+val create : unit -> t
+
+val stream : t -> seed:int -> Prob.Rng.t
+(** The next stream in [seed]'s split chain. *)

@@ -1,0 +1,10 @@
+(* The curated facade; see minimax_dp.mli. *)
+
+module Request = Engine.Request
+module Response = Server.Response
+module Seeder = Engine.Seeder
+module Serve = Minimax.Serve
+module Invariants = Check.Invariants
+module Budget = Resilience.Budget
+module Engine = Engine
+module Server = Server

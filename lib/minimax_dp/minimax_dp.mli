@@ -1,0 +1,29 @@
+(** The stable public surface, under one name.
+
+    External users depend on this library instead of the dozen
+    internal dune libraries behind it. The curated re-exports are the
+    supported API; everything else in the tree is an implementation
+    detail that may move between PRs:
+
+    - {!Request} — the versioned wire grammar and canonical cache keys
+      ({!Engine.Request});
+    - {!Response} — the one ok / degraded / typed-error response
+      surface and its JSON schema ({!Server.Response});
+    - {!Engine} — compiled mechanisms, the LRU cache, and
+      {!Engine.run_batch} / {!Engine.run_jobs} over the Domain pool;
+    - {!Server} — the TCP front-end;
+    - {!Seeder} — deterministic per-request stream allocation;
+    - {!Serve} — the budgeted degradation ladder
+      ({!Minimax.Serve.serve});
+    - {!Invariants} — independent certification of released matrices
+      ({!Check.Invariants});
+    - {!Budget} — solve budgets ({!Resilience.Budget}). *)
+
+module Request = Engine.Request
+module Response = Server.Response
+module Seeder = Engine.Seeder
+module Serve = Minimax.Serve
+module Invariants = Check.Invariants
+module Budget = Resilience.Budget
+module Engine = Engine
+module Server = Server

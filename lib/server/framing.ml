@@ -1,0 +1,143 @@
+(* Line framing over file descriptors; see framing.mli.
+
+   Every raw [Unix.write] in the tree lives in this file (the
+   lint/unix-write wall enforces it), so there is exactly one place
+   where short writes, [EAGAIN], [EPIPE] and injected write faults are
+   handled — and nowhere else to get them wrong. *)
+
+let chunk = 4096
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type reader = {
+  rfd : Unix.file_descr;
+  max_line : int;
+  pending : Buffer.t;  (* bytes after the last newline seen *)
+  rbuf : Bytes.t;
+}
+
+type read_result = { lines : string list; eof : bool; overflow : bool }
+
+let reader ?(max_line = 65536) rfd =
+  { rfd; max_line; pending = Buffer.create 256; rbuf = Bytes.create chunk }
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+(* Split [pending ^ fresh] at newlines, leaving the trailing partial
+   line in [pending]. *)
+let split_lines r fresh ~eof =
+  Buffer.add_string r.pending fresh;
+  let data = Buffer.contents r.pending in
+  Buffer.clear r.pending;
+  let lines = ref [] in
+  let start = ref 0 in
+  String.iteri
+    (fun i c ->
+      if c = '\n' then begin
+        lines := strip_cr (String.sub data !start (i - !start)) :: !lines;
+        start := i + 1
+      end)
+    data;
+  let rest = String.sub data !start (String.length data - !start) in
+  if eof && rest <> "" then lines := strip_cr rest :: !lines
+  else Buffer.add_string r.pending rest;
+  let overflow = Buffer.length r.pending > r.max_line in
+  if overflow then Buffer.clear r.pending;
+  { lines = List.rev !lines; eof; overflow }
+
+let poll r =
+  match Unix.read r.rfd r.rbuf 0 chunk with
+  | 0 -> split_lines r "" ~eof:true
+  | n -> split_lines r (Bytes.sub_string r.rbuf 0 n) ~eof:false
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+    { lines = []; eof = false; overflow = false }
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) ->
+    split_lines r "" ~eof:true
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type writer = {
+  wfd : Unix.file_descr;
+  queue : string Queue.t;
+  mutable ofs : int;  (* bytes of the queue head already written *)
+  mutable closed : bool;
+}
+
+type flush_status = Flushed | Blocked | Closed
+
+let writer wfd = { wfd; queue = Queue.create (); ofs = 0; closed = false }
+let enqueue w line = Queue.add (line ^ "\n") w.queue
+let buffered w = not (Queue.is_empty w.queue)
+
+let flush w =
+  if w.closed then Closed
+  else begin
+    (* The injectable peer-vanished fault: a tripped flush behaves
+       exactly like the kernel reporting a dead socket. *)
+    (match Resilience.Fault.trip "server.write" with
+     | () -> ()
+     | exception Resilience.Fault.Injected { site = "server.write"; _ } -> w.closed <- true);
+    if w.closed then Closed
+    else
+      let rec go () =
+        match Queue.peek_opt w.queue with
+        | None -> Flushed
+        | Some head -> (
+          let len = String.length head - w.ofs in
+          match Unix.write_substring w.wfd head w.ofs len with
+          | 0 -> Blocked
+          | n ->
+            if n = len then begin
+              ignore (Queue.pop w.queue);
+              w.ofs <- 0
+            end
+            else w.ofs <- w.ofs + n;
+            go ()
+          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> Blocked
+          | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+            w.closed <- true;
+            Closed)
+      in
+      go ()
+  end
+
+let flush_blocking w =
+  let rec go () =
+    match flush w with
+    | Flushed -> Flushed
+    | Closed -> Closed
+    | Blocked ->
+      (match Unix.select [] [ w.wfd ] [] (-1.0) with
+       | _ -> ()
+       | exception Unix.Unix_error (EINTR, _, _) -> ());
+      go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Self-pipe                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let wake fd =
+  match Unix.write_substring fd "!" 0 1 with
+  | _ -> ()
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+    (* Pipe full: a wakeup is already pending, which is all we need. *)
+    ()
+  | exception Unix.Unix_error ((EPIPE | EBADF), _, _) -> ()
+
+let drain_wakeups fd =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read fd buf 0 64 with
+    | 0 -> ()
+    | _ -> go ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  in
+  go ()

@@ -1,0 +1,68 @@
+(** Newline-delimited framing over raw file descriptors.
+
+    This module is the tree's single point of contact with
+    [Unix.write] — the lint/unix-write wall rejects raw writes
+    anywhere else — so short writes, [EAGAIN], dead peers and the
+    injectable ["server.write"] fault are handled in exactly one
+    place. Readers and writers work on blocking and non-blocking
+    descriptors alike: on a non-blocking descriptor {!poll} and
+    {!flush} return instead of waiting. *)
+
+(** {1 Reading} *)
+
+type reader
+
+val reader : ?max_line:int -> Unix.file_descr -> reader
+(** A line reader over [fd] (default [max_line] 65536 bytes). *)
+
+type read_result = {
+  lines : string list;  (** completed lines, oldest first, [\n]/[\r\n] stripped *)
+  eof : bool;  (** the peer closed (or reset) its end *)
+  overflow : bool;
+      (** a line exceeded [max_line] without a newline; the partial
+          line was discarded and the connection should be aborted *)
+}
+
+val poll : reader -> read_result
+(** Issue one [read(2)] and return every line it completed. On a
+    non-blocking descriptor with nothing to read, returns immediately
+    with no lines. At end of input a trailing unterminated line is
+    returned as a final line. *)
+
+(** {1 Writing} *)
+
+type writer
+
+val writer : Unix.file_descr -> writer
+
+val enqueue : writer -> string -> unit
+(** Queue [line ^ "\n"] for writing. Never blocks; call {!flush} to
+    move bytes. *)
+
+val buffered : writer -> bool
+(** Whether queued bytes remain. *)
+
+type flush_status =
+  | Flushed  (** queue empty *)
+  | Blocked  (** kernel buffer full; retry when the fd is writable *)
+  | Closed  (** the peer is gone; the writer is dead for good *)
+
+val flush : writer -> flush_status
+(** Write as much queued data as the descriptor accepts. Fault site
+    ["server.write"]: a tripped flush marks the writer [Closed],
+    exactly as if the kernel had reported a dead socket. *)
+
+val flush_blocking : writer -> flush_status
+(** {!flush}, waiting out [Blocked] with [select] until the queue
+    empties or the peer dies. Never returns [Blocked]. *)
+
+(** {1 Self-pipe} *)
+
+val wake : Unix.file_descr -> unit
+(** Write one byte to a wake pipe; a full pipe already counts as a
+    pending wakeup, so this never blocks or fails. Async-signal-safe
+    in the OCaml sense — {!Server.stop} calls it from signal
+    handlers. *)
+
+val drain_wakeups : Unix.file_descr -> unit
+(** Discard every pending wakeup byte (non-blocking descriptor). *)

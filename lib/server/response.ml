@@ -1,0 +1,135 @@
+(* The one response surface; see response.mli. *)
+
+module S = Minimax.Serve
+module J = Obs.Json
+
+type payload = {
+  id : string option;
+  key : string;
+  rung : S.rung;
+  loss : Rat.t;
+  samples : int array;
+  provenance : S.provenance;
+}
+
+type error =
+  | Unsupported_version of { got : string option }
+  | Unknown_key of { key : string }
+  | Malformed of { msg : string }
+  | Invalid of { msg : string }
+  | Overloaded of { pending : int; capacity : int }
+  | Deadline_exceeded
+  | Uncertified of { key : string; rule : string }
+  | Internal of { msg : string }
+
+type t =
+  | Ok of payload
+  | Degraded of payload
+  | Error of { id : string option; error : error }
+
+let of_engine ?id (r : Engine.response) =
+  let payload =
+    {
+      id;
+      key = r.Engine.key;
+      rung = r.Engine.rung;
+      loss = r.Engine.loss;
+      samples = r.Engine.samples;
+      provenance = r.Engine.provenance;
+    }
+  in
+  (* A response is degraded exactly when the serve ladder abandoned a
+     rung on the way down — the provenance then says why. *)
+  if payload.provenance.S.attempts = [] then Ok payload else Degraded payload
+
+let of_served ?id ~key (s : S.served) =
+  let payload =
+    {
+      id;
+      key;
+      rung = s.S.provenance.S.rung;
+      loss = s.S.loss;
+      samples = [||];
+      provenance = s.S.provenance;
+    }
+  in
+  if payload.provenance.S.attempts = [] then Ok payload else Degraded payload
+
+let of_wire_error ?id (e : Engine.Request.wire_error) =
+  let error =
+    match e with
+    | Engine.Request.Unsupported_version { got } -> Unsupported_version { got }
+    | Engine.Request.Unknown_key { key } -> Unknown_key { key }
+    | Engine.Request.Malformed { msg } -> Malformed { msg }
+    | Engine.Request.Invalid { msg } -> Invalid { msg }
+  in
+  Error { id; error }
+
+let of_job_error ?id (e : Engine.job_error) =
+  match e with
+  | Engine.Uncertified { key; rule } -> Error { id; error = Uncertified { key; rule } }
+
+let error ?id e = Error { id; error = e }
+
+let error_kind = function
+  | Unsupported_version _ -> "unsupported_version"
+  | Unknown_key _ -> "unknown_key"
+  | Malformed _ -> "malformed"
+  | Invalid _ -> "invalid"
+  | Overloaded _ -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Uncertified _ -> "uncertified"
+  | Internal _ -> "internal"
+
+let error_message = function
+  | Unsupported_version { got } ->
+    Engine.Request.wire_error_to_string (Engine.Request.Unsupported_version { got })
+  | Unknown_key { key } ->
+    Engine.Request.wire_error_to_string (Engine.Request.Unknown_key { key })
+  | Malformed { msg } | Invalid { msg } | Internal { msg } -> msg
+  | Overloaded { pending; capacity } ->
+    Printf.sprintf "pending queue full (%d/%d); retry later" pending capacity
+  | Deadline_exceeded -> "connection deadline exceeded"
+  | Uncertified { key; rule } ->
+    Printf.sprintf "release for %s failed certification (%s)" key rule
+
+let status = function Ok _ -> "ok" | Degraded _ -> "degraded" | Error _ -> "error"
+
+let id = function Ok p | Degraded p -> p.id | Error { id; _ } -> id
+
+let error_to_json e =
+  let extra =
+    match e with
+    | Overloaded { pending; capacity } ->
+      [ ("pending", J.Int pending); ("capacity", J.Int capacity) ]
+    | Uncertified { key; rule } -> [ ("key", J.Str key); ("rule", J.Str rule) ]
+    | Unknown_key { key } -> [ ("key", J.Str key) ]
+    | Unsupported_version { got = Some v } -> [ ("got", J.Str v) ]
+    | Unsupported_version { got = None }
+    | Malformed _ | Invalid _ | Deadline_exceeded | Internal _ -> []
+  in
+  J.Obj ((("kind", J.Str (error_kind e)) :: extra) @ [ ("msg", J.Str (error_message e)) ])
+
+let to_json t =
+  let id_field = match id t with None -> [] | Some i -> [ ("id", J.Str i) ] in
+  let head = ("v", J.Int Engine.Request.version) :: ("status", J.Str (status t)) :: id_field in
+  match t with
+  | Ok p | Degraded p ->
+    let base =
+      head
+      @ [
+          ("key", J.Str p.key);
+          ("rung", J.Str (S.rung_to_string p.rung));
+          ("loss", J.rat p.loss);
+          ("samples", J.List (Array.to_list (Array.map (fun s -> J.Int s) p.samples)));
+        ]
+    in
+    let prov =
+      match t with
+      | Degraded _ -> [ ("provenance", S.provenance_to_json p.provenance) ]
+      | Ok _ | Error _ -> []
+    in
+    J.Obj (base @ prov)
+  | Error { error = e; _ } -> J.Obj (head @ [ ("error", error_to_json e) ])
+
+let to_line t = J.to_string (to_json t)

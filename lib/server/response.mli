@@ -1,0 +1,72 @@
+(** The one response surface.
+
+    Every consumer-facing mouth of the system — [dpserved] over TCP,
+    [dpopt engine] over files, [dpopt serve] printing a single release
+    — speaks this type and its single JSON schema, replacing the three
+    ad-hoc shapes those paths used to emit:
+
+    - [{"v":1,"status":"ok","id"?,"key","rung","loss","samples"}] —
+      served on the rung the ladder started at;
+    - [..."status":"degraded"...,"provenance":{...}] — served, but the
+      ladder abandoned at least one rung on the way; the provenance
+      names every abandoned rung and why;
+    - [{"v":1,"status":"error","id"?,"error":{"kind","msg",...}}] — a
+      typed refusal; [kind] is stable and machine-dispatchable, and
+      structured fields ([pending]/[capacity], [key]/[rule], ...)
+      accompany the kinds that have them.
+
+    [id] is echoed verbatim from the request envelope when the caller
+    supplied one. Rendering is {!Obs.Json.to_string} — compact,
+    deterministic, rationals exact as ["p/q"] strings. *)
+
+type payload = {
+  id : string option;  (** echoed request id *)
+  key : string;  (** canonical cache key the request was served under *)
+  rung : Minimax.Serve.rung;
+  loss : Rat.t;
+  samples : int array;
+  provenance : Minimax.Serve.provenance;
+}
+
+type error =
+  | Unsupported_version of { got : string option }
+  | Unknown_key of { key : string }
+  | Malformed of { msg : string }
+  | Invalid of { msg : string }
+  | Overloaded of { pending : int; capacity : int }
+      (** admission control refused: the pending queue is full *)
+  | Deadline_exceeded  (** the connection's {!Resilience.Budget} ran out *)
+  | Uncertified of { key : string; rule : string }
+      (** a release failed re-certification; nothing was served *)
+  | Internal of { msg : string }
+
+type t =
+  | Ok of payload
+  | Degraded of payload  (** served below the top rung; see [provenance] *)
+  | Error of { id : string option; error : error }
+
+val of_engine : ?id:string -> Engine.response -> t
+(** [Ok] when the serve ladder's provenance records no abandoned
+    rungs, [Degraded] otherwise. *)
+
+val of_served : ?id:string -> key:string -> Minimax.Serve.served -> t
+(** A release with no samples drawn ([dpopt serve]'s mouth): same
+    [Ok]/[Degraded] rule, [samples] empty. *)
+
+val of_wire_error : ?id:string -> Engine.Request.wire_error -> t
+val of_job_error : ?id:string -> Engine.job_error -> t
+val error : ?id:string -> error -> t
+
+val error_kind : error -> string
+(** Stable machine-readable tag, the JSON ["kind"] field. *)
+
+val error_message : error -> string
+val status : t -> string
+(** ["ok"], ["degraded"] or ["error"]. *)
+
+val id : t -> string option
+
+val to_json : t -> Obs.Json.t
+
+val to_line : t -> string
+(** Compact one-line JSON — exactly what goes on the wire. *)

@@ -1,0 +1,367 @@
+(* The TCP front-end; see server.mli. *)
+
+module Framing = Framing
+module Response = Response
+module B = Resilience.Budget
+
+type config = {
+  host : string;
+  port : int;
+  domains : int option;
+  cache_capacity : int;
+  queue_capacity : int;
+  conn_deadline_ms : int option;
+  max_pivots : int option;
+  max_bits : int option;
+  default_seed : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    domains = None;
+    cache_capacity = 64;
+    queue_capacity = 64;
+    conn_deadline_ms = None;
+    max_pivots = None;
+    max_bits = None;
+    default_seed = 42;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  reader : Framing.reader;
+  writer : Framing.writer;
+  seeder : Engine.Seeder.t;
+  budget : B.t option;
+  mutable in_flight : int;  (* admitted jobs whose response is not yet enqueued *)
+  mutable eof : bool;  (* peer half-closed: no further requests *)
+  mutable dead : bool;  (* write side failed: abort without replying *)
+}
+
+type pending = {
+  pconn : conn;
+  pid : string option;
+  pjob : Engine.job;
+  enqueued_ns : int64;
+}
+
+(* What the runner hands back for one admitted job. *)
+type outcome =
+  | Served of Engine.response
+  | Refused of Engine.job_error
+  | Crashed of string
+
+type t = {
+  config : config;
+  listener : Unix.file_descr;
+  actual_port : int;
+  engine : Engine.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  stopping : bool Atomic.t;
+  m : Mutex.t;
+  cond : Condition.t;  (* wakes the runner: queue non-empty, or stop *)
+  queue : pending Queue.t;  (* admitted, not yet picked up by the runner *)
+  mutable running : bool;  (* the runner owns a batch right now *)
+  mutable completed : (pending * outcome) array list;  (* newest first *)
+  mutable runner_stop : bool;
+}
+
+let inet_addr host =
+  match Unix.inet_addr_of_string host with
+  | a -> a
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+      invalid_arg (Printf.sprintf "Server.create: cannot resolve host %S" host)
+    | h -> h.Unix.h_addr_list.(0))
+
+let create ?(config = default_config) () =
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener (Unix.ADDR_INET (inet_addr config.host, config.port));
+  Unix.listen listener 128;
+  Unix.set_nonblock listener;
+  let actual_port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  {
+    config;
+    listener;
+    actual_port;
+    engine = Engine.create ?domains:config.domains ~cache_capacity:config.cache_capacity ();
+    wake_r;
+    wake_w;
+    stopping = Atomic.make false;
+    m = Mutex.create ();
+    cond = Condition.create ();
+    queue = Queue.create ();
+    running = false;
+    completed = [];
+    runner_stop = false;
+  }
+
+let port t = t.actual_port
+let stop t =
+  Atomic.set t.stopping true;
+  Framing.wake t.wake_w
+
+(* ------------------------------------------------------------------ *)
+(* The runner domain: drains the admitted queue in whole batches.      *)
+(* ------------------------------------------------------------------ *)
+
+let runner t =
+  let rec loop () =
+    Mutex.lock t.m;
+    while Queue.is_empty t.queue && not t.runner_stop do
+      Condition.wait t.cond t.m
+    done;
+    if Queue.is_empty t.queue then (* runner_stop, nothing left *)
+      Mutex.unlock t.m
+    else begin
+      let batch = Array.of_seq (Queue.to_seq t.queue) in
+      Queue.clear t.queue;
+      t.running <- true;
+      Mutex.unlock t.m;
+      let jobs = Array.map (fun p -> p.pjob) batch in
+      let outcomes =
+        Obs.span ~attrs:[ ("jobs", Obs.Int (Array.length jobs)) ] "server.batch"
+        @@ fun () ->
+        match Engine.run_jobs t.engine jobs with
+        | results ->
+          Array.map2
+            (fun p r ->
+              (p, match r with Ok resp -> Served resp | Error e -> Refused e))
+            batch results
+        | exception e -> Array.map (fun p -> (p, Crashed (Printexc.to_string e))) batch
+      in
+      Mutex.lock t.m;
+      t.completed <- outcomes :: t.completed;
+      t.running <- false;
+      Mutex.unlock t.m;
+      Framing.wake t.wake_w;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* The event loop: accept, frame, admit, deliver, drain.               *)
+(* ------------------------------------------------------------------ *)
+
+let reply c resp = Framing.enqueue c.writer (Response.to_line resp)
+
+(* Parse and admit one request line (blank lines are ignored). Every
+   refusal is written back as a typed response immediately — admission
+   control never hangs and never silently drops. *)
+let handle_line t c line =
+  if String.trim line <> "" then
+    Obs.span "server.request" @@ fun () ->
+    match Engine.Request.of_line line with
+    | Error we ->
+      Obs.incr "server.rejected.protocol";
+      reply c (Response.of_wire_error we)
+    | Ok { Engine.Request.id; seed; request } -> (
+      let deadline_hit =
+        match c.budget with
+        | None -> false
+        | Some b -> B.check b ~pivots:0 ~peak_bits:0 <> None
+      in
+      if deadline_hit then begin
+        Obs.incr "server.rejected.deadline";
+        reply c (Response.error ?id Response.Deadline_exceeded)
+      end
+      else begin
+        Mutex.lock t.m;
+        let depth = Queue.length t.queue in
+        if depth >= t.config.queue_capacity then begin
+          Mutex.unlock t.m;
+          Obs.incr "server.rejected.overloaded";
+          reply c
+            (Response.error ?id
+               (Response.Overloaded { pending = depth; capacity = t.config.queue_capacity }))
+        end
+        else begin
+          let seed = Option.value seed ~default:t.config.default_seed in
+          let stream = Engine.Seeder.stream c.seeder ~seed in
+          Queue.add
+            {
+              pconn = c;
+              pid = id;
+              pjob = { Engine.request; stream; budget = c.budget };
+              enqueued_ns = Obs.Clock.monotonic ();
+            }
+            t.queue;
+          Condition.signal t.cond;
+          Mutex.unlock t.m;
+          Obs.observe "server.queue_depth" (depth + 1);
+          c.in_flight <- c.in_flight + 1;
+          Obs.incr "server.admitted"
+        end
+      end)
+
+let handle_read t c =
+  let { Framing.lines; eof; overflow } = Framing.poll c.reader in
+  List.iter (handle_line t c) lines;
+  if overflow then begin
+    Obs.incr "server.rejected.protocol";
+    reply c (Response.error (Response.Malformed { msg = "request line too long" }));
+    (* Framing is lost beyond an overlong line; answer then hang up. *)
+    c.eof <- true
+  end;
+  if eof then c.eof <- true
+
+let handle_write c =
+  match Framing.flush c.writer with
+  | Framing.Flushed | Framing.Blocked -> ()
+  | Framing.Closed ->
+    if not c.dead then begin
+      c.dead <- true;
+      Obs.incr "server.conn.aborted"
+    end
+
+let deliver t =
+  let batches =
+    Mutex.lock t.m;
+    let bs = List.rev t.completed in
+    t.completed <- [];
+    Mutex.unlock t.m;
+    bs
+  in
+  List.iter
+    (fun batch ->
+      Array.iter
+        (fun (p, outcome) ->
+          let resp =
+            match outcome with
+            | Served r ->
+              Obs.incr "server.responses";
+              Response.of_engine ?id:p.pid r
+            | Refused e ->
+              Obs.incr "server.errors";
+              Response.of_job_error ?id:p.pid e
+            | Crashed msg ->
+              Obs.incr "server.errors";
+              Response.error ?id:p.pid (Response.Internal { msg })
+          in
+          p.pconn.in_flight <- p.pconn.in_flight - 1;
+          if not p.pconn.dead then begin
+            reply p.pconn resp;
+            let now = Obs.Clock.monotonic () in
+            Obs.observe "server.latency_us"
+              (Int64.to_int (Int64.div (Int64.sub now p.enqueued_ns) 1000L))
+          end)
+        batch)
+    batches
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve t =
+  (* A peer closing mid-write must surface as EPIPE in Framing.flush,
+     not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let runner_domain = Domain.spawn (fun () -> runner t) in
+  let conns = ref [] in
+  let listener_open = ref true in
+  let close_listener () =
+    if !listener_open then begin
+      listener_open := false;
+      close_quietly t.listener
+    end
+  in
+  let budget_of_config () =
+    match (t.config.conn_deadline_ms, t.config.max_pivots, t.config.max_bits) with
+    | None, None, None -> None
+    | deadline_ms, max_pivots, max_bits ->
+      (* Made at accept time: the whole connection shares one
+         wall-clock window, and each of its compiles degrades (or is
+         refused) against it. *)
+      Some (B.make ?deadline_ms ?max_pivots ?max_bits ())
+  in
+  let rec accept_loop () =
+    match Unix.accept t.listener with
+    | fd, _ -> (
+      Obs.incr "server.accepted";
+      match Resilience.Fault.trip "server.accept" with
+      | () ->
+        Unix.set_nonblock fd;
+        conns :=
+          {
+            fd;
+            reader = Framing.reader fd;
+            writer = Framing.writer fd;
+            seeder = Engine.Seeder.create ();
+            budget = budget_of_config ();
+            in_flight = 0;
+            eof = false;
+            dead = false;
+          }
+          :: !conns;
+        accept_loop ()
+      | exception Resilience.Fault.Injected { site = "server.accept"; _ } ->
+        Obs.incr "server.accept.faulted";
+        close_quietly fd;
+        accept_loop ())
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR | ECONNABORTED), _, _) -> ()
+  in
+  let rec loop () =
+    if Atomic.get t.stopping then close_listener ();
+    deliver t;
+    (* Retire finished connections: write side dead, or peer done and
+       every admitted job answered and flushed. *)
+    conns :=
+      List.filter
+        (fun c ->
+          let finished =
+            c.dead || (c.eof && c.in_flight = 0 && not (Framing.buffered c.writer))
+          in
+          if finished then close_quietly c.fd;
+          not finished)
+        !conns;
+    let idle =
+      Mutex.lock t.m;
+      let i = Queue.is_empty t.queue && (not t.running) && t.completed = [] in
+      Mutex.unlock t.m;
+      i
+    in
+    if Atomic.get t.stopping && !conns = [] && idle then ()
+    else begin
+      let reads =
+        (t.wake_r :: (if !listener_open then [ t.listener ] else []))
+        @ List.filter_map (fun c -> if c.eof || c.dead then None else Some c.fd) !conns
+      in
+      let writes =
+        List.filter_map
+          (fun c -> if (not c.dead) && Framing.buffered c.writer then Some c.fd else None)
+          !conns
+      in
+      match Unix.select reads writes [] (-1.0) with
+      | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+      | rs, ws, _ ->
+        if List.mem t.wake_r rs then Framing.drain_wakeups t.wake_r;
+        if !listener_open && List.mem t.listener rs then accept_loop ();
+        List.iter (fun c -> if List.mem c.fd rs then handle_read t c) !conns;
+        List.iter (fun c -> if List.mem c.fd ws then handle_write c) !conns;
+        loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.m;
+      t.runner_stop <- true;
+      Condition.signal t.cond;
+      Mutex.unlock t.m;
+      Domain.join runner_domain;
+      close_listener ();
+      List.iter (fun c -> close_quietly c.fd) !conns;
+      Engine.shutdown t.engine;
+      close_quietly t.wake_r;
+      close_quietly t.wake_w)
+    loop

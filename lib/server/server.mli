@@ -1,0 +1,87 @@
+(** The network front-end: a zero-external-dependency TCP server over
+    {!Engine}.
+
+    The protocol is newline-delimited text, one request per line in
+    the versioned [v=1 key=value] grammar of {!Engine.Request.of_line},
+    one JSON {!Response} per request back — see PROTOCOL.md. A single
+    [select]-driven event loop owns every socket; admitted requests
+    queue toward one runner Domain that drains them in whole batches
+    through {!Engine.run_jobs}, which fans sampling out over the
+    engine's worker pool. So the concurrency story is: any number of
+    connections, one framing/admission thread, one batch in flight,
+    [domains] samplers under it.
+
+    {b Determinism.} Each connection gets an {!Engine.Seeder}: the k-th
+    admitted request carrying [seed=s] on that connection samples from
+    the k-th split of [Rng.of_int s] — a function of [(s, k)] only.
+    Response bytes are therefore identical whatever the connection
+    interleaving or worker count, and a request file split across N
+    connections yields byte-for-byte the lines [dpopt engine] produces
+    for the same file (per-connection response order is admission
+    order). Every served matrix passed {!Check.Invariants}
+    re-certification when its artifact was compiled.
+
+    {b Admission control.} The pending queue is bounded by
+    [queue_capacity]; a request that would overflow it is answered
+    {e immediately} with a typed [overloaded] response — never a hang,
+    never a silent drop. Per-connection deadlines ([conn_deadline_ms])
+    make a {!Resilience.Budget} at accept time: requests admitted
+    within the window ride it down to their compiles (degrading down
+    the serve ladder as it empties), and requests arriving after it
+    has expired get [deadline_exceeded].
+
+    {b Shutdown.} {!stop} (safe from a signal handler) closes the
+    listener and drains: every connection already accepted is served
+    until its peer closes, every admitted job is answered and flushed,
+    then {!serve} returns.
+
+    Fault sites: ["server.accept"] (the accepted socket is dropped and
+    counted, the listener survives) and ["server.write"] (the
+    connection dies as if the peer vanished; other connections are
+    untouched). Counters: ["server.accepted"], ["server.accept.faulted"],
+    ["server.admitted"], ["server.responses"], ["server.errors"],
+    ["server.rejected.overloaded" / ".protocol" / ".deadline"],
+    ["server.conn.aborted"]; histograms ["server.queue_depth"],
+    ["server.latency_us"]; spans ["server.request"], ["server.batch"]
+    (over the per-batch ["engine.batch"]). *)
+
+module Framing = Framing
+module Response = Response
+
+type config = {
+  host : string;  (** bind address, name or dotted quad *)
+  port : int;  (** [0] picks an ephemeral port; see {!port} *)
+  domains : int option;  (** engine worker Domains; [None] = recommended *)
+  cache_capacity : int;  (** compiled-mechanism LRU size *)
+  queue_capacity : int;  (** max admitted-but-undispatched requests *)
+  conn_deadline_ms : int option;  (** per-connection wall-clock window *)
+  max_pivots : int option;  (** per-connection budget dimensions... *)
+  max_bits : int option;  (** ...threaded into every compile *)
+  default_seed : int;  (** for request lines without [seed=] *)
+}
+
+val default_config : config
+(** [127.0.0.1:0], recommended domains, cache 64, queue 64, no
+    deadline, seed 42. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Bind and listen (with [SO_REUSEADDR]), and start the engine. The
+    socket accepts from this moment; call {!serve} to start answering.
+    @raise Unix.Unix_error if the address cannot be bound
+    @raise Invalid_argument if [config.host] does not resolve *)
+
+val port : t -> int
+(** The actually-bound port — the ephemeral one when [config.port]
+    was [0]. *)
+
+val serve : t -> unit
+(** Run the event loop on the calling thread until {!stop}, then drain
+    and release every resource (runner Domain, engine pool, sockets).
+    Ignores [SIGPIPE] process-wide. One-shot: a drained server cannot
+    be restarted. *)
+
+val stop : t -> unit
+(** Ask {!serve} to drain and return. Callable from a signal handler
+    or another thread/domain; idempotent. *)

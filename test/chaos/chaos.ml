@@ -207,15 +207,112 @@ let engine_matrix () =
     engine_scenarios
 
 (* ------------------------------------------------------------------ *)
+(* Server sites: a dropped accept or a dead peer is contained to its  *)
+(* connection, and everyone else gets clean-run bytes.                *)
+(* ------------------------------------------------------------------ *)
+
+module Sv = Server
+module Fr = Server.Framing
+
+let server_config = { Sv.default_config with Sv.domains = Some 1; queue_capacity = 8 }
+
+let with_server f =
+  let t = Sv.create ~config:server_config () in
+  let d = Domain.spawn (fun () -> Sv.serve t) in
+  Fun.protect
+    ~finally:(fun () ->
+      Sv.stop t;
+      Domain.join d)
+    (fun () -> f (Sv.port t))
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+(* Client writes go through an out_channel rather than Framing so the
+   ambient plan's ["server.write"] trigger can only ever fire in the
+   server — the client is not part of the blast radius under test. *)
+let send_raw fd lines =
+  let oc = Unix.out_channel_of_descr fd in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  flush oc;
+  Unix.shutdown fd Unix.SHUTDOWN_SEND
+
+let recv_all fd =
+  let r = Fr.reader fd in
+  let rec go acc =
+    let res = Fr.poll r in
+    let acc = List.rev_append res.Fr.lines acc in
+    if res.Fr.eof then List.rev acc else go acc
+  in
+  go []
+
+let round_trip port lines =
+  let fd = connect port in
+  send_raw fd lines;
+  let got = recv_all fd in
+  Unix.close fd;
+  got
+
+let server_lines =
+  [
+    "v=1 id=c0 seed=601 n=4 alpha=1/2 count=5";
+    "v=1 id=c1 seed=602 n=4 alpha=1/3 loss=squared count=4";
+  ]
+
+let server_scenario_count = 2
+
+let server_matrix () =
+  (* SIGPIPE is ignored once serve() runs, but the first scenario's
+     client may write to a dropped socket before then. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let baseline = with_server (fun port -> round_trip port server_lines) in
+  check "server baseline: every request answered" (List.length baseline = 2);
+  (* server.accept: the victim socket is dropped and counted; the
+     listener survives, and the very next connection is served the
+     clean run's bytes. *)
+  (let p = F.plan [ { F.site = "server.accept"; hits = 1; action = F.Trip } ] in
+   F.with_plan p (fun () ->
+       with_server (fun port ->
+           let victim = connect port in
+           let dropped = recv_all victim in
+           Unix.close victim;
+           check "server.accept: victim dropped without bytes" (dropped = []);
+           check "server.accept: exactly one trip" (F.trips p = 1);
+           check "server.accept: next connection byte-identical to clean run"
+             (round_trip port server_lines = baseline))));
+  (* server.write: the victim's first response flush behaves as a dead
+     peer — its connection aborts with no partial frame — while later
+     connections still get the clean run's bytes. *)
+  let p = F.plan [ { F.site = "server.write"; hits = 1; action = F.Trip } ] in
+  F.with_plan p (fun () ->
+      with_server (fun port ->
+          let victim = connect port in
+          send_raw victim server_lines;
+          let got = recv_all victim in
+          Unix.close victim;
+          check "server.write: victim aborted without a partial response" (got = []);
+          check "server.write: exactly one trip" (F.trips p = 1);
+          check "server.write: later connection byte-identical to clean run"
+            (round_trip port server_lines = baseline)))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   solver_matrix ();
   trip_matrix ();
   engine_matrix ();
+  server_matrix ();
   let scenarios =
     (List.length solver_sites * List.length actions * 2 + 1) * List.length consumers
     + List.length trip_sites
     + List.length engine_scenarios
+    + server_scenario_count
   in
   if !failures > 0 then begin
     Printf.printf "chaos: %d failure(s) across %d scenarios\n" !failures scenarios;
@@ -223,7 +320,8 @@ let () =
   end;
   Printf.printf
     "chaos: clean (%d scenarios: %d solver-site plans x %d consumers, %d trip sites, %d \
-     engine scenarios)\n"
+     engine scenarios, %d server scenarios)\n"
     scenarios
     (List.length solver_sites * List.length actions * 2 + 1)
     (List.length consumers) (List.length trip_sites) (List.length engine_scenarios)
+    server_scenario_count

@@ -44,34 +44,46 @@ let test_canonical_collapses () =
     (key (req ~side:(Rq.Members [ 4; 1; 1; 2 ]) ()) = key (req ~side:(Rq.Members [ 1; 2; 4 ]) ()))
 
 let test_line_round_trip () =
-  let line = "n=6 alpha=1/2 loss=deadzone:1 side=2-5 input=3 count=12" in
+  let line = "v=1 id=q-7 seed=9 n=6 alpha=1/2 loss=deadzone:1 side=2-5 input=3 count=12" in
   match Rq.of_line line with
-  | Error m -> Alcotest.fail m
-  | Ok r ->
-    Alcotest.(check string) "to_line inverts of_line" line (Rq.to_line r);
+  | Error e -> Alcotest.fail (Rq.wire_error_to_string e)
+  | Ok w ->
+    let r = w.Rq.request in
+    Alcotest.(check string) "to_line inverts of_line" line
+      (Rq.to_line ?id:w.Rq.id ?seed:w.Rq.seed r);
+    Alcotest.(check (option string)) "id" (Some "q-7") w.Rq.id;
+    Alcotest.(check (option int)) "seed" (Some 9) w.Rq.seed;
     Alcotest.(check int) "n" 6 r.Rq.n;
     Alcotest.(check int) "input" 3 r.Rq.input;
     Alcotest.(check int) "count" 12 r.Rq.count
 
 let test_line_defaults_and_errors () =
-  (match Rq.of_line "n=4 alpha=1/3 loss=squared side=>=1" with
-  | Error m -> Alcotest.fail m
-  | Ok r ->
-    Alcotest.(check int) "default input" 0 r.Rq.input;
-    Alcotest.(check int) "default count" 1 r.Rq.count);
-  let rejects line =
+  (match Rq.of_line "v=1 n=4 alpha=1/3 loss=squared side=>=1" with
+  | Error e -> Alcotest.fail (Rq.wire_error_to_string e)
+  | Ok w ->
+    Alcotest.(check (option string)) "default id" None w.Rq.id;
+    Alcotest.(check (option int)) "default seed" None w.Rq.seed;
+    Alcotest.(check int) "default input" 0 w.Rq.request.Rq.input;
+    Alcotest.(check int) "default count" 1 w.Rq.request.Rq.count);
+  let rejects kind line =
     match Rq.of_line line with
     | Ok _ -> Alcotest.failf "accepted bad line: %s" line
-    | Error _ -> ()
+    | Error e ->
+      Alcotest.(check string) ("error kind of: " ^ line) kind (Rq.wire_error_kind e)
   in
-  rejects "alpha=1/2 loss=absolute side=full";            (* n missing *)
-  rejects "n=4 alpha=3/2 loss=absolute side=full";        (* alpha out of (0,1) *)
-  rejects "n=4 alpha=1/2 loss=absolute side=full input=9";(* input out of range *)
-  rejects "n=4 alpha=1/2 loss=absolute side=full count=0";
-  rejects "n=4 alpha=1/2 loss=banana side=full";
-  rejects "n=4 alpha=1/2 loss=absolute side=7-2";         (* empty interval *)
-  rejects "n=4 alpha=1/2 loss=absolute side=full junk";   (* not key=value *)
-  rejects "n=4 alpha=1/2 loss=absolute side=full color=red" (* unknown key *)
+  rejects "unsupported_version" "n=4 alpha=1/2 loss=absolute side=full"; (* v= missing *)
+  rejects "unsupported_version" "alpha=1/2 loss=absolute side=full";  (* v= not first *)
+  rejects "unsupported_version" "v=2 n=4 alpha=1/2 loss=absolute side=full";
+  rejects "invalid" "v=1 alpha=1/2 loss=absolute side=full";          (* n missing *)
+  rejects "invalid" "v=1 n=4 alpha=3/2 loss=absolute side=full";      (* alpha out of (0,1) *)
+  rejects "invalid" "v=1 n=4 alpha=1/2 loss=absolute side=full input=9"; (* input range *)
+  rejects "invalid" "v=1 n=4 alpha=1/2 loss=absolute side=full count=0";
+  rejects "invalid" "v=1 n=4 alpha=1/2 loss=banana side=full";
+  rejects "invalid" "v=1 n=4 alpha=1/2 loss=absolute side=7-2";       (* empty interval *)
+  rejects "malformed" "v=1 n=4 alpha=1/2 loss=absolute side=full junk"; (* not key=value *)
+  rejects "unknown_key" "v=1 n=4 alpha=1/2 loss=absolute side=full color=red";
+  rejects "malformed" "v=1 n=4 n=5 alpha=1/2";                        (* duplicate key *)
+  rejects "malformed" "v=1 id=spaces! n=4 alpha=1/2"                  (* bad id charset *)
 
 (* --------------------------------------------------------------- *)
 (* Cache                                                            *)

@@ -1,0 +1,418 @@
+(* End-to-end protocol tests for lib/server over real loopback
+   sockets, driven entirely through the Minimax_dp umbrella: golden
+   byte-exact rejection transcripts, overload and deadline admission
+   control, drain-on-stop, and loopback determinism — the response
+   bytes for a request file are identical whether it travels over one
+   connection or several, for any worker count, and match what the
+   engine produces directly for the same file. *)
+
+module Server = Minimax_dp.Server
+module F = Minimax_dp.Server.Framing
+module Resp = Minimax_dp.Response
+module Rq = Minimax_dp.Request
+module E = Minimax_dp.Engine
+module Seeder = Minimax_dp.Seeder
+module J = Obs.Json
+
+let config ?(domains = 2) ?(queue = 64) ?deadline_ms () =
+  {
+    Server.default_config with
+    Server.domains = Some domains;
+    queue_capacity = queue;
+    conn_deadline_ms = deadline_ms;
+  }
+
+let with_server config f =
+  let t = Server.create ~config () in
+  let d = Domain.spawn (fun () -> Server.serve t) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      Domain.join d)
+    (fun () -> f t (Server.port t))
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let send fd lines =
+  let w = F.writer fd in
+  List.iter (F.enqueue w) lines;
+  match F.flush_blocking w with
+  | F.Flushed -> ()
+  | F.Blocked | F.Closed -> Alcotest.fail "client write failed"
+
+let half_close fd = Unix.shutdown fd Unix.SHUTDOWN_SEND
+
+let recv_until_eof r =
+  let acc = ref [] in
+  let eof = ref false in
+  while not !eof do
+    let res = F.poll r in
+    acc := List.rev_append res.F.lines !acc;
+    eof := res.F.eof
+  done;
+  List.rev !acc
+
+(* Read until at least [n] lines have arrived (a poll may complete
+   several at once, so more can come back). *)
+let recv_n r n =
+  let acc = ref [] in
+  let count = ref 0 in
+  while !count < n do
+    let res = F.poll r in
+    acc := List.rev_append res.F.lines !acc;
+    count := List.length !acc;
+    if res.F.eof && !count < n then
+      Alcotest.failf "peer closed after %d of %d responses" !count n
+  done;
+  List.rev !acc
+
+(* One round trip over a fresh connection: send, half-close, read to
+   eof, close. *)
+let round_trip port lines =
+  let fd = connect port in
+  send fd lines;
+  half_close fd;
+  let got = recv_until_eof (F.reader fd) in
+  Unix.close fd;
+  got
+
+(* The reference bytes: what [dpopt engine] emits for these request
+   lines — Engine.run_jobs with Seeder streams, rendered through the
+   same Response surface. Servers must reproduce them exactly. *)
+let reference_lines ?(default_seed = 42) raw_lines =
+  E.with_engine ~domains:1 (fun eng ->
+      let seeder = Seeder.create () in
+      let wires =
+        List.map
+          (fun l ->
+            match Rq.of_line l with
+            | Stdlib.Ok w -> w
+            | Stdlib.Error e ->
+              Alcotest.failf "bad reference line %S: %s" l (Rq.wire_error_to_string e))
+          raw_lines
+      in
+      let jobs =
+        List.map
+          (fun (w : Rq.wire) ->
+            {
+              E.request = w.Rq.request;
+              stream = Seeder.stream seeder ~seed:(Option.value w.Rq.seed ~default:default_seed);
+              budget = None;
+            })
+          wires
+      in
+      E.run_jobs eng (Array.of_list jobs)
+      |> Array.to_list
+      |> List.map2
+           (fun (w : Rq.wire) result ->
+             match result with
+             | Stdlib.Ok r -> Resp.to_line (Resp.of_engine ?id:w.Rq.id r)
+             | Stdlib.Error e -> Resp.to_line (Resp.of_job_error ?id:w.Rq.id e))
+           wires)
+
+(* Pull a string field out of a response line via the JSON parser. *)
+let json_field line path =
+  match J.of_string line with
+  | Stdlib.Error m -> Alcotest.failf "unparseable response %S: %s" line m
+  | Stdlib.Ok json ->
+    let rec walk json = function
+      | [] -> J.to_str_opt json
+      | k :: rest -> ( match J.member k json with None -> None | Some v -> walk v rest)
+    in
+    walk json path
+
+let status_of line =
+  match json_field line [ "status" ] with
+  | Some s -> s
+  | None -> Alcotest.failf "response without status: %S" line
+
+(* ------------------------------------------------------------------ *)
+(* Golden transcripts                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Every protocol refusal, byte for byte: stable kinds, structured
+   fields, human messages — the wire schema is frozen by this list. *)
+let test_golden_rejections () =
+  with_server (config ~domains:1 ()) (fun _ port ->
+      let got =
+        round_trip port
+          [
+            "v=2 n=4 alpha=1/2";
+            "n=4 alpha=1/2";
+            "v=1 n=4 alpha=1/2 color=red";
+            "v=1 n=4";
+            "v=1 junk";
+            "v=1 id=q1 n=4 n=5 alpha=1/2";
+            "v=1 id=bad! n=4 alpha=1/2";
+            "v=1 n=4 alpha=3/2";
+          ]
+      in
+      let expect =
+        [
+          {|{"v":1,"status":"error","error":{"kind":"unsupported_version","got":"2","msg":"unsupported protocol version \"2\" (this server speaks v=1)"}}|};
+          {|{"v":1,"status":"error","error":{"kind":"unsupported_version","msg":"missing protocol version (every request line starts with v=1)"}}|};
+          {|{"v":1,"status":"error","error":{"kind":"unknown_key","key":"color","msg":"unknown key \"color\" (v=1 knows v, id, seed, n, alpha, loss, side, input, count)"}}|};
+          {|{"v":1,"status":"error","error":{"kind":"invalid","msg":"missing field alpha="}}|};
+          {|{"v":1,"status":"error","error":{"kind":"malformed","msg":"expected key=value, got \"junk\""}}|};
+          {|{"v":1,"status":"error","error":{"kind":"malformed","msg":"duplicate key \"n\""}}|};
+          {|{"v":1,"status":"error","error":{"kind":"malformed","msg":"id \"bad!\" must be 1-64 chars of [A-Za-z0-9._:-]"}}|};
+          {|{"v":1,"status":"error","error":{"kind":"invalid","msg":"alpha must lie strictly between 0 and 1"}}|};
+        ]
+      in
+      Alcotest.(check (list string)) "golden rejection transcript" expect got)
+
+(* The consistency half of the same property: whatever of_line refuses,
+   the server's bytes are exactly the unified Response rendering of
+   that refusal — no second error schema can creep in. *)
+let test_rejections_match_response_surface () =
+  let lines =
+    [ "v=3 n=9"; "v=1 n=4 alpha=1/2 extra=1"; "v=1 =x"; "v=1 n=4 alpha=0" ]
+  in
+  let expect =
+    List.map
+      (fun l ->
+        match Rq.of_line l with
+        | Stdlib.Ok _ -> Alcotest.failf "line unexpectedly parsed: %S" l
+        | Stdlib.Error e -> Resp.to_line (Resp.of_wire_error e))
+      lines
+  in
+  with_server (config ~domains:1 ()) (fun _ port ->
+      Alcotest.(check (list string))
+        "server bytes = Response.of_wire_error bytes" expect (round_trip port lines))
+
+(* The request file every determinism test shares: distinct ids so
+   responses can be matched up across connection splits, distinct
+   seeds so a line's stream is a function of its own seed alone. *)
+let request_file =
+  [
+    "v=1 id=r0 seed=101 n=5 alpha=1/3 count=4";
+    "v=1 id=r1 seed=102 n=6 alpha=1/2 loss=squared count=3";
+    "v=1 id=r2 seed=103 n=4 alpha=2/5 side=>=1 count=5";
+    "v=1 id=r3 seed=104 n=6 alpha=1/2 loss=deadzone:1 side=2-5 input=3 count=2";
+    "v=1 id=r4 seed=105 n=5 alpha=1/4 loss=capped:2 count=4";
+    "v=1 id=r5 seed=106 n=4 alpha=1/3 loss=zero-one count=6";
+  ]
+
+let test_served_lines_match_engine () =
+  let expect = reference_lines request_file in
+  with_server (config ~domains:2 ()) (fun _ port ->
+      let got = round_trip port request_file in
+      Alcotest.(check (list string)) "server bytes = engine bytes" expect got;
+      List.iter
+        (fun line ->
+          match status_of line with
+          | "ok" | "degraded" -> ()
+          | s -> Alcotest.failf "unexpected status %S in %S" s line)
+        got)
+
+(* Split the same file across three concurrent connections against a
+   three-worker pool: after matching responses back up by id, the
+   bytes are identical to the one-connection, one-worker run. *)
+let test_determinism_across_connections_and_workers () =
+  let expect = List.sort compare (reference_lines request_file) in
+  let chunks = [ [ List.nth request_file 0; List.nth request_file 1 ];
+                 [ List.nth request_file 2; List.nth request_file 3 ];
+                 [ List.nth request_file 4; List.nth request_file 5 ] ]
+  in
+  with_server (config ~domains:3 ()) (fun _ port ->
+      let fds =
+        List.map
+          (fun lines ->
+            let fd = connect port in
+            send fd lines;
+            half_close fd;
+            fd)
+          chunks
+      in
+      let got =
+        List.concat_map
+          (fun fd ->
+            let lines = recv_until_eof (F.reader fd) in
+            Unix.close fd;
+            lines)
+          fds
+      in
+      Alcotest.(check (list string))
+        "3 connections x 3 workers = 1 connection x 1 worker, byte for byte" expect
+        (List.sort compare got))
+
+(* Protocol errors are answered immediately; served responses follow
+   in admission order — the documented interleaving. *)
+let test_error_ordering () =
+  let ok0 = "v=1 id=m0 seed=301 n=4 alpha=1/2 count=2" in
+  let ok1 = "v=1 id=m1 seed=302 n=4 alpha=1/3 count=2" in
+  let expect_err =
+    {|{"v":1,"status":"error","error":{"kind":"malformed","msg":"expected key=value, got \"bogus\""}}|}
+  in
+  let expect = expect_err :: reference_lines [ ok0; ok1 ] in
+  with_server (config ~domains:1 ()) (fun _ port ->
+      let got = round_trip port [ ok0; "v=1 bogus"; ok1 ] in
+      Alcotest.(check (list string)) "errors first, then served responses in order" expect got)
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A queue bound of 1 under a burst of 8: some requests serve, the
+   rest are refused with the typed overloaded response — immediately,
+   with every request answered (never a hang, never a silent drop). *)
+let test_overload_refusal () =
+  let ids = List.init 8 (fun k -> Printf.sprintf "o%d" k) in
+  let lines =
+    List.map (fun id -> Printf.sprintf "v=1 id=%s seed=400 n=6 alpha=1/2 count=4" id) ids
+  in
+  with_server (config ~domains:1 ~queue:1 ()) (fun _ port ->
+      let got = round_trip port lines in
+      Alcotest.(check int) "every request answered" 8 (List.length got);
+      let seen =
+        List.map
+          (fun line ->
+            match json_field line [ "id" ] with
+            | Some id -> id
+            | None -> Alcotest.failf "response without id: %S" line)
+          got
+      in
+      Alcotest.(check (list string)) "each id answered exactly once" ids (List.sort compare seen);
+      let served, refused =
+        List.partition (fun line -> status_of line <> "error") got
+      in
+      List.iter
+        (fun line ->
+          let id = Option.value (json_field line [ "id" ]) ~default:"?" in
+          let expect =
+            Printf.sprintf
+              {|{"v":1,"status":"error","id":"%s","error":{"kind":"overloaded","pending":1,"capacity":1,"msg":"pending queue full (1/1); retry later"}}|}
+              id
+          in
+          Alcotest.(check string) "typed overloaded refusal" expect line)
+        refused;
+      if served = [] then Alcotest.fail "admission control refused everything";
+      if refused = [] then Alcotest.fail "burst of 8 against queue=1 refused nothing")
+
+(* An expired connection deadline refuses with deadline_exceeded. *)
+let test_deadline_refusal () =
+  with_server (config ~domains:1 ~deadline_ms:1 ()) (fun _ port ->
+      let fd = connect port in
+      Unix.sleepf 0.05;
+      send fd [ "v=1 id=d1 n=4 alpha=1/2" ];
+      half_close fd;
+      let got = recv_until_eof (F.reader fd) in
+      Unix.close fd;
+      let expect =
+        [
+          {|{"v":1,"status":"error","id":"d1","error":{"kind":"deadline_exceeded","msg":"connection deadline exceeded"}}|};
+        ]
+      in
+      Alcotest.(check (list string)) "typed deadline refusal" expect got)
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* stop() while requests are in flight: the listener closes to new
+   connections, but every admitted request is still answered and
+   flushed — with exactly the reference bytes. *)
+let test_drain_on_stop () =
+  let lines =
+    [
+      "v=1 id=d0 seed=501 n=5 alpha=1/3 count=3";
+      "v=1 id=d1 seed=502 n=4 alpha=1/2 count=3";
+      "v=1 id=d2 seed=503 n=4 alpha=2/5 count=3";
+    ]
+  in
+  let expect = reference_lines lines in
+  with_server (config ~domains:1 ()) (fun t port ->
+      let fd = connect port in
+      let r = F.reader fd in
+      send fd lines;
+      (* Wait for the first response — proof the connection was
+         accepted and its requests admitted — before asking for the
+         drain; a connection still sitting in the listen backlog at
+         stop() time is fair game to drop. *)
+      let first = recv_n r 1 in
+      Server.stop t;
+      let rest = recv_n r (3 - List.length first) in
+      Alcotest.(check (list string))
+        "in-flight requests drain with reference bytes" expect (first @ rest);
+      let rec expect_refused attempts =
+        if attempts = 0 then Alcotest.fail "listener still accepting after stop"
+        else
+          match connect port with
+          | probe ->
+            Unix.close probe;
+            Unix.sleepf 0.02;
+            expect_refused (attempts - 1)
+          | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ()
+      in
+      expect_refused 100;
+      Unix.close fd)
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_framing_round_trip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let w = F.writer a in
+  F.enqueue w "alpha";
+  F.enqueue w "beta\r";
+  (match F.flush_blocking w with
+   | F.Flushed -> ()
+   | F.Blocked | F.Closed -> Alcotest.fail "flush failed");
+  Unix.close a;
+  let got = recv_until_eof (F.reader b) in
+  Unix.close b;
+  Alcotest.(check (list string)) "lines framed, CR stripped" [ "alpha"; "beta" ] got
+
+(* An unterminated line past max_line is flagged as overflow rather
+   than buffered without bound. *)
+let test_framing_overflow () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let w = F.writer a in
+  F.enqueue w (String.make 6000 'x');
+  (match F.flush_blocking w with
+   | F.Flushed -> ()
+   | F.Blocked | F.Closed -> Alcotest.fail "flush failed");
+  Unix.close a;
+  let r = F.reader ~max_line:256 b in
+  let overflowed = ref false in
+  let eof = ref false in
+  while not !eof do
+    let res = F.poll r in
+    if res.F.overflow then overflowed := true;
+    eof := res.F.eof
+  done;
+  Unix.close b;
+  Alcotest.(check bool) "oversized unterminated line flagged" true !overflowed
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "golden rejection transcript" `Quick test_golden_rejections;
+          Alcotest.test_case "rejections match Response surface" `Quick
+            test_rejections_match_response_surface;
+          Alcotest.test_case "error ordering" `Quick test_error_ordering;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "served lines match engine" `Quick test_served_lines_match_engine;
+          Alcotest.test_case "connection splits and worker counts" `Quick
+            test_determinism_across_connections_and_workers;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "overload refusal" `Quick test_overload_refusal;
+          Alcotest.test_case "deadline refusal" `Quick test_deadline_refusal;
+        ] );
+      ("shutdown", [ Alcotest.test_case "drain on stop" `Quick test_drain_on_stop ]);
+      ( "framing",
+        [
+          Alcotest.test_case "round trip" `Quick test_framing_round_trip;
+          Alcotest.test_case "overflow" `Quick test_framing_overflow;
+        ] );
+    ]
