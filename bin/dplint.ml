@@ -9,6 +9,10 @@
      lint-src         scan OCaml sources for exactness-hostile patterns
                       (Obj.magic, bare `with _ ->`, float-literal =,
                       mli-less lib modules)
+     analyze          cross-module analysis over the serving tree:
+                      domain-safety, float taint of the exact core, and
+                      serve-path determinism, against a committed
+                      accepted-findings baseline
 
    Every verdict is available as JSON (--json); violations carry exact
    rational witnesses, passes carry replayable certificates. Exit code
@@ -290,6 +294,118 @@ let lint_src_cmd =
     term
 
 (* ----------------------------------------------------------------- *)
+(* analyze                                                           *)
+(* ----------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let roots_arg =
+    let doc = "Directories to scan (default: lib bin)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"DIR" ~doc)
+  in
+  let baseline_arg =
+    let doc =
+      "Accepted-findings baseline to subtract before the exit-code decision. A \
+       missing file is treated as an empty baseline; a malformed one is a CLI \
+       error."
+    in
+    Arg.(
+      value
+      & opt string "analysis-baseline.json"
+      & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  let no_baseline_arg =
+    let doc = "Ignore the baseline: report and count every finding." in
+    Arg.(value & flag & info [ "no-baseline" ] ~doc)
+  in
+  let write_baseline_arg =
+    let doc =
+      "Re-run the passes with no baseline and write a baseline accepting every \
+       current error to $(docv), then exit 0. The ratchet: regenerate only from \
+       a clean tree (see `make analyze-baseline')."
+    in
+    Arg.(value & opt (some string) None & info [ "write-baseline" ] ~docv:"FILE" ~doc)
+  in
+  let core_arg =
+    let doc = "Override an exact-core directory for the float-taint pass (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "core" ] ~docv:"DIR" ~doc)
+  in
+  let serve_arg =
+    let doc = "Override a serve-path root for the determinism pass (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "serve-root" ] ~docv:"PATH" ~doc)
+  in
+  let clock_arg =
+    let doc = "Override a wall-clock-exempt directory (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "clock-exempt" ] ~docv:"DIR" ~doc)
+  in
+  let run () roots json baseline_file no_baseline write_baseline core serve clock =
+    let dflt = Analysis.default_config in
+    let or_default custom dflt = if custom = [] then dflt else custom in
+    let cfg =
+      {
+        Analysis.roots = or_default roots dflt.Analysis.roots;
+        core_dirs = or_default core dflt.Analysis.core_dirs;
+        serve_roots = or_default serve dflt.Analysis.serve_roots;
+        clock_exempt = or_default clock dflt.Analysis.clock_exempt;
+      }
+    in
+    match write_baseline with
+    | Some file ->
+      let b = Analysis.Baseline.of_diagnostics (Analysis.raw cfg) in
+      Analysis.Baseline.save file b;
+      if not json then
+        Printf.printf "analyze: wrote %d-entry baseline to %s\n"
+          (List.length (Analysis.Baseline.entries b))
+          file;
+      `Ok ()
+    | None -> (
+      let baseline =
+        if no_baseline then Ok Analysis.Baseline.empty
+        else if not (Sys.file_exists baseline_file) then Ok Analysis.Baseline.empty
+        else Analysis.Baseline.load baseline_file
+      in
+      match baseline with
+      | Error m -> `Error (false, Printf.sprintf "baseline %s: %s" baseline_file m)
+      | Ok baseline ->
+        let o = Analysis.run ~baseline cfg in
+        if json then
+          print_endline
+            (Check.Json.to_string
+               (Check.Json.Obj
+                  [
+                    ("tool", Check.Json.Str "dplint");
+                    ("ok", Check.Json.Bool (o.Analysis.errors = 0));
+                    ("report", Analysis.to_json o);
+                  ]))
+        else begin
+          List.iter (fun d -> Format.printf "%a@." Check.Diagnostic.pp d) o.Analysis.diagnostics;
+          Printf.printf "analyze: %d files, %d errors, %d warnings, %d baselined\n"
+            o.Analysis.files o.Analysis.errors o.Analysis.warnings o.Analysis.suppressed
+        end;
+        if o.Analysis.errors = 0 then `Ok ()
+        else begin
+          if not json then prerr_endline "dplint: analysis violations found";
+          exit 1
+        end)
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ obs_term $ roots_arg $ json_arg $ baseline_arg $ no_baseline_arg
+       $ write_baseline_arg $ core_arg $ serve_arg $ clock_arg))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Cross-module static analysis over the serving tree: domain-safety \
+          (unguarded top-level mutable state reachable from Domain.spawn), float \
+          taint of the exact ℚ core, and serve-path determinism (wall clocks, \
+          Random.self_init, Hashtbl iteration order), plus waiver hygiene. Exit \
+          code: 0 iff zero error-severity diagnostics survive baseline \
+          subtraction, 1 otherwise; stale baseline entries are warnings and do \
+          not affect the exit code.")
+    term
+
+(* ----------------------------------------------------------------- *)
 (* main                                                              *)
 (* ----------------------------------------------------------------- *)
 
@@ -297,6 +413,6 @@ let main =
   let doc = "privacy-invariant static analyzer for the minimax-DP reproduction" in
   Cmd.group
     (Cmd.info "dplint" ~version:"1.0.0" ~doc)
-    [ check_mech_cmd; check_derivable_cmd; lint_src_cmd ]
+    [ check_mech_cmd; check_derivable_cmd; lint_src_cmd; analyze_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,43 @@
+(** Token-level OCaml lexer for the cross-module analyzer.
+
+    [lib/check]'s line lint works on a stripped character buffer; the
+    analyzer needs more structure — token kinds, positions, nesting
+    depth, and the text of comments (where waivers live) — without the
+    weight of a full parser. This lexer produces exactly that: a flat
+    token array with enough geometry (line, column, bracket depth) for
+    the lexical-region reasoning the passes do.
+
+    Deliberate approximations, shared with every consumer:
+    - keywords are plain {!Ident} tokens ([let], [mutable], …);
+    - operator characters are grouped maximally ([+.], [<-], [:=]);
+    - [{|…|}] and [{id|…|id}] quoted strings lex as one {!String};
+    - character literals and type variables are disambiguated the same
+      way [Check.Lint] does (['x'] / ['\n'] literal, ['a] variable). *)
+
+type kind =
+  | Ident  (** lowercase/underscore-led identifier, including keywords *)
+  | Uident  (** capitalized identifier: module, constructor *)
+  | Int
+  | Float  (** any literal with a ['.'] or exponent *)
+  | String  (** body not preserved; the token text is ["\""] *)
+  | Char
+  | Comment  (** full text including delimiters, possibly multi-line *)
+  | Op  (** maximal run of operator characters *)
+  | Punct  (** single bracket, paren, brace, or other punctuation *)
+
+type token = {
+  kind : kind;
+  text : string;
+  line : int;  (** 1-based start line *)
+  end_line : int;  (** = [line] except for multi-line comments/strings *)
+  col : int;  (** 0-based column of the first character *)
+  depth : int;  (** ['('], ['['], ['{'] nesting depth {e before} this token *)
+}
+
+val tokenize : string -> token array
+(** Lex a complete source buffer. Never raises: unrecognizable bytes
+    become single-character {!Punct} tokens, and an unterminated
+    comment or string simply ends at end of file. *)
+
+val read_file : string -> string
+(** Binary-exact file slurp (shared helper for the analyzer drivers). *)

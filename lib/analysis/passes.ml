@@ -1,0 +1,232 @@
+(* The three analysis passes; see passes.mli. *)
+
+module D = Check.Diagnostic
+module M = Modinfo
+module L = Lexer
+
+let loc file line = D.Source_line { file; line }
+let chain_str chain = String.concat " -> " chain
+
+(* ------------------------------------------------------------------ *)
+(* Domain safety                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Occurrences of [name] as a standalone lowercase identifier that
+   read or write a value: skips the declaration token itself, module
+   paths ([X.name] field/member accesses are handled separately by the
+   caller via [dotted]), labels and record-pattern punning. *)
+let ident_occurrences info name ~skip_tok ~dotted =
+  let toks = info.M.toks in
+  let out = ref [] in
+  Array.iteri
+    (fun i t ->
+      if i <> skip_tok && t.L.kind = L.Ident && t.L.text = name then begin
+        let p = ref (i - 1) in
+        while !p >= 0 && toks.(!p).L.kind = L.Comment do
+          decr p
+        done;
+        let prev_dot = !p >= 0 && toks.(!p).L.kind = L.Op && toks.(!p).L.text = "." in
+        if prev_dot = dotted then out := i :: !out
+      end)
+    toks;
+  List.rev !out
+
+let global_diag info ~chain g line =
+  D.error ~rule:"analysis/domain-unsafe"
+    ~witness:
+      [
+        ("symbol", g.M.gname);
+        ("kind", M.kind_to_string g.M.gkind);
+        ("declared", Printf.sprintf "%s:%d" info.M.path g.M.gline);
+        ("spawn_chain", chain_str chain);
+      ]
+    (loc info.M.path line)
+    (Printf.sprintf
+       "top-level mutable %s `%s` is used outside any Mutex.protect/lock region in a \
+        module reachable from Domain.spawn; guard it, make it Atomic, or add an \
+        `(* analysis: domain-local — <why> *)` waiver"
+       (M.kind_to_string g.M.gkind) g.M.gname)
+
+let field_diag info ~chain f line =
+  D.error ~rule:"analysis/domain-unsafe"
+    ~witness:
+      [
+        ("symbol", f.M.fname);
+        ("kind", "mutable-field");
+        ("declared", Printf.sprintf "%s:%d" info.M.path f.M.fline);
+        ("spawn_chain", chain_str chain);
+      ]
+    (loc info.M.path line)
+    (Printf.sprintf
+       "mutable field `%s` is written outside any Mutex.protect/lock region in a module \
+        reachable from Domain.spawn; guard the write, make the field Atomic, or add an \
+        `(* analysis: domain-local — <why> *)` waiver"
+       f.M.fname)
+
+let domain_safety g =
+  let spawn_roots =
+    List.filter_map
+      (fun info -> if info.M.spawn_lines <> [] then Some info.M.path else None)
+      (Modgraph.infos g)
+  in
+  let reach = Modgraph.closure g ~roots:spawn_roots in
+  List.concat_map
+    (fun (path, chain) ->
+      match Modgraph.info g path with
+      | None -> []
+      | Some info ->
+        let toks = info.M.toks in
+        let globals =
+          List.concat_map
+            (fun gl ->
+              if M.waived info ~tag:"domain-local" ~line:gl.M.gline then []
+              else
+                ident_occurrences info gl.M.gname ~skip_tok:gl.M.gtok ~dotted:false
+                |> List.filter_map (fun i ->
+                       let line = toks.(i).L.line in
+                       if info.M.guarded.(i) then None
+                       else if M.waived info ~tag:"domain-local" ~line then None
+                       else Some line)
+                |> List.sort_uniq compare
+                |> List.map (global_diag info ~chain gl))
+            info.M.globals
+        in
+        let fields =
+          List.concat_map
+            (fun f ->
+              if M.waived info ~tag:"domain-local" ~line:f.M.fline then []
+              else
+                ident_occurrences info f.M.fname ~skip_tok:(-1) ~dotted:true
+                |> List.filter_map (fun i ->
+                       (* only writes: `x.field <- ...` *)
+                       let j = ref (i + 1) in
+                       while
+                         !j < Array.length toks && toks.(!j).L.kind = L.Comment
+                       do
+                         incr j
+                       done;
+                       let is_write =
+                         !j < Array.length toks
+                         && toks.(!j).L.kind = L.Op
+                         && toks.(!j).L.text = "<-"
+                       in
+                       if not is_write then None
+                       else
+                         let line = toks.(i).L.line in
+                         if info.M.guarded.(i) then None
+                         else if M.waived info ~tag:"domain-local" ~line then None
+                         else Some line)
+                |> List.sort_uniq compare
+                |> List.map (field_diag info ~chain f))
+            info.M.fields
+        in
+        globals @ fields)
+    reach
+
+(* ------------------------------------------------------------------ *)
+(* Float taint                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let float_taint g ~core =
+  let roots =
+    List.filter (fun p -> Modgraph.under ~dirs_or_files:core p) (Modgraph.paths g)
+  in
+  let reach = Modgraph.closure g ~roots in
+  List.concat_map
+    (fun (path, chain) ->
+      match Modgraph.info g path with
+      | None -> []
+      | Some info ->
+        List.filter_map
+          (fun (sym, line) ->
+            if M.waived info ~tag:"float-ok" ~line then None
+            else
+              Some
+                (D.error ~rule:"analysis/float-taint"
+                   ~witness:[ ("symbol", sym); ("taint_chain", chain_str chain) ]
+                   (loc path line)
+                   (Printf.sprintf
+                      "`%s` inside the dependency closure of the exact core: a float \
+                       here can leak into ℚ-exact solvers; use Rat, or add an \
+                       `(* analysis: float-ok — <why> *)` waiver at a proven \
+                       conversion boundary"
+                      sym)))
+          info.M.float_sites)
+    reach
+
+(* ------------------------------------------------------------------ *)
+(* Determinism                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let hash_order_fns = [ "iter"; "fold"; "to_seq"; "to_seq_keys"; "to_seq_values" ]
+let wall_clock = [ ("Unix", "gettimeofday"); ("Unix", "time"); ("Sys", "time") ]
+
+let determinism g ~serve_roots ~clock_exempt =
+  let roots =
+    List.filter
+      (fun p -> Modgraph.under ~dirs_or_files:serve_roots p)
+      (Modgraph.paths g)
+  in
+  let reach = Modgraph.closure g ~roots in
+  List.concat_map
+    (fun (path, chain) ->
+      match Modgraph.info g path with
+      | None -> []
+      | Some info ->
+        List.filter_map
+          (fun c ->
+            let last = List.nth c.M.chain (List.length c.M.chain - 1) in
+            let sym = last ^ "." ^ c.M.fn in
+            let line = c.M.cline in
+            if last = "Random" && c.M.fn = "self_init" then
+              Some
+                (D.error ~rule:"analysis/nondeterminism"
+                   ~witness:[ ("symbol", sym); ("serve_chain", chain_str chain) ]
+                   (loc path line)
+                   "Random.self_init on the serve path destroys seeded determinism \
+                    and cannot be waived; thread a Prob.Rng stream or an Engine.Seeder \
+                    split instead")
+            else if List.mem (last, c.M.fn) wall_clock then
+              if Modgraph.under ~dirs_or_files:clock_exempt path then None
+              else if M.waived info ~tag:"clock-ok" ~line then None
+              else
+                Some
+                  (D.error ~rule:"analysis/nondeterminism"
+                     ~witness:[ ("symbol", sym); ("serve_chain", chain_str chain) ]
+                     (loc path line)
+                     (Printf.sprintf
+                        "`%s` reads the wall clock on the serve path; route timing \
+                         through lib/obs's injectable Obs.Clock so tests stay \
+                         byte-deterministic, or add an `(* analysis: clock-ok — <why> \
+                         *)` waiver"
+                        sym))
+            else if last = "Hashtbl" && List.mem c.M.fn hash_order_fns then
+              if M.waived info ~tag:"order-insensitive" ~line then None
+              else
+                Some
+                  (D.error ~rule:"analysis/hash-order"
+                     ~witness:[ ("symbol", sym); ("serve_chain", chain_str chain) ]
+                     (loc path line)
+                     (Printf.sprintf
+                        "`%s` iterates in Hashtbl.hash order on the serve path; sort \
+                         the results (then waive with `(* analysis: order-insensitive \
+                         — <why> *)`) or iterate a sorted key list"
+                        sym))
+            else None)
+          info.M.calls)
+    reach
+
+(* ------------------------------------------------------------------ *)
+(* Waiver hygiene                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let waiver_hygiene g =
+  List.concat_map
+    (fun info ->
+      List.map
+        (fun (suffix, msg, line) ->
+          D.error ~rule:("analysis/" ^ suffix)
+            ~witness:[ ("symbol", "waiver") ]
+            (loc info.M.path line) msg)
+        info.M.malformed_waivers)
+    (Modgraph.infos g)

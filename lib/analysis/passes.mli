@@ -1,0 +1,41 @@
+(** The three cross-module analysis passes, plus waiver hygiene.
+
+    Every finding is an error-severity {!Check.Diagnostic.t} with a
+    [Source_line] location and a witness carrying at least the
+    offending [symbol] and — for the reachability passes — the
+    [chain] of module references that makes the file relevant
+    (["lib/mech/geometric.ml -> lib/prob/rng.ml"]). *)
+
+val domain_safety : Modgraph.t -> Check.Diagnostic.t list
+(** Rule [analysis/domain-unsafe]. In every module reachable from a
+    [Domain.spawn] site: each top-level [ref]/[Hashtbl]/[Buffer]/
+    array/[Queue] binding and each [mutable] record field must be
+    accessed (globals: any use; fields: any [<-] write) only inside a
+    lexically guarded region ({!Modinfo}), unless the declaration or
+    the access carries a [domain-local] waiver. *)
+
+val float_taint : Modgraph.t -> core:string list -> Check.Diagnostic.t list
+(** Rule [analysis/float-taint]. In the dependency closure of the
+    exact core ([core] is a list of directories): every float
+    literal, [Float.*] call, [float_of_*]/[*_of_float] conversion and
+    float operator ([+.], [-.], [*.], [/.], [**]) is flagged unless
+    covered by a [float-ok] waiver. The witness carries the
+    reachability chain from a core module. *)
+
+val determinism :
+  Modgraph.t ->
+  serve_roots:string list ->
+  clock_exempt:string list ->
+  Check.Diagnostic.t list
+(** Rules [analysis/nondeterminism] (wall-clock reads
+    [Unix.gettimeofday]/[Unix.time]/[Sys.time] outside [clock_exempt]
+    — waivable with [clock-ok] — and [Random.self_init], never
+    waivable) and [analysis/hash-order] ([Hashtbl.iter]/[fold]/
+    [to_seq*], whose order depends on [Hashtbl.hash] — waivable with
+    [order-insensitive]), in everything reachable from [serve_roots]
+    (directories or single files). *)
+
+val waiver_hygiene : Modgraph.t -> Check.Diagnostic.t list
+(** Rules [analysis/bare-waiver] and [analysis/unknown-waiver]: a
+    waiver without a justification, or with an unrecognized tag, is
+    itself a finding — in every scanned file, reachable or not. *)

@@ -408,6 +408,8 @@ let to_int_exn t =
   | Some n -> n
   | None -> failwith "Bigint.to_int_exn: value out of native int range"
 
+(* analysis: float-ok — audited exit boundary: limb-wise Horner
+   conversion out of exact integers, used only by Rat.to_float. *)
 let to_float t =
   let acc = ref 0.0 in
   for i = Array.length t.mag - 1 downto 0 do

@@ -3,8 +3,13 @@
    minimum stamp, O(capacity), which stays cheap at the capacities a
    mechanism cache uses. *)
 
+(* analysis: domain-local — every cache call happens in the engine's
+   coordinator phase, on the caller's domain, before jobs are handed to
+   the worker pool; workers never see the cache. *)
 type 'a entry = { value : 'a; mutable stamp : int }
 
+(* analysis: domain-local — same ownership as [entry]: mutated only by
+   the engine's coordinator domain. *)
 type 'a t = {
   cap : int;
   tbl : (string, 'a entry) Hashtbl.t;
@@ -52,6 +57,8 @@ let mem t key = Hashtbl.mem t.tbl key
 
 let peek t key = Option.map (fun e -> e.value) (Hashtbl.find_opt t.tbl key)
 
+(* analysis: order-insensitive — stamps are unique (one monotone tick
+   per touch), so the minimum-stamp victim is order-independent. *)
 let evict_lru t =
   let victim =
     Hashtbl.fold
@@ -81,6 +88,8 @@ let add t key value =
 let stats (t : 'a t) : stats =
   { hits = t.hits; misses = t.misses; evictions = t.evictions; insertions = t.insertions }
 
+(* analysis: order-insensitive — the fold feeds an immediate sort by
+   recency stamp. *)
 let keys t =
   Hashtbl.fold (fun key e acc -> (key, e.stamp) :: acc) t.tbl []
   |> List.sort (fun (_, a) (_, b) -> compare b a)

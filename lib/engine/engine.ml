@@ -172,6 +172,8 @@ let run_batch ?(seed = 42) t (requests : Request.t array) =
 
 let artifact t req = Cache.peek t.cache (Request.canonical_key req)
 
+(* analysis: domain-local — closed is a coordinator-domain latch: set
+   and read only by the domain that owns the engine handle. *)
 let shutdown t =
   if not t.closed then begin
     t.closed <- true;

@@ -78,9 +78,15 @@ let create ~domains =
       workers = [||];
     }
   in
+  (* analysis: domain-local — construction-time write: workers is
+     assigned before the handle escapes; spawned workers never read
+     it. *)
   t.workers <- Array.init requested (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
   t
 
+(* analysis: domain-local — the zero-domain pool runs the whole batch
+   in the caller's domain; no other domain can observe this batch
+   record. *)
 let run_inline batch =
   for index = 0 to batch.count - 1 do
     Obs.observe "engine.pool.queue_depth" (batch.count - index);
@@ -118,6 +124,8 @@ let run t ~jobs ~count =
   List.sort (fun (a, _) (b, _) -> compare a b) batch.failures
 
 let shutdown t =
+  (* analysis: domain-local — a zero-domain pool has no workers, so
+     closing is only ever the caller's latch. *)
   if t.requested = 0 then t.closing <- true
   else begin
     Mutex.lock t.mutex;

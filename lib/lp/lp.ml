@@ -32,6 +32,8 @@ module Expr = struct
   let add_const a c = { a with const = Rat.add a.const c }
 
   (* Collapse duplicate variables; drop zero coefficients. *)
+  (* analysis: order-insensitive — coefficient addition commutes and
+     the resulting terms are sorted by variable before use. *)
   let normalize a =
     let tbl = Hashtbl.create 16 in
     List.iter
@@ -55,6 +57,9 @@ type cstr = { cexpr : linexpr; rel : relation; rhs : Rat.t; cname : string }
 
 type sense = Minimize | Maximize
 
+(* analysis: domain-local — a problem builder belongs to the single
+   caller constructing it; solving snapshots it into the immutable
+   compiled form below, which is what crosses domains. *)
 type problem = {
   mutable nvars : int;
   mutable var_names : string list;  (** reversed *)
@@ -257,6 +262,9 @@ type float_outcome = Foptimal of float_solution | Finfeasible | Funbounded
    exact-vs-float ablation: optimal-mechanism LPs are degenerate enough
    that the float path's verdicts cannot be trusted without the exact
    reference this module also provides. *)
+(* analysis: float-ok — the float mirror is the deliberate ablation
+   path: it reconstructs the solution in floating point so experiments
+   can measure what exactness buys. *)
 let solve_float ?pricing p =
   ignore pricing;
   let nv = p.nvars in

@@ -23,6 +23,8 @@ module Make (F : Linalg.Field.S) = struct
   (* Per-solve resource accounting shared by both phases. When no
      budget is given and no fault plan is ambient the guard is inert:
      each loop iteration pays one field read. *)
+  (* analysis: domain-local — one guard record is allocated per solve
+     call and never escapes the solving domain. *)
   type guard = {
     g_budget : Budget.t option;
     g_faults : bool;  (** a fault plan was ambient at solve entry *)

@@ -59,10 +59,14 @@ let fits ~k ~per_release ~total =
 
 (** Convert to/from the additive ε scale (floating point, for
     reporting only — the library's source of truth is α). *)
+(* analysis: float-ok — ε-scale conversion is for reporting only; the
+   library's source of truth stays the exact α. *)
 let epsilon_of_alpha alpha =
   check alpha;
   if Rat.is_zero alpha then infinity else -.log (Rat.to_float alpha)
 
+(* analysis: float-ok — entry boundary: exp(-ε) is captured
+   immediately as an exact dyadic rational. *)
 let alpha_of_epsilon eps =
   if eps < 0.0 then invalid_arg "Accounting.alpha_of_epsilon: negative epsilon";
   Rat.of_float_dyadic (exp (-.eps))

@@ -71,6 +71,9 @@ let exponential_dp ~n ~alpha =
 (** Continuous Laplace rounded to the nearest integer then clamped —
     the float-world baseline a practitioner would deploy. Sampler
     only (its matrix involves transcendentals). *)
+(* analysis: float-ok — the rounded-Laplace baseline is defined in
+   floating point on purpose: it is the practitioner mechanism the
+   exact ones are compared against, never an input to the solvers. *)
 let sample_rounded_laplace ~n ~alpha ~input rng =
   let a = Rat.to_float alpha in
   let b = -1.0 /. log a in

@@ -57,6 +57,9 @@ let unbounded_pmf ~alpha ~center z = unbounded_noise_pmf ~alpha (z - center)
     Decomposition: [Z = 0] with probability [(1-α)/(1+α)]; otherwise a
     uniform sign and magnitude [m ≥ 1] geometric with
     [Pr[m = k] ∝ α^k]. *)
+(* analysis: float-ok — inversion sampling deliberately runs in the
+   float mirror; the mechanism's matrix entries stay exact rationals
+   and are certified separately. *)
 let sample_noise ~alpha rng =
   let a = Rat.to_float alpha in
   let p_zero = (1.0 -. a) /. (1.0 +. a) in

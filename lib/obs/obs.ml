@@ -24,6 +24,8 @@ module Clock = struct
 
   module Fake = struct
     type nonrec clock = t
+    (* analysis: domain-local — the fake clock is a test harness,
+       advanced and read from the test's single domain. *)
     type t = { mutable now_ns : int64 }
 
     let create ?(now = 0L) () = { now_ns = now }
@@ -69,6 +71,9 @@ module Histogram = struct
      the operand's size. *)
   let nbuckets = 64
 
+  (* analysis: domain-local — a histogram is owned by one recorder,
+     and every observe/merge/read-out goes through the recorder's
+     global mutex (see [locked] below). *)
   type t = {
     buckets : int array;
     mutable count : int;
@@ -104,6 +109,8 @@ module Histogram = struct
   let sum t = t.sum
   let min t = if t.count = 0 then 0 else t.min_v
   let max t = if t.count = 0 then 0 else t.max_v
+  (* analysis: float-ok — mean is a reporting-only readout; histogram
+     state itself stays integral. *)
   let mean t = if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
 
   let buckets t =
@@ -146,6 +153,10 @@ let create ?(clock = Clock.monotonic) () =
     histograms = Hashtbl.create 16;
   }
 
+(* analysis: domain-local — the ambient recorder is one word: reads
+   and installs are single-word loads/stores of an immutable option,
+   so no torn value is observable; recorder internals serialize behind
+   the global mutex below. *)
 let ambient : t option ref = ref None
 
 (* Domain safety: the engine's worker pool records into one ambient
@@ -249,6 +260,8 @@ let counter_value name =
 
 let spans r = locked (fun () -> List.rev r.spans_rev)
 
+(* analysis: order-insensitive — the fold's result is immediately
+   sorted by counter name. *)
 let counters r =
   locked (fun () -> Hashtbl.fold (fun k c acc -> (k, !c) :: acc) r.counters [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -259,6 +272,8 @@ let counter r name =
       | Some c -> !c
       | None -> 0)
 
+(* analysis: order-insensitive — the fold's result is immediately
+   sorted by histogram name. *)
 let histograms r =
   locked (fun () -> Hashtbl.fold (fun k h acc -> (k, h) :: acc) r.histograms [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -271,6 +286,8 @@ let histogram_max r name =
       | Some h -> Histogram.max h
       | None -> 0)
 
+(* analysis: order-insensitive — counter addition and histogram merge
+   are commutative, so the visit order cannot affect the result. *)
 let merge_into ~into src =
   locked (fun () ->
       Hashtbl.iter
@@ -293,6 +310,10 @@ let reset r =
 (* Sinks                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* analysis: order-insensitive — the per-name aggregation fold feeds an
+   immediate sort by span name. *)
+(* analysis: float-ok — millisecond formatting for the human text sink
+   only; exported data keeps exact nanoseconds. *)
 let render_text r =
   let buf = Buffer.create 512 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in

@@ -25,6 +25,8 @@ let of_assoc pairs =
     (fun (v, p) ->
       Hashtbl.replace tbl v (p +. Option.value ~default:0.0 (Hashtbl.find_opt tbl v)))
     pairs;
+  (* analysis: order-insensitive — the fold's result is immediately
+     sorted by support value. *)
   let items = Hashtbl.fold (fun v p acc -> (v, p) :: acc) tbl [] in
   let items = List.sort (fun (a, _) (b, _) -> compare a b) items in
   let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 items in

@@ -4,6 +4,8 @@
     experiments are reproducible from a seed; no global random state is
     used anywhere in the repository. *)
 
+(* analysis: domain-local — a stream is split per request and then
+   owned by exactly one worker domain; nothing is shared. *)
 type t = { mutable state : int64 }
 
 let create ?(seed = 0x9E3779B97F4A7C15L) () = { state = seed }
@@ -20,6 +22,8 @@ let next_int64 t =
   Int64.logxor z (Int64.shift_right_logical z 31)
 
 (** Uniform float in [0, 1). 53 random mantissa bits. *)
+(* analysis: float-ok — unit-interval conversion feeding only the
+   float-mirror samplers; the exact path never calls it. *)
 let float t =
   let bits = Int64.shift_right_logical (next_int64 t) 11 in
   Int64.to_float bits *. (1.0 /. 9007199254740992.0)

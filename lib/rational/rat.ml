@@ -79,6 +79,8 @@ let round t =
 
 let sum = List.fold_left add zero
 
+(* analysis: float-ok — to_float is the audited exit boundary from ℚ;
+   callers own the rounding from here on. *)
 let to_float t = B.to_float t.num /. B.to_float t.den
 
 let to_string t =
@@ -121,6 +123,8 @@ let of_string s =
 
 let of_string_opt s = try Some (of_string s) with Invalid_argument _ | Failure _ -> None
 
+(* analysis: float-ok — the audited entry boundary into ℚ: every
+   finite float is exactly a dyadic rational, so nothing is lost. *)
 let of_float_dyadic f =
   match Float.classify_float f with
   | FP_nan | FP_infinite -> invalid_arg "Rat.of_float_dyadic: not finite"

@@ -21,6 +21,9 @@ let () =
       Some (Printf.sprintf "Fault.Injected(site=%s,hit=%d)" site hit)
     | _ -> None)
 
+(* analysis: domain-local — the ambient plan is one word: installs and
+   reads are single-word stores/loads of an immutable option; the
+   plan's own trip counters serialize behind its mutex. *)
 let ambient : plan option ref = ref None
 let install p = ambient := p
 let enabled () = !ambient <> None

@@ -62,6 +62,8 @@ let poll r =
 (* Writing                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* analysis: domain-local — writers are owned and mutated only by the
+   event-loop domain that owns the connection. *)
 type writer = {
   wfd : Unix.file_descr;
   queue : string Queue.t;

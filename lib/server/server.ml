@@ -29,6 +29,9 @@ let default_config =
     default_seed = 42;
   }
 
+(* analysis: domain-local — conn records belong to the single
+   event-loop domain; the runner domain only ever sees immutable
+   request strings and replies through the locked pending queue. *)
 type conn = {
   fd : Unix.file_descr;
   reader : Framing.reader;

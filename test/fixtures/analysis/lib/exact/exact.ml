@@ -1,0 +1,9 @@
+(* Fixture: the "exact core" of the mini-tree. *)
+
+let half = 0.5
+let scale x = x *. half
+
+(* analysis: float-ok — audited conversion boundary for the fixture. *)
+let boundary x = float_of_int x
+
+let use_util x = Fxutil.Util.twice x

@@ -1,0 +1,16 @@
+(* Fixture: the serve path of the mini-tree — wall clocks, seeding and
+   hash-order iteration, in flagged and waived flavours. *)
+
+let now () = Unix.gettimeofday ()
+
+(* analysis: clock-ok — fixture timestamp feeds a log line only. *)
+let logged_now () = Unix.gettimeofday ()
+
+let seed () = Random.self_init ()
+
+let tbl : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let dump () = Hashtbl.iter (fun k _ -> print_endline k) tbl
+
+(* analysis: order-insensitive — the fold result is sorted right away. *)
+let sorted () = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare

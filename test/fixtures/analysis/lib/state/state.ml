@@ -1,0 +1,19 @@
+(* Fixture: shared mutable state reached from a Domain.spawn site in
+   fxworker. One guarded access, one unguarded, one waived, one under
+   a bare waiver, one under an unknown tag. *)
+
+let counter = ref 0
+let lock = Mutex.create ()
+
+let bump () = Mutex.protect lock (fun () -> incr counter)
+
+let unguarded () = counter := !counter + 1
+
+(* analysis: domain-local — fixture state owned by a single domain. *)
+let waived_peek () = !counter
+
+(* analysis: domain-local — x *)
+let bare_peek () = !counter
+
+(* analysis: sometag — this tag does not exist in the grammar. *)
+let tagged_peek () = !counter

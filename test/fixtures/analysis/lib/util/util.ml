@@ -1,0 +1,5 @@
+(* Fixture: a dependency of the exact core — floats here are tainted
+   through the closure, not directly. *)
+
+let twice x = x + x
+let approx = 1.5

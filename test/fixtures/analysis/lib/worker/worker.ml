@@ -1,0 +1,3 @@
+(* Fixture: the spawn site that makes fxstate domain-reachable. *)
+
+let start () = Domain.spawn (fun () -> Fxstate.State.bump ())

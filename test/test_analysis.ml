@@ -1,0 +1,303 @@
+(* Golden tests for lib/analysis: the three passes over the fixture
+   mini-tree under fixtures/analysis/, waiver hygiene, and the
+   baseline ratchet. Diagnostics are compared byte-for-byte against
+   their rendered form so any drift in rules, messages, witnesses or
+   ordering shows up as a diff. *)
+
+module A = Analysis
+module D = Check.Diagnostic
+
+(* The fixture tree is copied next to the test binary by the
+   (source_tree fixtures) dep; anchor there so `dune exec` from the
+   repo root resolves the same relative paths as `dune runtest`. *)
+let () = Sys.chdir (Filename.dirname Sys.executable_name)
+
+let cfg =
+  {
+    A.roots = [ "fixtures/analysis/lib" ];
+    core_dirs = [ "fixtures/analysis/lib/exact" ];
+    serve_roots = [ "fixtures/analysis/lib/srv" ];
+    clock_exempt = [];
+  }
+
+let render d = Format.asprintf "%a" D.pp d
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+(* The full expected output of [raw cfg], sorted by (file, line, rule).
+   Five files, eleven errors: two float literals and one operator in
+   the exact closure, a wall clock + self_init + hash-order trio on
+   the serve path, three unguarded accesses to a spawn-reachable ref
+   (two of them under waivers that do not count), and the two waiver
+   hygiene findings themselves. *)
+let golden =
+  [
+    "error analysis/float-taint @ fixtures/analysis/lib/exact/exact.ml:3: \
+     `0.5` inside the dependency closure of the exact core: a float here can \
+     leak into \xe2\x84\x9a-exact solvers; use Rat, or add an `(* analysis: \
+     float-ok \xe2\x80\x94 <why> *)` waiver at a proven conversion boundary \
+     [symbol=0.5; taint_chain=fixtures/analysis/lib/exact/exact.ml]";
+    "error analysis/float-taint @ fixtures/analysis/lib/exact/exact.ml:4: \
+     `*.` inside the dependency closure of the exact core: a float here can \
+     leak into \xe2\x84\x9a-exact solvers; use Rat, or add an `(* analysis: \
+     float-ok \xe2\x80\x94 <why> *)` waiver at a proven conversion boundary \
+     [symbol=*.; taint_chain=fixtures/analysis/lib/exact/exact.ml]";
+    "error analysis/nondeterminism @ fixtures/analysis/lib/srv/srv.ml:4: \
+     `Unix.gettimeofday` reads the wall clock on the serve path; route \
+     timing through lib/obs's injectable Obs.Clock so tests stay \
+     byte-deterministic, or add an `(* analysis: clock-ok \xe2\x80\x94 <why> \
+     *)` waiver [symbol=Unix.gettimeofday; \
+     serve_chain=fixtures/analysis/lib/srv/srv.ml]";
+    "error analysis/nondeterminism @ fixtures/analysis/lib/srv/srv.ml:9: \
+     Random.self_init on the serve path destroys seeded determinism and \
+     cannot be waived; thread a Prob.Rng stream or an Engine.Seeder split \
+     instead [symbol=Random.self_init; \
+     serve_chain=fixtures/analysis/lib/srv/srv.ml]";
+    "error analysis/hash-order @ fixtures/analysis/lib/srv/srv.ml:13: \
+     `Hashtbl.iter` iterates in Hashtbl.hash order on the serve path; sort \
+     the results (then waive with `(* analysis: order-insensitive \
+     \xe2\x80\x94 <why> *)`) or iterate a sorted key list [symbol=Hashtbl.iter; \
+     serve_chain=fixtures/analysis/lib/srv/srv.ml]";
+    "error analysis/domain-unsafe @ fixtures/analysis/lib/state/state.ml:10: \
+     top-level mutable ref `counter` is used outside any \
+     Mutex.protect/lock region in a module reachable from Domain.spawn; \
+     guard it, make it Atomic, or add an `(* analysis: domain-local \
+     \xe2\x80\x94 <why> *)` waiver [symbol=counter; kind=ref; \
+     declared=fixtures/analysis/lib/state/state.ml:5; \
+     spawn_chain=fixtures/analysis/lib/worker/worker.ml -> \
+     fixtures/analysis/lib/state/state.ml]";
+    "error analysis/bare-waiver @ fixtures/analysis/lib/state/state.ml:15: \
+     bare `analysis: domain-local` waiver: state the reason the finding is \
+     safe (e.g. which domain owns the state) after an em dash \
+     [symbol=waiver]";
+    "error analysis/domain-unsafe @ fixtures/analysis/lib/state/state.ml:16: \
+     top-level mutable ref `counter` is used outside any \
+     Mutex.protect/lock region in a module reachable from Domain.spawn; \
+     guard it, make it Atomic, or add an `(* analysis: domain-local \
+     \xe2\x80\x94 <why> *)` waiver [symbol=counter; kind=ref; \
+     declared=fixtures/analysis/lib/state/state.ml:5; \
+     spawn_chain=fixtures/analysis/lib/worker/worker.ml -> \
+     fixtures/analysis/lib/state/state.ml]";
+    "error analysis/unknown-waiver @ \
+     fixtures/analysis/lib/state/state.ml:18: unknown analysis waiver tag \
+     \"sometag\"; valid tags: domain-local, float-ok, order-insensitive, \
+     clock-ok [symbol=waiver]";
+    "error analysis/domain-unsafe @ fixtures/analysis/lib/state/state.ml:19: \
+     top-level mutable ref `counter` is used outside any \
+     Mutex.protect/lock region in a module reachable from Domain.spawn; \
+     guard it, make it Atomic, or add an `(* analysis: domain-local \
+     \xe2\x80\x94 <why> *)` waiver [symbol=counter; kind=ref; \
+     declared=fixtures/analysis/lib/state/state.ml:5; \
+     spawn_chain=fixtures/analysis/lib/worker/worker.ml -> \
+     fixtures/analysis/lib/state/state.ml]";
+    "error analysis/float-taint @ fixtures/analysis/lib/util/util.ml:5: \
+     `1.5` inside the dependency closure of the exact core: a float here \
+     can leak into \xe2\x84\x9a-exact solvers; use Rat, or add an `(* \
+     analysis: float-ok \xe2\x80\x94 <why> *)` waiver at a proven conversion \
+     boundary [symbol=1.5; \
+     taint_chain=fixtures/analysis/lib/exact/exact.ml -> \
+     fixtures/analysis/lib/util/util.ml]";
+  ]
+
+let test_golden_tree () =
+  let rendered = List.map render (A.raw cfg) in
+  Alcotest.(check int) "finding count" (List.length golden)
+    (List.length rendered);
+  List.iteri
+    (fun i (want, got) ->
+      Alcotest.(check string) (Printf.sprintf "diagnostic %d" i) want got)
+    (List.combine golden rendered)
+
+(* Guarded, correctly waived and clock/order-waived sites must be
+   silent: byte-identical output depends on the negatives as much as
+   the positives. *)
+let test_negatives () =
+  let rendered = List.map render (A.raw cfg) in
+  let silent_locs =
+    [
+      "state.ml:8:" (* bump: inside Mutex.protect *);
+      "state.ml:13:" (* waived_peek: audited domain-local waiver *);
+      "exact.ml:7:" (* boundary: audited float-ok waiver *);
+      "srv.ml:7:" (* logged_now: audited clock-ok waiver *);
+      "srv.ml:16:" (* sorted: audited order-insensitive waiver *);
+      (* the spawn site itself holds no mutable state; it may appear in
+         spawn_chain witnesses but never as a location *)
+      "@ fixtures/analysis/lib/worker/";
+    ]
+  in
+  List.iter
+    (fun loc ->
+      List.iter
+        (fun line ->
+          if contains ~affix:loc line then
+            Alcotest.failf "unexpected diagnostic at %s: %s" loc line)
+        rendered)
+    silent_locs
+
+let test_outcome_counts () =
+  let o = A.run cfg in
+  Alcotest.(check int) "files" 5 o.A.files;
+  Alcotest.(check int) "errors" 11 o.A.errors;
+  Alcotest.(check int) "warnings" 0 o.A.warnings;
+  Alcotest.(check int) "suppressed" 0 o.A.suppressed
+
+let baseline_of_entries entries =
+  let open Check.Json in
+  let entry (rule, file, symbol, allowed) =
+    Obj
+      [
+        ("rule", Str rule);
+        ("file", Str file);
+        ("symbol", Str symbol);
+        ("allowed", Int allowed);
+      ]
+  in
+  match
+    A.Baseline.of_json
+      (Obj [ ("version", Int 1); ("entries", List (List.map entry entries)) ])
+  with
+  | Ok b -> b
+  | Error e -> Alcotest.failf "baseline_of_entries: %s" e
+
+(* A matching entry with a sufficient allowance absorbs its whole
+   group and nothing else. *)
+let test_baseline_suppression () =
+  let baseline =
+    baseline_of_entries
+      [
+        ( "analysis/float-taint",
+          "fixtures/analysis/lib/util/util.ml",
+          "1.5",
+          1 );
+      ]
+  in
+  let o = A.run ~baseline cfg in
+  Alcotest.(check int) "errors" 10 o.A.errors;
+  Alcotest.(check int) "suppressed" 1 o.A.suppressed;
+  Alcotest.(check int) "warnings" 0 o.A.warnings;
+  List.iter
+    (fun d ->
+      let line = render d in
+      if contains ~affix:"util.ml" line then
+        Alcotest.failf "baselined finding survived: %s" line)
+    o.A.diagnostics
+
+(* One finding over the allowance and the whole group surfaces, each
+   instance carrying the allowance in its witness. *)
+let test_baseline_overflow () =
+  let baseline =
+    baseline_of_entries
+      [
+        ( "analysis/domain-unsafe",
+          "fixtures/analysis/lib/state/state.ml",
+          "counter",
+          2 );
+      ]
+  in
+  let o = A.run ~baseline cfg in
+  Alcotest.(check int) "errors" 11 o.A.errors;
+  Alcotest.(check int) "suppressed" 0 o.A.suppressed;
+  let overflowed =
+    List.filter
+      (fun d -> contains ~affix:"baseline_allowed=2" (render d))
+      o.A.diagnostics
+  in
+  Alcotest.(check int) "instances carrying the allowance" 3
+    (List.length overflowed)
+
+(* An entry matching nothing keeps the wall green but warns, so
+   `make analyze-baseline` gets re-run to ratchet down. *)
+let test_stale_baseline () =
+  let baseline =
+    baseline_of_entries
+      [ ("analysis/float-taint", "lib/gone/gone.ml", "0.25", 4) ]
+  in
+  let o = A.run ~baseline cfg in
+  Alcotest.(check int) "errors" 11 o.A.errors;
+  Alcotest.(check int) "warnings" 1 o.A.warnings;
+  let stale =
+    List.filter
+      (fun d -> contains ~affix:"analysis/stale-baseline" (render d))
+      o.A.diagnostics
+  in
+  Alcotest.(check int) "stale warnings" 1 (List.length stale)
+
+(* of_diagnostics over the raw findings must accept exactly the
+   current state: applying it back yields a green wall. The JSON
+   round-trip must preserve every entry. *)
+let test_baseline_roundtrip () =
+  let raw = A.raw cfg in
+  let baseline = A.Baseline.of_diagnostics raw in
+  let o = A.run ~baseline cfg in
+  Alcotest.(check int) "errors after self-baseline" 0 o.A.errors;
+  Alcotest.(check int) "suppressed" 11 o.A.suppressed;
+  Alcotest.(check int) "warnings" 0 o.A.warnings;
+  match A.Baseline.of_json (A.Baseline.to_json baseline) with
+  | Error e -> Alcotest.failf "round-trip: %s" e
+  | Ok b ->
+      Alcotest.(check int) "entry count survives round-trip"
+        (List.length (A.Baseline.entries baseline))
+        (List.length (A.Baseline.entries b));
+      List.iter2
+        (fun (x : A.Baseline.entry) (y : A.Baseline.entry) ->
+          Alcotest.(check string) "rule" x.A.Baseline.brule y.A.Baseline.brule;
+          Alcotest.(check string) "file" x.A.Baseline.bfile y.A.Baseline.bfile;
+          Alcotest.(check string) "symbol" x.A.Baseline.bsymbol
+            y.A.Baseline.bsymbol;
+          Alcotest.(check int) "allowed" x.A.Baseline.allowed
+            y.A.Baseline.allowed)
+        (A.Baseline.entries baseline)
+        (A.Baseline.entries b)
+
+(* Lexer spot checks: the classifications the passes lean on. *)
+let test_lexer () =
+  let module L = A.Lexer in
+  let kinds src =
+    List.filter_map
+      (fun (t : L.token) ->
+        match t.L.kind with
+        | L.Comment -> None
+        | k -> Some (k, t.L.text))
+      (Array.to_list (L.tokenize src))
+  in
+  Alcotest.(check bool) "float literal" true
+    (List.mem (L.Float, "1e6") (kinds "let x = 1e6"));
+  Alcotest.(check bool) "hex stays int" true
+    (List.mem (L.Int, "0x10") (kinds "let x = 0x10"));
+  Alcotest.(check bool) "float operator is one token" true
+    (List.mem (L.Op, "*.") (kinds "let y = a *. b"));
+  let comment_toks =
+    List.filter
+      (fun (t : L.token) -> t.L.kind = L.Comment)
+      (Array.to_list
+         (L.tokenize "(* outer (* nested *) still outer *) let z = 1"))
+  in
+  Alcotest.(check int) "nested comment is one token" 1
+    (List.length comment_toks);
+  let string_toks = kinds "let s = \"0.5 (* not a comment *)\"" in
+  Alcotest.(check bool) "floats inside strings don't tokenize" false
+    (List.exists (fun (k, _) -> k = A.Lexer.Float) string_toks)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "fixture-tree",
+        [
+          Alcotest.test_case "golden diagnostics" `Quick test_golden_tree;
+          Alcotest.test_case "negatives stay silent" `Quick test_negatives;
+          Alcotest.test_case "outcome counts" `Quick test_outcome_counts;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "suppression" `Quick test_baseline_suppression;
+          Alcotest.test_case "overflow surfaces group" `Quick
+            test_baseline_overflow;
+          Alcotest.test_case "stale entry warns" `Quick test_stale_baseline;
+          Alcotest.test_case "self-baseline is green" `Quick
+            test_baseline_roundtrip;
+        ] );
+      ("lexer", [ Alcotest.test_case "classification" `Quick test_lexer ]);
+    ]
