@@ -48,7 +48,7 @@ bench:
 # number in the file name is the PR sequence number, so successive
 # PRs leave comparable snapshots behind.
 bench-json:
-	dune exec bench/main.exe -- --bench-json BENCH_5.json
+	dune exec bench/main.exe -- --bench-json BENCH_6.json
 
 # Just the serving-engine experiment (E1): cache + compiled samplers +
 # Domain pool, checking byte-identical output across worker counts.

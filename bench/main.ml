@@ -1069,7 +1069,8 @@ let network_serving =
         List.map
           (fun l ->
             match En.Request.of_line l with
-            | Ok w -> w
+            | Ok (En.Request.Query w) -> w
+            | Ok (En.Request.Stats _) -> failwith "N1: unexpected op=stats line"
             | Error e -> failwith ("N1: " ^ En.Request.wire_error_to_string e))
           lines
       in
@@ -1085,6 +1086,7 @@ let network_serving =
                       En.Seeder.stream seeder
                         ~seed:(Option.value w.En.Request.seed ~default:42);
                     budget = None;
+                    trace = None;
                   })
                 wires
             in
@@ -1190,6 +1192,247 @@ let network_serving =
             \  %d typed overloaded refusal(s), every request answered.\n"
             reqs count throughput (mean_lat *. 1000.) (dt *. 1000.) identical burst served
             refused ))
+
+(* ================================================================= *)
+(* O1 — Telemetry: overhead and live stats under load                *)
+(* ================================================================= *)
+
+let telemetry_plane =
+  let module En = Engine in
+  let module Sv = Server in
+  let module Fr = Server.Framing in
+  E.make ~id:"O1" ~title:"Telemetry: recorder overhead and op=stats under load"
+    ~paper_claim:
+      "(ours; DESIGN.md §4h) the telemetry plane is cheap enough to leave on: served \
+       bytes are identical with the recorder on or off, the instrumented engine stays \
+       within 5% of the uninstrumented wall time, and v=1 op=stats answers live — exact \
+       counters and rolling latency quantiles — while the server is busy"
+    (fun () ->
+      (* Phase 1 — overhead: the same sampling-heavy batch through the
+         engine with and without an ambient recorder. The disabled
+         path is a single ref read per instrumentation site, so the
+         gap should be noise; we bind the 5% criterion only when the
+         baseline is long enough to measure it. *)
+      let reqs = 24 and count = 20_000 in
+      let lines =
+        List.init reqs (fun k ->
+            Printf.sprintf "v=1 id=o%d seed=%d n=%d alpha=1/2 count=%d" k (300 + k)
+              (4 + (k mod 3)) count)
+      in
+      let wires =
+        List.map
+          (fun l ->
+            match En.Request.of_line l with
+            | Ok (En.Request.Query w) -> w
+            | Ok (En.Request.Stats _) -> failwith "O1: unexpected op=stats line"
+            | Error e -> failwith ("O1: " ^ En.Request.wire_error_to_string e))
+          lines
+      in
+      let run_once () =
+        En.with_engine ~domains:2 (fun e ->
+            let seeder = En.Seeder.create () in
+            let jobs =
+              List.map
+                (fun (w : En.Request.wire) ->
+                  let trace =
+                    if Obs.enabled () then
+                      Some (Obs.Trace.make (Option.value w.En.Request.id ~default:"o"))
+                    else None
+                  in
+                  {
+                    En.request = w.En.Request.request;
+                    stream =
+                      En.Seeder.stream seeder
+                        ~seed:(Option.value w.En.Request.seed ~default:42);
+                    budget = None;
+                    trace;
+                  })
+                wires
+            in
+            let t0 = now_s () in
+            let results = En.run_jobs e (Array.of_list jobs) in
+            let dt = now_s () -. t0 in
+            let rendered =
+              Array.to_list results
+              |> List.map2
+                   (fun (w : En.Request.wire) r ->
+                     match r with
+                     | Ok r -> Server.Response.to_line (Server.Response.of_engine ?id:w.En.Request.id r)
+                     | Error e ->
+                       Server.Response.to_line
+                         (Server.Response.of_job_error ?id:w.En.Request.id e))
+                   wires
+            in
+            (rendered, dt))
+      in
+      let without_recorder f =
+        let saved = Obs.current () in
+        Obs.set_current None;
+        Fun.protect ~finally:(fun () -> Obs.set_current saved) f
+      in
+      let iters = 3 in
+      let best f =
+        let bytes = ref [] and dt = ref infinity in
+        for _ = 1 to iters do
+          let b, d = f () in
+          bytes := b;
+          if d < !dt then dt := d
+        done;
+        (!bytes, !dt)
+      in
+      let bytes_off, dt_off = best (fun () -> without_recorder run_once) in
+      let bytes_on, dt_on = best (fun () -> Obs.with_recorder (Obs.create ()) run_once) in
+      let identical = bytes_on = bytes_off in
+      let overhead = if dt_off > 0. then (dt_on -. dt_off) /. dt_off else 0. in
+      let overhead_binding = dt_off >= 0.05 in
+      let overhead_ok = (not overhead_binding) || overhead <= 0.05 in
+
+      (* Phase 2 — live stats: a busy server must answer op=stats from
+         the event loop (counters mid-flight are point-in-time but
+         bounded), and once drained the counts must be exact. *)
+      let connect port =
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        fd
+      in
+      let send ?(close = true) fd ls =
+        let w = Fr.writer fd in
+        List.iter (Fr.enqueue w) ls;
+        (match Fr.flush_blocking w with
+         | Fr.Flushed -> ()
+         | Fr.Blocked | Fr.Closed -> failwith "O1: client write failed");
+        if close then Unix.shutdown fd Unix.SHUTDOWN_SEND
+      in
+      let recv_all fd =
+        let r = Fr.reader fd in
+        let rec go acc =
+          let res = Fr.poll r in
+          let acc = List.rev_append res.Fr.lines acc in
+          if res.Fr.eof then List.rev acc else go acc
+        in
+        go []
+      in
+      let stats_field line path =
+        match Json.of_string line with
+        | Error m -> failwith ("O1: unparseable stats response: " ^ m)
+        | Ok j ->
+          let rec walk j = function
+            | [] -> Json.to_int_opt j
+            | k :: rest -> ( match Json.member k j with None -> None | Some v -> walk v rest)
+          in
+          walk j path
+      in
+      let k_load = 16 and load_count = 50 in
+      let load_lines =
+        List.init k_load (fun k ->
+            Printf.sprintf "v=1 id=l%d seed=%d n=6 alpha=1/2 count=%d" k (500 + k) load_count)
+      in
+      let config = { Sv.default_config with Sv.domains = Some 2; queue_capacity = 64 } in
+      let mid_line, final_line, load_got =
+        Obs.with_recorder (Obs.create ()) (fun () ->
+            let t = Sv.create ~config () in
+            let d = Domain.spawn (fun () -> Sv.serve t) in
+            Fun.protect
+              ~finally:(fun () ->
+                Sv.stop t;
+                Domain.join d)
+              (fun () ->
+                let port = Sv.port t in
+                let load_fd = connect port in
+                send load_fd load_lines;
+                (* While the runner chews the batch, a second
+                   connection asks for stats: answered immediately on
+                   the event loop, not queued behind the load. *)
+                let mid =
+                  let fd = connect port in
+                  send fd [ "v=1 op=stats id=mid" ];
+                  let out = recv_all fd in
+                  Unix.close fd;
+                  match out with [ l ] -> l | _ -> failwith "O1: mid-load stats != 1 line"
+                in
+                let load_got = recv_all load_fd in
+                Unix.close load_fd;
+                let final =
+                  let fd = connect port in
+                  send fd [ "v=1 op=stats id=end" ];
+                  let out = recv_all fd in
+                  Unix.close fd;
+                  match out with [ l ] -> l | _ -> failwith "O1: final stats != 1 line"
+                in
+                (mid, final, load_got)))
+      in
+      let mid_admitted = Option.value (stats_field mid_line [ "stats"; "requests"; "admitted" ]) ~default:(-1) in
+      let mid_ok =
+        stats_field mid_line [ "v" ] = Some 1
+        && mid_admitted >= 0 && mid_admitted <= k_load
+      in
+      let final_responses =
+        Option.value (stats_field final_line [ "stats"; "requests"; "responses" ]) ~default:(-1)
+      in
+      let final_samples =
+        Option.value (stats_field final_line [ "stats"; "engine"; "samples" ]) ~default:(-1)
+      in
+      let final_latency_count =
+        Option.value (stats_field final_line [ "stats"; "latency_us"; "count" ]) ~default:(-1)
+      in
+      let p50 = Option.value (stats_field final_line [ "stats"; "latency_us"; "p50_us" ]) ~default:(-1) in
+      let p99 = Option.value (stats_field final_line [ "stats"; "latency_us"; "p99_us" ]) ~default:(-1) in
+      let p999 = Option.value (stats_field final_line [ "stats"; "latency_us"; "p999_us" ]) ~default:(-1) in
+      let final_ok =
+        final_responses = k_load
+        && final_samples = k_load * load_count
+        && final_latency_count = k_load
+        && p50 >= 0 && p50 <= p99 && p99 <= p999
+      in
+      let all_load_served =
+        List.length load_got = k_load
+        && List.for_all
+             (fun l ->
+               match Json.of_string l with
+               | Error _ -> false
+               | Ok j -> (
+                 match Option.bind (Json.member "status" j) Json.to_str_opt with
+                 | Some "ok" | Some "degraded" -> true
+                 | _ -> false))
+             load_got
+      in
+      let table =
+        T.make ~headers:[ "measure"; "off"; "on"; "criterion" ]
+          [
+            [
+              "engine wall (min of 3)";
+              Printf.sprintf "%.3fs" dt_off;
+              Printf.sprintf "%.3fs" dt_on;
+              Printf.sprintf "overhead %.1f%% (%s)" (overhead *. 100.)
+                (if overhead_binding then "<= 5% binding" else "recorded only");
+            ];
+            [
+              "served bytes";
+              "-";
+              "-";
+              (if identical then "byte-identical on/off" else "DIFFER");
+            ];
+          ]
+      in
+      let problems =
+        List.filter_map Fun.id
+          [
+            (if identical then None else Some "served bytes differ with telemetry on");
+            (if overhead_ok then None
+             else Some (Printf.sprintf "telemetry overhead %.1f%% > 5%%" (overhead *. 100.)));
+            (if mid_ok then None else Some "mid-load op=stats malformed or out of bounds");
+            (if final_ok then None else Some "drained op=stats counters inexact");
+            (if all_load_served then None else Some "a load request was refused");
+          ]
+      in
+      ( (if problems = [] then E.Pass else E.Fail (String.concat "; " problems)),
+        buf_table table
+        ^ Printf.sprintf
+            "  %d requests x %d samples: recorder on %.3fs vs off %.3fs (%+.1f%%).\n\
+            \  mid-load stats: admitted %d/%d (point-in-time); drained: responses %d,\n\
+            \  samples %d, latency window count %d, p50/p99/p999 = %d/%d/%d us.\n"
+            reqs count dt_on dt_off (overhead *. 100.) mid_admitted k_load final_responses
+            final_samples final_latency_count p50 p99 p999 ))
 
 (* ================================================================= *)
 (* PERF — Bechamel micro-benchmarks                                  *)
@@ -1306,6 +1549,7 @@ let experiments =
     ("resilience", resilience_ladder);
     ("engine", engine_serving);
     ("serving", network_serving);
+    ("telemetry", telemetry_plane);
   ]
 
 (* Experiments are addressable both by harness name ("fig1") and by
@@ -1375,11 +1619,28 @@ let run_batch ~observe es =
     es;
   (List.rev !records, !ok)
 
+(* The provenance stamp: which source produced these numbers, on how
+   wide a machine. Shelling out keeps the harness dependency-free; a
+   tree that is not a git checkout stamps "unknown" rather than
+   failing the bench. *)
+let git_rev () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception Unix.Unix_error _ -> "unknown"
+  | ic -> (
+    let rev = try String.trim (input_line ic) with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when rev <> "" -> rev
+    | _ -> "unknown")
+
+(* version 2: adds the git_rev / host_cores stamp (v1 carried only the
+   records). *)
 let trajectory_doc records =
   Json.Obj
     [
       ("schema", Json.Str "minimax-dp/bench-trajectory");
-      ("version", Json.Int 1);
+      ("version", Json.Int 2);
+      ("git_rev", Json.Str (git_rev ()));
+      ("host_cores", Json.Int (Domain.recommended_domain_count ()));
       ("experiments", Json.List records);
     ]
 

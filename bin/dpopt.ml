@@ -407,7 +407,13 @@ let engine_cmd =
         else
           let r =
             match Engine.Request.of_line s with
-            | Ok w -> Ok w
+            | Ok (Engine.Request.Query w) -> Ok w
+            | Ok (Engine.Request.Stats _) ->
+              Error
+                (Printf.sprintf
+                   "line %d: op=stats is a server admin verb; ask a running dpserved \
+                    (dpopt client --stats)"
+                   lineno)
             | Error e ->
               Error
                 (Printf.sprintf "line %d: %s" lineno
@@ -429,13 +435,25 @@ let engine_cmd =
              batch seed) the same streams run_batch would use. *)
           let seeder = Engine.Seeder.create () in
           let jobs =
-            Array.map
-              (fun (w : Engine.Request.wire) ->
+            Array.mapi
+              (fun i (w : Engine.Request.wire) ->
                 let seed = Option.value w.Engine.Request.seed ~default:seed in
+                (* Trace ids come from the wire id= when the line carries
+                   one, else the line index — same rule as the server. *)
+                let trace =
+                  if Obs.enabled () then
+                    Some
+                      (Obs.Trace.make
+                         (match w.Engine.Request.id with
+                         | Some id -> id
+                         | None -> Printf.sprintf "r%d" i))
+                  else None
+                in
                 {
                   Engine.request = w.Engine.Request.request;
                   stream = Engine.Seeder.stream seeder ~seed;
                   budget = None;
+                  trace;
                 })
               wires
           in
@@ -556,9 +574,45 @@ let client_cmd =
         Error (Printf.sprintf "cannot resolve host %S" host)
       | h -> Ok h.Unix.h_addr_list.(0))
   in
-  let run () host port file =
+  let stats_arg =
+    let doc =
+      "Send the single admin line 'v=1 op=stats' instead of a request file and print the \
+       server's telemetry snapshot (rolling latency quantiles, queue depth, cache and \
+       rejection counters) as JSON."
+    in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let prom_arg =
+    let doc =
+      "With $(b,--stats), print the Prometheus text exposition carried in the same \
+       response instead of the JSON snapshot."
+    in
+    Arg.(value & flag & info [ "prom" ] ~doc)
+  in
+  (* Unwrap a stats response line down to what the caller asked for:
+     the snapshot object, or the raw Prometheus text riding next to
+     it. Anything else (an error response, junk) is surfaced as-is. *)
+  let print_stats_line ~prom line =
+    let module J = Obs.Json in
+    let fallthrough () = print_endline line in
+    match J.of_string line with
+    | Error _ -> fallthrough ()
+    | Ok json -> (
+      if prom then
+        match Option.bind (J.member "prometheus" json) J.to_str_opt with
+        | Some text -> print_string text
+        | None -> fallthrough ()
+      else
+        match J.member "stats" json with
+        | Some stats -> print_endline (J.to_string stats)
+        | None -> fallthrough ())
+  in
+  let run () host port file stats prom =
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-    let lines = try Ok (read_request_lines file) with Sys_error m -> Error m in
+    let lines =
+      if stats then Ok [ "v=1 op=stats" ]
+      else try Ok (read_request_lines file) with Sys_error m -> Error m
+    in
     match (lines, resolve host) with
     | Error m, _ | _, Error m -> `Error (false, m)
     | Ok lines, Ok addr -> (
@@ -584,21 +638,25 @@ let client_cmd =
           (* Half-close: requests done, now stream responses to EOF. *)
           (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
           let r = F.reader fd in
+          let emit = if stats then print_stats_line ~prom else print_endline in
           let rec pump () =
             let { F.lines; eof; overflow = _ } = F.poll r in
-            List.iter print_endline lines;
+            List.iter emit lines;
             if not eof then pump ()
           in
           pump ();
           (try Unix.close fd with Unix.Unix_error _ -> ());
           `Ok ()))
   in
-  let term = Term.(ret (const run $ obs_term $ host_arg $ port_arg $ request_file_arg)) in
+  let term =
+    Term.(ret (const run $ obs_term $ host_arg $ port_arg $ request_file_arg $ stats_arg $ prom_arg))
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:
          "Send request lines (v=1 key=value grammar, PROTOCOL.md) to a running dpserved \
-          and print its JSON responses, one per line, in admission order.")
+          and print its JSON responses, one per line, in admission order. With --stats, \
+          fetch the live telemetry snapshot instead (op=stats admin verb).")
     term
 
 (* ----------------------------------------------------------------- *)

@@ -8,6 +8,7 @@
 
 open Cmdliner
 module Server = Minimax_dp.Server
+module Obs = Minimax_dp.Obs
 
 let host_arg =
   let doc = "Bind address." in
@@ -54,7 +55,15 @@ let seed_arg =
   let doc = "Seed for request lines that carry no seed= field." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
-let run host port workers cache queue deadline pivots bits seed =
+let no_obs_arg =
+  let doc =
+    "Disable telemetry (no recorder installed): v=1 op=stats answers with zeros and \
+     every instrumentation site collapses to a single ref read. Served bytes are \
+     identical either way."
+  in
+  Arg.(value & flag & info [ "no-obs" ] ~doc)
+
+let run host port workers cache queue deadline pivots bits seed no_obs =
   let config =
     {
       Server.host;
@@ -68,6 +77,10 @@ let run host port workers cache queue deadline pivots bits seed =
       default_seed = seed;
     }
   in
+  (* Telemetry is on by default: the recorder is what op=stats reads.
+     Sampling determinism never depends on it, so --no-obs only trades
+     the stats/trace plane for a slightly shorter hot path. *)
+  if not no_obs then Obs.set_current (Some (Obs.create ()));
   match Server.create ~config () with
   | exception Unix.Unix_error (e, _, _) ->
     `Error (false, Printf.sprintf "cannot bind %s:%d: %s" host port (Unix.error_message e))
@@ -94,6 +107,6 @@ let main =
     Term.(
       ret
         (const run $ host_arg $ port_arg $ workers_arg $ cache_arg $ queue_arg $ deadline_arg
-       $ pivots_arg $ bits_arg $ seed_arg))
+       $ pivots_arg $ bits_arg $ seed_arg $ no_obs_arg))
 
 let () = exit (Cmd.eval main)

@@ -69,7 +69,22 @@ let resolve ?budget t (req : Request.t) =
       Cache.add t.cache key c;
       (c, false, false)
 
-type job = { request : Request.t; stream : Prob.Rng.t; budget : Lp.Budget.t option }
+type job = {
+  request : Request.t;
+  stream : Prob.Rng.t;
+  budget : Lp.Budget.t option;
+  trace : Obs.Trace.t option;
+}
+
+(* Run [f] under the job's trace context, parented to the request's
+   admission span (when the server opened one) so compile and sample
+   spans hang off one tree. *)
+let with_job_trace j f =
+  match j.trace with
+  | None -> f ()
+  | Some tr ->
+    let parent = if Obs.Trace.started tr then Obs.Trace.root else 0 in
+    Obs.with_trace ~parent tr f
 
 type job_error = Uncertified of { key : string; rule : string }
 
@@ -87,6 +102,7 @@ let run_jobs t (jobs : job array) =
     ~attrs:[ ("requests", Obs.Int len); ("samples", Obs.Int total_samples) ]
     "engine.batch"
   @@ fun () ->
+  let batch_t0 = Obs.now_ns () in
   Obs.incr ~by:len "engine.requests";
   (* Phase 1 (coordinator): every distinct consumer compiled at most
      once, in job order. A failed certification poisons only its own
@@ -94,6 +110,7 @@ let run_jobs t (jobs : job array) =
   let resolved =
     Array.map
       (fun j ->
+        with_job_trace j @@ fun () ->
         match resolve ?budget:j.budget t j.request with
         | r -> Ok r
         | exception Compiled.Uncertified { key; rule } -> Error (Uncertified { key; rule })
@@ -117,12 +134,35 @@ let run_jobs t (jobs : job array) =
       results.(i) <-
         Compiled.draws c.Compiled.sampler ~input:req.Request.input ~count:req.Request.count rng
   in
+  (* The per-job sample span: traced to the request that pays for it
+     and tagged with where the artifact came from and what its compile
+     cost — the attribution the telemetry plane promises. Attr
+     construction is behind [enabled] so the disabled serve path stays
+     a ref read per entry point. *)
+  let sample_attrs i =
+    match resolved.(i) with
+    | Error _ -> []
+    | Ok ((c : Compiled.t), cache_hit, _) ->
+      let prov = c.Compiled.served.Minimax.Serve.provenance in
+      [
+        ("cache_hit", Obs.Bool cache_hit);
+        ("rung", Obs.Str (Minimax.Serve.rung_to_string (Compiled.rung c)));
+        ("pivots_spent", Obs.Int prov.Minimax.Serve.pivots_spent);
+        ("count", Obs.Int jobs.(i).request.Request.count);
+      ]
+  in
   let job i =
     match resolved.(i) with
     | Error _ -> ()
     | Ok _ ->
-      Resilience.Fault.trip "engine.worker";
-      sample_into jobs.(i).stream i
+      let run () =
+        Resilience.Fault.trip "engine.worker";
+        sample_into jobs.(i).stream i
+      in
+      if Obs.enabled () then
+        with_job_trace jobs.(i) (fun () ->
+            Obs.span ~attrs:(sample_attrs i) "engine.sample" run)
+      else run ()
   in
   let failures = Pool.run t.pool ~jobs:job ~count:len in
   List.iter
@@ -133,28 +173,39 @@ let run_jobs t (jobs : job array) =
            first draw), so replaying from the pristine copy is
            byte-identical to what the worker would have produced. *)
         Obs.incr "engine.worker.retries";
-        sample_into pristine.(i) i
+        if Obs.enabled () then
+          with_job_trace jobs.(i) (fun () ->
+              Obs.span
+                ~attrs:(("retry", Obs.Bool true) :: sample_attrs i)
+                "engine.sample" (fun () -> sample_into pristine.(i) i))
+        else sample_into pristine.(i) i
       | e -> raise e)
     failures;
   let served_samples =
     Array.fold_left (fun acc (r : int array) -> acc + Array.length r) 0 results
   in
   Obs.incr ~by:served_samples "engine.samples";
-  Array.init len (fun i ->
-      match resolved.(i) with
-      | Error e -> Error e
-      | Ok (c, cache_hit, cache_bypassed) ->
-        Ok
-          {
-            request = jobs.(i).request;
-            key = c.Compiled.key;
-            samples = results.(i);
-            rung = Compiled.rung c;
-            loss = Compiled.loss c;
-            provenance = c.Compiled.served.Minimax.Serve.provenance;
-            cache_hit;
-            cache_bypassed;
-          })
+  let out =
+    Array.init len (fun i ->
+        match resolved.(i) with
+        | Error e -> Error e
+        | Ok (c, cache_hit, cache_bypassed) ->
+          Ok
+            {
+              request = jobs.(i).request;
+              key = c.Compiled.key;
+              samples = results.(i);
+              rung = Compiled.rung c;
+              loss = Compiled.loss c;
+              provenance = c.Compiled.served.Minimax.Serve.provenance;
+              cache_hit;
+              cache_bypassed;
+            })
+  in
+  (* The whole-batch wall time feeds the engine's rolling window (the
+     per-request rolling lives in the server's deliver stage). *)
+  Obs.observe_latency_ns "engine.batch.latency" (Int64.sub (Obs.now_ns ()) batch_t0);
+  out
 
 let run_batch ?(seed = 42) t (requests : Request.t array) =
   if t.closed then invalid_arg "Engine.run_batch: engine is shut down";
@@ -162,7 +213,16 @@ let run_batch ?(seed = 42) t (requests : Request.t array) =
      per-request [Seeder] walks when every line shares this seed. *)
   let streams = Prob.Rng.streams (Prob.Rng.of_int seed) (Array.length requests) in
   let jobs =
-    Array.mapi (fun i request -> { request; stream = streams.(i); budget = None }) requests
+    Array.mapi
+      (fun i request ->
+        (* Trace ids synthesized from the request index — the batch
+           grammar has no wire id=. Contexts are only built when a
+           recorder is live; they never touch the sample streams. *)
+        let trace =
+          if Obs.enabled () then Some (Obs.Trace.make (Printf.sprintf "r%d" i)) else None
+        in
+        { request; stream = streams.(i); budget = None; trace })
+      requests
   in
   Array.map
     (function

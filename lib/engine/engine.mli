@@ -23,8 +23,9 @@
     ["engine.compiles"], ["engine.cache.hits" / ".misses" /
     ".evictions" / ".insertions" / ".bypassed"],
     ["engine.worker.<id>.jobs"], ["engine.worker.retries"]; histogram
-    ["engine.pool.queue_depth"]; spans ["engine.compile"] and
-    ["engine.batch"]. *)
+    ["engine.pool.queue_depth"]; spans ["engine.compile"],
+    ["engine.batch"] and the per-job ["engine.sample"] (traced to its
+    request and tagged with cache hit/miss, rung and pivots spent). *)
 
 module Request = Request
 module Cache = Cache
@@ -61,10 +62,18 @@ type response = {
 
 (** One unit of incremental-batch work: a request, the {!Prob.Rng}
     stream its samples must come from (typically a {!Seeder} hand-out),
-    and an optional per-job budget overriding the engine-wide thunk —
-    how the server threads each connection's deadline down to the
-    compile it pays for. *)
-type job = { request : Request.t; stream : Prob.Rng.t; budget : Lp.Budget.t option }
+    an optional per-job budget overriding the engine-wide thunk — how
+    the server threads each connection's deadline down to the compile
+    it pays for — and an optional trace context so the compile and
+    sample spans are attributed to the request that paid for them
+    (tagged with cache hit/miss, ladder rung and pivots spent). The
+    trace never influences served bytes. *)
+type job = {
+  request : Request.t;
+  stream : Prob.Rng.t;
+  budget : Lp.Budget.t option;
+  trace : Obs.Trace.t option;
+}
 
 type job_error =
   | Uncertified of { key : string; rule : string }

@@ -145,6 +145,10 @@ let version = 1
 
 type wire = { id : string option; seed : int option; request : t }
 
+type parsed =
+  | Query of wire
+  | Stats of { id : string option }
+
 type wire_error =
   | Unsupported_version of { got : string option }
   | Unknown_key of { key : string }
@@ -164,7 +168,8 @@ let wire_error_to_string = function
     Printf.sprintf "unsupported protocol version %S (this server speaks v=%d)" v version
   | Unknown_key { key } ->
     Printf.sprintf
-      "unknown key %S (v=%d knows v, id, seed, n, alpha, loss, side, input, count)" key version
+      "unknown key %S (v=%d knows v, op, id, seed, n, alpha, loss, side, input, count)" key
+      version
   | Malformed { msg } -> msg
   | Invalid { msg } -> msg
 
@@ -220,7 +225,7 @@ let parse_side s =
       Ok (Members (List.filter_map Fun.id members))
     else Error (Printf.sprintf "cannot parse side information %S" s)
 
-let known_keys = [ "v"; "id"; "seed"; "n"; "alpha"; "loss"; "side"; "input"; "count" ]
+let known_keys = [ "v"; "op"; "id"; "seed"; "n"; "alpha"; "loss"; "side"; "input"; "count" ]
 
 let valid_id s =
   let n = String.length s in
@@ -289,6 +294,18 @@ let of_line line =
                   (Malformed
                      { msg = Printf.sprintf "id %S must be 1-64 chars of [A-Za-z0-9._:-]" s })
           in
+          match find "op" with
+          | Some "stats" -> (
+            (* The admin verb: a stats line names no consumer, so any
+               query field alongside it is a typed rejection. *)
+            match List.find_opt (fun (k, _) -> k <> "op" && k <> "id") rest with
+            | Some (k, _) ->
+              Error (Invalid { msg = Printf.sprintf "op=stats takes no %s= (only id=)" k })
+            | None -> ( match id with Error e -> Error e | Ok id -> Ok (Stats { id })))
+          | Some op ->
+            Error
+              (Invalid { msg = Printf.sprintf "unknown op %S (this server knows op=stats)" op })
+          | None -> (
           match (id, int_field "seed", int_field "n", int_field "input", int_field "count") with
           | Error e, _, _, _, _
           | _, Error e, _, _, _
@@ -314,8 +331,8 @@ let of_line line =
                 | Error m, _ | _, Error m -> Error (Invalid { msg = m })
                 | Ok loss, Ok side -> (
                   match make ?input ?count ~n ~alpha ~loss ~side () with
-                  | Ok request -> Ok { id; seed; request }
-                  | Error m -> Error (Invalid { msg = m }))))))))
+                  | Ok request -> Ok (Query { id; seed; request })
+                  | Error m -> Error (Invalid { msg = m })))))))))
 
 let to_line ?id ?seed t =
   Printf.sprintf "v=%d%s%s n=%d alpha=%s loss=%s side=%s input=%d count=%d" version

@@ -78,6 +78,13 @@ type wire = {
 (** A parsed request line: the consumer/query payload plus the
     transport-level envelope fields. *)
 
+(** A parsed line: either a serving query, or the [op=stats] admin
+    verb asking the server for its telemetry snapshot (which takes
+    only the optional [id=] echo tag). *)
+type parsed =
+  | Query of wire
+  | Stats of { id : string option }
+
 type wire_error =
   | Unsupported_version of { got : string option }
       (** missing [v=] first key, or a version this build doesn't
@@ -92,14 +99,16 @@ val wire_error_kind : wire_error -> string
 
 val wire_error_to_string : wire_error -> string
 
-val of_line : string -> (wire, wire_error) result
+val of_line : string -> (parsed, wire_error) result
 (** Parse one request line of whitespace-separated [key=value] pairs:
     [v=1 id=q7 seed=42 n=6 alpha=1/2 loss=absolute side=full input=3
     count=1000]. [v] must come first and equal {!version}; [id], [seed],
     [input] and [count] are optional; losses are
     [absolute | squared | zero-one | deadzone:<w> | capped:<c> |
     asym:<over>,<under>]; side is
-    [full | lo-hi | >=k | <=k | m1,m2,...]. *)
+    [full | lo-hi | >=k | <=k | m1,m2,...]. The admin line
+    [v=1 op=stats [id=...]] parses to {!Stats}; any other [op=] value,
+    or query fields alongside [op=stats], are typed rejections. *)
 
 val to_line : ?id:string -> ?seed:int -> t -> string
 (** Render in the {!of_line} grammar, [v=1] first (parses back to an

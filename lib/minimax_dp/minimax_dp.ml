@@ -8,3 +8,4 @@ module Invariants = Check.Invariants
 module Budget = Resilience.Budget
 module Engine = Engine
 module Server = Server
+module Obs = Obs

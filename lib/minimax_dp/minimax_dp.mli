@@ -17,7 +17,9 @@
       ({!Minimax.Serve.serve});
     - {!Invariants} — independent certification of released matrices
       ({!Check.Invariants});
-    - {!Budget} — solve budgets ({!Resilience.Budget}). *)
+    - {!Budget} — solve budgets ({!Resilience.Budget});
+    - {!Obs} — the telemetry plane: sharded recorder, traces, rolling
+      latency windows, and the text / JSON / Chrome-trace sinks. *)
 
 module Request = Engine.Request
 module Response = Server.Response
@@ -27,3 +29,4 @@ module Invariants = Check.Invariants
 module Budget = Resilience.Budget
 module Engine = Engine
 module Server = Server
+module Obs = Obs

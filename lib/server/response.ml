@@ -26,6 +26,7 @@ type t =
   | Ok of payload
   | Degraded of payload
   | Error of { id : string option; error : error }
+  | Stats of { id : string option; stats : Stats.t }
 
 let of_engine ?id (r : Engine.response) =
   let payload =
@@ -70,6 +71,7 @@ let of_job_error ?id (e : Engine.job_error) =
   | Engine.Uncertified { key; rule } -> Error { id; error = Uncertified { key; rule } }
 
 let error ?id e = Error { id; error = e }
+let stats ?id s = Stats { id; stats = s }
 
 let error_kind = function
   | Unsupported_version _ -> "unsupported_version"
@@ -93,9 +95,15 @@ let error_message = function
   | Uncertified { key; rule } ->
     Printf.sprintf "release for %s failed certification (%s)" key rule
 
-let status = function Ok _ -> "ok" | Degraded _ -> "degraded" | Error _ -> "error"
+let status = function
+  | Ok _ -> "ok"
+  | Degraded _ -> "degraded"
+  | Error _ -> "error"
+  | Stats _ -> "stats"
 
-let id = function Ok p | Degraded p -> p.id | Error { id; _ } -> id
+let id = function
+  | Ok p | Degraded p -> p.id
+  | Error { id; _ } | Stats { id; _ } -> id
 
 let error_to_json e =
   let extra =
@@ -127,9 +135,16 @@ let to_json t =
     let prov =
       match t with
       | Degraded _ -> [ ("provenance", S.provenance_to_json p.provenance) ]
-      | Ok _ | Error _ -> []
+      | Ok _ | Error _ | Stats _ -> []
     in
     J.Obj (base @ prov)
   | Error { error = e; _ } -> J.Obj (head @ [ ("error", error_to_json e) ])
+  | Stats { stats; _ } ->
+    J.Obj
+      (head
+      @ [
+          ("stats", Stats.to_json stats);
+          ("prometheus", J.Str (Stats.to_prometheus stats));
+        ])
 
 let to_line t = J.to_string (to_json t)

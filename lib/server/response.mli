@@ -13,7 +13,10 @@
     - [{"v":1,"status":"error","id"?,"error":{"kind","msg",...}}] — a
       typed refusal; [kind] is stable and machine-dispatchable, and
       structured fields ([pending]/[capacity], [key]/[rule], ...)
-      accompany the kinds that have them.
+      accompany the kinds that have them;
+    - [{"v":1,"status":"stats","id"?,"stats":{...},"prometheus":"..."}]
+      — the answer to the [op=stats] admin verb: the {!Stats.to_json}
+      snapshot plus its {!Stats.to_prometheus} text exposition.
 
     [id] is echoed verbatim from the request envelope when the caller
     supplied one. Rendering is {!Obs.Json.to_string} — compact,
@@ -44,6 +47,8 @@ type t =
   | Ok of payload
   | Degraded of payload  (** served below the top rung; see [provenance] *)
   | Error of { id : string option; error : error }
+  | Stats of { id : string option; stats : Stats.t }
+      (** the telemetry snapshot answering [op=stats] *)
 
 val of_engine : ?id:string -> Engine.response -> t
 (** [Ok] when the serve ladder's provenance records no abandoned
@@ -56,13 +61,14 @@ val of_served : ?id:string -> key:string -> Minimax.Serve.served -> t
 val of_wire_error : ?id:string -> Engine.Request.wire_error -> t
 val of_job_error : ?id:string -> Engine.job_error -> t
 val error : ?id:string -> error -> t
+val stats : ?id:string -> Stats.t -> t
 
 val error_kind : error -> string
 (** Stable machine-readable tag, the JSON ["kind"] field. *)
 
 val error_message : error -> string
 val status : t -> string
-(** ["ok"], ["degraded"] or ["error"]. *)
+(** ["ok"], ["degraded"], ["error"] or ["stats"]. *)
 
 val id : t -> string option
 

@@ -2,6 +2,7 @@
 
 module Framing = Framing
 module Response = Response
+module Stats = Stats
 module B = Resilience.Budget
 
 type config = {
@@ -47,6 +48,7 @@ type pending = {
   pconn : conn;
   pid : string option;
   pjob : Engine.job;
+  ptrace : Obs.Trace.t option;  (* the request's trace context, shared with pjob *)
   enqueued_ns : int64;
 }
 
@@ -70,6 +72,9 @@ type t = {
   mutable running : bool;  (* the runner owns a batch right now *)
   mutable completed : (pending * outcome) array list;  (* newest first *)
   mutable runner_stop : bool;
+  (* analysis: domain-local — only the event-loop domain synthesizes
+     trace ids for id-less requests. *)
+  mutable trace_seq : int;
 }
 
 let inet_addr host =
@@ -109,6 +114,7 @@ let create ?(config = default_config) () =
     running = false;
     completed = [];
     runner_stop = false;
+    trace_seq = 0;
   }
 
 let port t = t.actual_port
@@ -161,6 +167,22 @@ let runner t =
 
 let reply c resp = Framing.enqueue c.writer (Response.to_line resp)
 
+let with_opt_trace ?parent tr f =
+  match tr with None -> f () | Some tr -> Obs.with_trace ?parent tr f
+
+(* Answer op=stats inline from the event loop: a stats line must see
+   the live queue, not wait behind it. The cache counters are written
+   by the runner domain; reading them here is a benign point-in-time
+   snapshot of monotone ints. *)
+let answer_stats t c ~id =
+  Obs.incr "server.stats";
+  let queue_depth = Mutex.protect t.m (fun () -> Queue.length t.queue) in
+  let snapshot =
+    Stats.capture ~queue_depth ~queue_capacity:t.config.queue_capacity
+      ~cache:(Engine.cache_stats t.engine) ()
+  in
+  reply c (Response.stats ?id snapshot)
+
 (* Parse and admit one request line (blank lines are ignored). Every
    refusal is written back as a typed response immediately — admission
    control never hangs and never silently drops. *)
@@ -171,7 +193,25 @@ let handle_line t c line =
     | Error we ->
       Obs.incr "server.rejected.protocol";
       reply c (Response.of_wire_error we)
-    | Ok { Engine.Request.id; seed; request } -> (
+    | Ok (Engine.Request.Stats { id }) -> answer_stats t c ~id
+    | Ok (Engine.Request.Query { id; seed; request }) -> (
+      (* The request's trace context: wire id when given, else a
+         synthesized request index. Built only when a recorder is
+         live; it never touches the sample stream. *)
+      let trace =
+        if Obs.enabled () then begin
+          t.trace_seq <- t.trace_seq + 1;
+          Some
+            (Obs.Trace.make
+               (match id with Some i -> i | None -> Printf.sprintf "r%d" t.trace_seq))
+        end
+        else None
+      in
+      with_opt_trace trace @@ fun () ->
+      Obs.span
+        ~attrs:(match id with None -> [] | Some i -> [ ("id", Obs.Str i) ])
+        "server.admit"
+      @@ fun () ->
       let deadline_hit =
         match c.budget with
         | None -> false
@@ -198,8 +238,9 @@ let handle_line t c line =
             {
               pconn = c;
               pid = id;
-              pjob = { Engine.request; stream; budget = c.budget };
-              enqueued_ns = Obs.Clock.monotonic ();
+              pjob = { Engine.request; stream; budget = c.budget; trace };
+              ptrace = trace;
+              enqueued_ns = Obs.now_ns ();
             }
             t.queue;
           Condition.signal t.cond;
@@ -246,7 +287,11 @@ let deliver t =
             match outcome with
             | Served r ->
               Obs.incr "server.responses";
-              Response.of_engine ?id:p.pid r
+              let resp = Response.of_engine ?id:p.pid r in
+              (match resp with
+              | Response.Degraded _ -> Obs.incr "server.degraded"
+              | _ -> ());
+              resp
             | Refused e ->
               Obs.incr "server.errors";
               Response.of_job_error ?id:p.pid e
@@ -256,10 +301,15 @@ let deliver t =
           in
           p.pconn.in_flight <- p.pconn.in_flight - 1;
           if not p.pconn.dead then begin
-            reply p.pconn resp;
-            let now = Obs.Clock.monotonic () in
-            Obs.observe "server.latency_us"
-              (Int64.to_int (Int64.div (Int64.sub now p.enqueued_ns) 1000L))
+            (with_opt_trace ~parent:Obs.Trace.root p.ptrace @@ fun () ->
+             Obs.span
+               ~attrs:[ ("status", Obs.Str (Response.status resp)) ]
+               "server.write"
+             @@ fun () -> reply p.pconn resp);
+            (* Admission-to-write latency feeds the rolling window the
+               op=stats quantiles are read from. *)
+            Obs.observe_latency_ns "server.latency"
+              (Int64.sub (Obs.now_ns ()) p.enqueued_ns)
           end)
         batch)
     batches

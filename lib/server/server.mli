@@ -35,18 +35,32 @@
     until its peer closes, every admitted job is answered and flushed,
     then {!serve} returns.
 
+    {b Telemetry.} [v=1 op=stats] is an admin verb answered in-band
+    with a {!Stats} snapshot (JSON + Prometheus text in one response
+    line) — queue depth live from the event loop, counters and the
+    ["server.latency"] rolling window merged across recorder shards.
+    Each query gets an {!Obs.Trace} context (trace id = wire [id=], or
+    a per-server [r<k>] when absent) threading admit → compile →
+    sample → write into one span tree, visible in the Chrome-trace
+    sink as a per-request lane. Telemetry never changes served bytes:
+    responses are byte-identical with the recorder on or off.
+
     Fault sites: ["server.accept"] (the accepted socket is dropped and
     counted, the listener survives) and ["server.write"] (the
     connection dies as if the peer vanished; other connections are
     untouched). Counters: ["server.accepted"], ["server.accept.faulted"],
-    ["server.admitted"], ["server.responses"], ["server.errors"],
+    ["server.admitted"], ["server.responses"], ["server.degraded"],
+    ["server.errors"], ["server.stats"],
     ["server.rejected.overloaded" / ".protocol" / ".deadline"],
-    ["server.conn.aborted"]; histograms ["server.queue_depth"],
-    ["server.latency_us"]; spans ["server.request"], ["server.batch"]
-    (over the per-batch ["engine.batch"]). *)
+    ["server.conn.aborted"]; histogram ["server.queue_depth"]; rolling
+    latency window ["server.latency"] (log2-microsecond buckets,
+    admission to write); spans ["server.request"], ["server.admit"],
+    ["server.write"], ["server.batch"] (over the per-batch
+    ["engine.batch"] and per-job ["engine.sample"]). *)
 
 module Framing = Framing
 module Response = Response
+module Stats = Stats
 
 type config = {
   host : string;  (** bind address, name or dotted quad *)

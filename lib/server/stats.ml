@@ -1,0 +1,151 @@
+(* The op=stats telemetry snapshot; see stats.mli.
+
+   One capture, two renderings: the JSON snapshot embedded in the
+   op=stats response, and the Prometheus-style text exposition carried
+   alongside it. Both are pure functions of the captured record, so a
+   fake-clock test pins them byte-for-byte. *)
+
+module J = Obs.Json
+
+type t = {
+  queue_depth : int;
+  queue_capacity : int;
+  accepted : int;
+  aborted : int;
+  admitted : int;
+  responses : int;
+  degraded : int;
+  errors : int;
+  stats_served : int;
+  rejected_protocol : int;
+  rejected_overloaded : int;
+  rejected_deadline : int;
+  engine_requests : int;
+  engine_samples : int;
+  cache : Engine.Cache.stats;
+  cache_bypassed : int;
+  latency : Obs.Rolling.snapshot option;
+}
+
+let capture ~queue_depth ~queue_capacity ~cache () =
+  {
+    queue_depth;
+    queue_capacity;
+    accepted = Obs.counter_value "server.accepted";
+    aborted = Obs.counter_value "server.conn.aborted";
+    admitted = Obs.counter_value "server.admitted";
+    responses = Obs.counter_value "server.responses";
+    degraded = Obs.counter_value "server.degraded";
+    errors = Obs.counter_value "server.errors";
+    stats_served = Obs.counter_value "server.stats";
+    rejected_protocol = Obs.counter_value "server.rejected.protocol";
+    rejected_overloaded = Obs.counter_value "server.rejected.overloaded";
+    rejected_deadline = Obs.counter_value "server.rejected.deadline";
+    engine_requests = Obs.counter_value "engine.requests";
+    engine_samples = Obs.counter_value "engine.samples";
+    cache;
+    cache_bypassed = Obs.counter_value "engine.cache.bypassed";
+    latency = Obs.rolling_value "server.latency";
+  }
+
+let latency_to_json = function
+  | None -> J.Null
+  | Some (w : Obs.Rolling.snapshot) ->
+    J.Obj
+      [
+        ("window_ns", J.Int (Int64.to_int w.Obs.Rolling.window_ns));
+        ("count", J.Int w.Obs.Rolling.count);
+        ("p50_us", J.Int w.Obs.Rolling.p50_us);
+        ("p99_us", J.Int w.Obs.Rolling.p99_us);
+        ("p999_us", J.Int w.Obs.Rolling.p999_us);
+        ("max_us", J.Int w.Obs.Rolling.max_us);
+        ("sum_us", J.Int w.Obs.Rolling.sum_us);
+      ]
+
+let to_json t =
+  J.Obj
+    [
+      ("queue", J.Obj [ ("depth", J.Int t.queue_depth); ("capacity", J.Int t.queue_capacity) ]);
+      ("conns", J.Obj [ ("accepted", J.Int t.accepted); ("aborted", J.Int t.aborted) ]);
+      ( "requests",
+        J.Obj
+          [
+            ("admitted", J.Int t.admitted);
+            ("responses", J.Int t.responses);
+            ("degraded", J.Int t.degraded);
+            ("errors", J.Int t.errors);
+            ("stats", J.Int t.stats_served);
+          ] );
+      ( "rejected",
+        J.Obj
+          [
+            ("protocol", J.Int t.rejected_protocol);
+            ("overloaded", J.Int t.rejected_overloaded);
+            ("deadline", J.Int t.rejected_deadline);
+          ] );
+      ( "engine",
+        J.Obj
+          [ ("requests", J.Int t.engine_requests); ("samples", J.Int t.engine_samples) ] );
+      ( "cache",
+        J.Obj
+          [
+            ("hits", J.Int t.cache.Engine.Cache.hits);
+            ("misses", J.Int t.cache.Engine.Cache.misses);
+            ("evictions", J.Int t.cache.Engine.Cache.evictions);
+            ("insertions", J.Int t.cache.Engine.Cache.insertions);
+            ("bypassed", J.Int t.cache_bypassed);
+          ] );
+      ("latency_us", latency_to_json t.latency);
+    ]
+
+(* Prometheus text exposition format, version 0.0.4: one family per
+   TYPE line, counters suffixed _total, the latency window as a
+   summary. Every line is emitted even at zero so scrapes see a stable
+   set of series. *)
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "# TYPE dpserved_queue_depth gauge\n";
+  add "dpserved_queue_depth %d\n" t.queue_depth;
+  add "# TYPE dpserved_queue_capacity gauge\n";
+  add "dpserved_queue_capacity %d\n" t.queue_capacity;
+  add "# TYPE dpserved_connections_total counter\n";
+  add "dpserved_connections_total{event=\"accepted\"} %d\n" t.accepted;
+  add "dpserved_connections_total{event=\"aborted\"} %d\n" t.aborted;
+  add "# TYPE dpserved_requests_total counter\n";
+  add "dpserved_requests_total{outcome=\"admitted\"} %d\n" t.admitted;
+  add "dpserved_requests_total{outcome=\"responses\"} %d\n" t.responses;
+  add "dpserved_requests_total{outcome=\"degraded\"} %d\n" t.degraded;
+  add "dpserved_requests_total{outcome=\"errors\"} %d\n" t.errors;
+  add "dpserved_requests_total{outcome=\"stats\"} %d\n" t.stats_served;
+  add "# TYPE dpserved_rejected_total counter\n";
+  add "dpserved_rejected_total{reason=\"protocol\"} %d\n" t.rejected_protocol;
+  add "dpserved_rejected_total{reason=\"overloaded\"} %d\n" t.rejected_overloaded;
+  add "dpserved_rejected_total{reason=\"deadline\"} %d\n" t.rejected_deadline;
+  add "# TYPE dpserved_engine_requests_total counter\n";
+  add "dpserved_engine_requests_total %d\n" t.engine_requests;
+  add "# TYPE dpserved_engine_samples_total counter\n";
+  add "dpserved_engine_samples_total %d\n" t.engine_samples;
+  add "# TYPE dpserved_cache_events_total counter\n";
+  add "dpserved_cache_events_total{event=\"hits\"} %d\n" t.cache.Engine.Cache.hits;
+  add "dpserved_cache_events_total{event=\"misses\"} %d\n" t.cache.Engine.Cache.misses;
+  add "dpserved_cache_events_total{event=\"evictions\"} %d\n" t.cache.Engine.Cache.evictions;
+  add "dpserved_cache_events_total{event=\"insertions\"} %d\n" t.cache.Engine.Cache.insertions;
+  add "dpserved_cache_events_total{event=\"bypassed\"} %d\n" t.cache_bypassed;
+  let count, p50, p99, p999, sum =
+    match t.latency with
+    | None -> (0, 0, 0, 0, 0)
+    | Some w ->
+      ( w.Obs.Rolling.count,
+        w.Obs.Rolling.p50_us,
+        w.Obs.Rolling.p99_us,
+        w.Obs.Rolling.p999_us,
+        w.Obs.Rolling.sum_us )
+  in
+  add "# TYPE dpserved_latency_microseconds summary\n";
+  add "dpserved_latency_microseconds{quantile=\"0.5\"} %d\n" p50;
+  add "dpserved_latency_microseconds{quantile=\"0.99\"} %d\n" p99;
+  add "dpserved_latency_microseconds{quantile=\"0.999\"} %d\n" p999;
+  add "dpserved_latency_microseconds_sum %d\n" sum;
+  add "dpserved_latency_microseconds_count %d\n" count;
+  Buffer.contents buf

@@ -1,0 +1,52 @@
+(** The live telemetry snapshot behind the [v=1 op=stats] admin verb.
+
+    A capture reads the ambient {!Obs} recorder's merged counters and
+    the ["server.latency"] rolling window, plus the two pieces of live
+    server state the recorder cannot see (queue depth and engine cache
+    stats), into one immutable record. The two renderings — the JSON
+    snapshot embedded in the stats response and the Prometheus-style
+    text exposition carried alongside it — are pure functions of that
+    record, so fake-clock tests pin both byte-for-byte.
+
+    Counter reads are point-in-time snapshots of the sharded recorder:
+    under concurrent load the numbers are each individually exact but
+    need not form one linearizable cut (an admitted request may already
+    be counted while its response is not yet). *)
+
+type t = {
+  queue_depth : int;  (** admitted jobs not yet picked up by the runner *)
+  queue_capacity : int;
+  accepted : int;  (** connections accepted *)
+  aborted : int;  (** connections whose write side died *)
+  admitted : int;
+  responses : int;
+  degraded : int;  (** served off a lower serve-ladder rung *)
+  errors : int;
+  stats_served : int;  (** op=stats lines answered *)
+  rejected_protocol : int;
+  rejected_overloaded : int;
+  rejected_deadline : int;
+  engine_requests : int;
+  engine_samples : int;
+  cache : Engine.Cache.stats;
+  cache_bypassed : int;  (** compiles that skipped the cache (fault trips) *)
+  latency : Obs.Rolling.snapshot option;
+      (** the ["server.latency"] rolling window; [None] when telemetry
+          is disabled or nothing has been served yet *)
+}
+
+val capture : queue_depth:int -> queue_capacity:int -> cache:Engine.Cache.stats -> unit -> t
+(** Snapshot the ambient recorder (zeros when disabled) plus the given
+    live server state. *)
+
+val to_json : t -> Obs.Json.t
+(** The stats snapshot object: [queue], [conns], [requests],
+    [rejected], [engine], [cache] and [latency_us] (a rolling-quantile
+    object, or [null] before any served request). *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition (format 0.0.4) of the same capture:
+    gauges for queue depth/capacity, [_total] counters for
+    connection/request/rejection/cache events, and the latency window
+    as a [summary] with 0.5/0.99/0.999 quantiles. Every series is
+    emitted even at zero, so scrapes see a stable set. *)

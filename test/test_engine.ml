@@ -47,7 +47,8 @@ let test_line_round_trip () =
   let line = "v=1 id=q-7 seed=9 n=6 alpha=1/2 loss=deadzone:1 side=2-5 input=3 count=12" in
   match Rq.of_line line with
   | Error e -> Alcotest.fail (Rq.wire_error_to_string e)
-  | Ok w ->
+  | Ok (Rq.Stats _) -> Alcotest.fail "parsed a query line as op=stats"
+  | Ok (Rq.Query w) ->
     let r = w.Rq.request in
     Alcotest.(check string) "to_line inverts of_line" line
       (Rq.to_line ?id:w.Rq.id ?seed:w.Rq.seed r);
@@ -60,7 +61,8 @@ let test_line_round_trip () =
 let test_line_defaults_and_errors () =
   (match Rq.of_line "v=1 n=4 alpha=1/3 loss=squared side=>=1" with
   | Error e -> Alcotest.fail (Rq.wire_error_to_string e)
-  | Ok w ->
+  | Ok (Rq.Stats _) -> Alcotest.fail "parsed a query line as op=stats"
+  | Ok (Rq.Query w) ->
     Alcotest.(check (option string)) "default id" None w.Rq.id;
     Alcotest.(check (option int)) "default seed" None w.Rq.seed;
     Alcotest.(check int) "default input" 0 w.Rq.request.Rq.input;

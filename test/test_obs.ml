@@ -136,6 +136,113 @@ let test_merge () =
   Alcotest.(check int) "src intact" 5 (Obs.counter b "shared")
 
 (* ------------------------------------------------------------------ *)
+(* Sharded recorder                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The same multiset of observations, recorded by one domain and split
+   over four: the merged read-out must be identical, because counters
+   add, histograms merge bucket-wise, and rolling slices sum keyed by
+   absolute slice index — all order-insensitive. *)
+let obs_work lo hi =
+  for i = lo to hi do
+    Obs.incr ~by:i "work";
+    Obs.incr "events";
+    Obs.observe "bits" i;
+    Obs.observe_latency_ns "lat" (Int64.of_int (i * 1_000_000))
+  done
+
+let histo_readout r =
+  List.map (fun (k, h) -> (k, H.count h, H.sum h, H.min h, H.max h, H.buckets h)) (Obs.histograms r)
+
+let test_sharded_one_vs_n () =
+  let r1 = Obs.create ~clock:(C.Fake.clock (C.Fake.create ())) () in
+  Obs.with_recorder r1 (fun () -> obs_work 1 8);
+  let rn = Obs.create ~clock:(C.Fake.clock (C.Fake.create ())) () in
+  Obs.with_recorder rn (fun () ->
+      let ds =
+        List.init 4 (fun d -> Domain.spawn (fun () -> obs_work ((2 * d) + 1) ((2 * d) + 2)))
+      in
+      List.iter Domain.join ds);
+  Alcotest.(check (list (pair string int))) "counters" (Obs.counters r1) (Obs.counters rn);
+  Alcotest.(check bool) "histograms" true (histo_readout r1 = histo_readout rn);
+  Alcotest.(check bool) "rolling windows" true (Obs.rollings r1 = Obs.rollings rn);
+  Alcotest.(check int) "four shards really recorded" 36 (Obs.counter rn "work")
+
+let test_merge_assoc_comm () =
+  let mk salt =
+    let r = Obs.create ~clock:(C.Fake.clock (C.Fake.create ())) () in
+    Obs.with_recorder r (fun () ->
+        Obs.incr ~by:salt "shared";
+        Obs.incr (Printf.sprintf "only_%d" salt);
+        Obs.observe "bits" salt;
+        Obs.observe_latency_ns "lat" (Int64.of_int (salt * 1_000_000)));
+    r
+  in
+  let readout r = (Obs.counters r, histo_readout r, Obs.rollings r) in
+  let fresh () = Obs.create ~clock:(C.Fake.clock (C.Fake.create ())) () in
+  let a = mk 1 and b = mk 2 and c = mk 3 in
+  (* commutativity: a ⊕ b ⊕ c = c ⊕ b ⊕ a *)
+  let fwd = fresh () and rev = fresh () in
+  List.iter (fun r -> Obs.merge_into ~into:fwd r) [ a; b; c ];
+  List.iter (fun r -> Obs.merge_into ~into:rev r) [ c; b; a ];
+  Alcotest.(check bool) "commutative" true (readout fwd = readout rev);
+  (* associativity: (a ⊕ b) ⊕ c = a ⊕ (b ⊕ c) *)
+  let ab = fresh () and bc = fresh () in
+  Obs.merge_into ~into:ab a;
+  Obs.merge_into ~into:ab b;
+  Obs.merge_into ~into:ab c;
+  Obs.merge_into ~into:bc b;
+  Obs.merge_into ~into:bc c;
+  let a_bc = fresh () in
+  Obs.merge_into ~into:a_bc a;
+  Obs.merge_into ~into:a_bc bc;
+  Alcotest.(check bool) "associative" true (readout ab = readout a_bc);
+  (* sources untouched by being merged from *)
+  Alcotest.(check int) "src intact" 2 (Obs.counter b "shared")
+
+(* ------------------------------------------------------------------ *)
+(* Rolling windows under the fake clock                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rolling_expiry () =
+  let fake = C.Fake.create () in
+  let r = Obs.create ~clock:(C.Fake.clock fake) () in
+  Obs.with_recorder r (fun () ->
+      let snap () =
+        match Obs.rolling_value "lat" with
+        | Some s -> s
+        | None -> Alcotest.fail "rolling window missing"
+      in
+      (* 1500 µs lands in bucket 11, whose upper bound is 2^11-1. *)
+      Obs.observe_latency_ns "lat" 1_500_000L;
+      let s = snap () in
+      Alcotest.(check int) "count" 1 s.Obs.Rolling.count;
+      Alcotest.(check int) "sum" 1500 s.Obs.Rolling.sum_us;
+      Alcotest.(check int) "max exact" 1500 s.Obs.Rolling.max_us;
+      Alcotest.(check int) "p50 bucket bound" 2047 s.Obs.Rolling.p50_us;
+      (* 5 s later both observations sit inside the 10 s window. *)
+      C.Fake.advance fake 5_000_000_000L;
+      Obs.observe_latency_ns "lat" 700_000L;
+      let s = snap () in
+      Alcotest.(check int) "both in window" 2 s.Obs.Rolling.count;
+      Alcotest.(check int) "sum both" 2200 s.Obs.Rolling.sum_us;
+      Alcotest.(check (list (pair int int)))
+        "two buckets" [ (10, 1); (11, 1) ] s.Obs.Rolling.buckets;
+      (* t = 11 s: the first observation has aged out, the second has not. *)
+      C.Fake.advance fake 6_000_000_000L;
+      let s = snap () in
+      Alcotest.(check int) "first expired" 1 s.Obs.Rolling.count;
+      Alcotest.(check int) "survivor sum" 700 s.Obs.Rolling.sum_us;
+      Alcotest.(check int) "survivor max" 700 s.Obs.Rolling.max_us;
+      Alcotest.(check int) "survivor p99" 1023 s.Obs.Rolling.p99_us;
+      (* Far past the window: empty, quantiles zero. *)
+      C.Fake.advance fake 20_000_000_000L;
+      let s = snap () in
+      Alcotest.(check int) "all expired" 0 s.Obs.Rolling.count;
+      Alcotest.(check int) "empty p50" 0 s.Obs.Rolling.p50_us;
+      Alcotest.(check (list (pair int int))) "no buckets" [] s.Obs.Rolling.buckets)
+
+(* ------------------------------------------------------------------ *)
 (* Disabled mode                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -176,6 +283,28 @@ let test_golden_chrome_trace () =
     {|{"traceEvents":[{"name":"solve.inner","cat":"solve","ph":"X","ts":100,"dur":50,"pid":1,"tid":1,"args":{"start_ns":100000,"dur_ns":50000}},{"name":"solve.outer","cat":"solve","ph":"X","ts":0,"dur":175,"pid":1,"tid":1,"args":{"start_ns":0,"dur_ns":175000,"n":7,"alpha":"1/2"}},{"name":"lp.solves","ph":"C","ts":175,"pid":1,"tid":1,"args":{"value":3}}],"displayTimeUnit":"ns"}|}
   in
   Alcotest.(check string) "chrome trace" expected (J.to_string (Obs.to_chrome_trace (canonical ())))
+
+(* Two traced requests and one untraced span: each trace id gets its
+   own lane (tid 2 and 3, announced by thread_name metadata), span ids
+   count per trace with cross-stage parent links, and the untraced
+   span stays on lane 1. Byte-exact. *)
+let test_chrome_trace_lanes () =
+  let fake = C.Fake.create () in
+  let r = Obs.create ~clock:(C.Fake.clock fake) () in
+  Obs.with_recorder r (fun () ->
+      let ta = Obs.Trace.make "q1" and tb = Obs.Trace.make "q2" in
+      Obs.with_trace ta (fun () ->
+          Obs.span "server.admit" (fun () -> C.Fake.advance fake 1_000L));
+      Obs.with_trace tb (fun () ->
+          Obs.span "server.admit" (fun () -> C.Fake.advance fake 2_000L));
+      (* a later stage of request q1, parented to its admission span *)
+      Obs.with_trace ~parent:Obs.Trace.root ta (fun () ->
+          Obs.span "engine.sample" (fun () -> C.Fake.advance fake 3_000L));
+      Obs.span "server.batch" (fun () -> C.Fake.advance fake 4_000L));
+  let expected =
+    {|{"traceEvents":[{"name":"thread_name","ph":"M","pid":1,"tid":2,"args":{"name":"trace q1"}},{"name":"thread_name","ph":"M","pid":1,"tid":3,"args":{"name":"trace q2"}},{"name":"server.admit","cat":"server","ph":"X","ts":0,"dur":1,"pid":1,"tid":2,"args":{"start_ns":0,"dur_ns":1000,"trace_id":"q1","span_id":1,"parent_id":0}},{"name":"server.admit","cat":"server","ph":"X","ts":1,"dur":2,"pid":1,"tid":3,"args":{"start_ns":1000,"dur_ns":2000,"trace_id":"q2","span_id":1,"parent_id":0}},{"name":"engine.sample","cat":"engine","ph":"X","ts":3,"dur":3,"pid":1,"tid":2,"args":{"start_ns":3000,"dur_ns":3000,"trace_id":"q1","span_id":2,"parent_id":1}},{"name":"server.batch","cat":"server","ph":"X","ts":6,"dur":4,"pid":1,"tid":1,"args":{"start_ns":6000,"dur_ns":4000}}],"displayTimeUnit":"ns"}|}
+  in
+  Alcotest.(check string) "per-request lanes" expected (J.to_string (Obs.to_chrome_trace r))
 
 let test_chrome_trace_parses_back () =
   (* The trace document must be valid JSON with a traceEvents array in
@@ -287,8 +416,14 @@ let test_bench_trajectory_roundtrip () =
       Alcotest.(check (option string))
         "schema" (Some "minimax-dp/bench-trajectory")
         (Option.bind (J.member "schema" doc) J.to_str_opt);
-      Alcotest.(check (option int)) "version" (Some 1)
+      Alcotest.(check (option int)) "version" (Some 2)
         (Option.bind (J.member "version" doc) J.to_int_opt);
+      (match Option.bind (J.member "git_rev" doc) J.to_str_opt with
+       | Some rev -> Alcotest.(check bool) "git_rev non-empty" true (rev <> "")
+       | None -> Alcotest.fail "trajectory missing git_rev stamp");
+      (match Option.bind (J.member "host_cores" doc) J.to_int_opt with
+       | Some c -> Alcotest.(check bool) "host_cores positive" true (c >= 1)
+       | None -> Alcotest.fail "trajectory missing host_cores stamp");
       (match J.member "experiments" doc with
        | Some (J.List [ record ]) ->
          Alcotest.(check (option string)) "id" (Some "F1")
@@ -326,10 +461,17 @@ let () =
           Alcotest.test_case "merge" `Quick test_merge;
           Alcotest.test_case "disabled no-op" `Quick test_disabled_noop;
         ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "one vs N domains" `Quick test_sharded_one_vs_n;
+          Alcotest.test_case "merge assoc/comm" `Quick test_merge_assoc_comm;
+        ] );
+      ( "rolling", [ Alcotest.test_case "fake-clock expiry" `Quick test_rolling_expiry ] );
       ( "sinks",
         [
           Alcotest.test_case "golden json lines" `Quick test_golden_json_lines;
           Alcotest.test_case "golden chrome trace" `Quick test_golden_chrome_trace;
+          Alcotest.test_case "golden trace lanes" `Quick test_chrome_trace_lanes;
           Alcotest.test_case "trace parses back" `Quick test_chrome_trace_parses_back;
           Alcotest.test_case "render text" `Quick test_render_text;
         ] );

@@ -89,7 +89,8 @@ let reference_lines ?(default_seed = 42) raw_lines =
         List.map
           (fun l ->
             match Rq.of_line l with
-            | Stdlib.Ok w -> w
+            | Stdlib.Ok (Rq.Query w) -> w
+            | Stdlib.Ok (Rq.Stats _) -> Alcotest.failf "reference line %S is op=stats" l
             | Stdlib.Error e ->
               Alcotest.failf "bad reference line %S: %s" l (Rq.wire_error_to_string e))
           raw_lines
@@ -101,6 +102,7 @@ let reference_lines ?(default_seed = 42) raw_lines =
               E.request = w.Rq.request;
               stream = Seeder.stream seeder ~seed:(Option.value w.Rq.seed ~default:default_seed);
               budget = None;
+              trace = None;
             })
           wires
       in
@@ -154,7 +156,7 @@ let test_golden_rejections () =
         [
           {|{"v":1,"status":"error","error":{"kind":"unsupported_version","got":"2","msg":"unsupported protocol version \"2\" (this server speaks v=1)"}}|};
           {|{"v":1,"status":"error","error":{"kind":"unsupported_version","msg":"missing protocol version (every request line starts with v=1)"}}|};
-          {|{"v":1,"status":"error","error":{"kind":"unknown_key","key":"color","msg":"unknown key \"color\" (v=1 knows v, id, seed, n, alpha, loss, side, input, count)"}}|};
+          {|{"v":1,"status":"error","error":{"kind":"unknown_key","key":"color","msg":"unknown key \"color\" (v=1 knows v, op, id, seed, n, alpha, loss, side, input, count)"}}|};
           {|{"v":1,"status":"error","error":{"kind":"invalid","msg":"missing field alpha="}}|};
           {|{"v":1,"status":"error","error":{"kind":"malformed","msg":"expected key=value, got \"junk\""}}|};
           {|{"v":1,"status":"error","error":{"kind":"malformed","msg":"duplicate key \"n\""}}|};
@@ -238,6 +240,68 @@ let test_determinism_across_connections_and_workers () =
       Alcotest.(check (list string))
         "3 connections x 3 workers = 1 connection x 1 worker, byte for byte" expect
         (List.sort compare got))
+
+(* Telemetry must never leak into served bytes: the same request file
+   over a live fake-clock recorder and over no recorder at all — the
+   responses are identical, and identical to the engine's. *)
+let test_bytes_identical_with_telemetry () =
+  let expect = reference_lines request_file in
+  let serve_with enabled =
+    let go () =
+      with_server (config ~domains:2 ()) (fun _ port -> round_trip port request_file)
+    in
+    if enabled then
+      Obs.with_recorder (Obs.create ~clock:(Obs.Clock.Fake.clock (Obs.Clock.Fake.create ())) ()) go
+    else begin
+      let saved = Obs.current () in
+      Obs.set_current None;
+      Fun.protect ~finally:(fun () -> Obs.set_current saved) go
+    end
+  in
+  Alcotest.(check (list string)) "telemetry off = engine bytes" expect (serve_with false);
+  Alcotest.(check (list string)) "telemetry on = engine bytes" expect (serve_with true)
+
+(* The op=stats admin verb, byte for byte. A fake clock pins every
+   latency to zero and the single-connection transcript fixes every
+   counter, so the whole response line — the JSON snapshot and the
+   Prometheus text exposition riding in it — is golden. *)
+let test_golden_stats () =
+  let fake = Obs.Clock.Fake.create () in
+  let r = Obs.create ~clock:(Obs.Clock.Fake.clock fake) () in
+  let got =
+    Obs.with_recorder r (fun () ->
+        with_server (config ~domains:1 ()) (fun _ port ->
+            let served =
+              round_trip port
+                [
+                  "v=1 id=q1 seed=5 n=4 alpha=1/2 count=3";
+                  "v=1 id=q2 seed=6 n=4 alpha=1/2 count=2";
+                ]
+            in
+            Alcotest.(check int) "both queries served" 2 (List.length served);
+            round_trip port [ "v=1 op=stats id=s1" ]))
+  in
+  let expect =
+    [
+      {|{"v":1,"status":"stats","id":"s1","stats":{"queue":{"depth":0,"capacity":64},"conns":{"accepted":2,"aborted":0},"requests":{"admitted":2,"responses":2,"degraded":0,"errors":0,"stats":1},"rejected":{"protocol":0,"overloaded":0,"deadline":0},"engine":{"requests":2,"samples":5},"cache":{"hits":1,"misses":1,"evictions":0,"insertions":1,"bypassed":0},"latency_us":{"window_ns":10000000000,"count":2,"p50_us":0,"p99_us":0,"p999_us":0,"max_us":0,"sum_us":0}},"prometheus":"# TYPE dpserved_queue_depth gauge\ndpserved_queue_depth 0\n# TYPE dpserved_queue_capacity gauge\ndpserved_queue_capacity 64\n# TYPE dpserved_connections_total counter\ndpserved_connections_total{event=\"accepted\"} 2\ndpserved_connections_total{event=\"aborted\"} 0\n# TYPE dpserved_requests_total counter\ndpserved_requests_total{outcome=\"admitted\"} 2\ndpserved_requests_total{outcome=\"responses\"} 2\ndpserved_requests_total{outcome=\"degraded\"} 0\ndpserved_requests_total{outcome=\"errors\"} 0\ndpserved_requests_total{outcome=\"stats\"} 1\n# TYPE dpserved_rejected_total counter\ndpserved_rejected_total{reason=\"protocol\"} 0\ndpserved_rejected_total{reason=\"overloaded\"} 0\ndpserved_rejected_total{reason=\"deadline\"} 0\n# TYPE dpserved_engine_requests_total counter\ndpserved_engine_requests_total 2\n# TYPE dpserved_engine_samples_total counter\ndpserved_engine_samples_total 5\n# TYPE dpserved_cache_events_total counter\ndpserved_cache_events_total{event=\"hits\"} 1\ndpserved_cache_events_total{event=\"misses\"} 1\ndpserved_cache_events_total{event=\"evictions\"} 0\ndpserved_cache_events_total{event=\"insertions\"} 1\ndpserved_cache_events_total{event=\"bypassed\"} 0\n# TYPE dpserved_latency_microseconds summary\ndpserved_latency_microseconds{quantile=\"0.5\"} 0\ndpserved_latency_microseconds{quantile=\"0.99\"} 0\ndpserved_latency_microseconds{quantile=\"0.999\"} 0\ndpserved_latency_microseconds_sum 0\ndpserved_latency_microseconds_count 2\n"}|};
+    ]
+  in
+  Alcotest.(check (list string)) "golden stats transcript" expect got
+
+(* op=stats takes only id=; anything else is refused with a typed
+   invalid, and unknown ops name the verb the server does know. *)
+let test_stats_grammar_rejections () =
+  with_server (config ~domains:1 ()) (fun _ port ->
+      let got =
+        round_trip port [ "v=1 op=stats n=4"; "v=1 op=flush" ]
+      in
+      let expect =
+        [
+          {|{"v":1,"status":"error","error":{"kind":"invalid","msg":"op=stats takes no n= (only id=)"}}|};
+          {|{"v":1,"status":"error","error":{"kind":"invalid","msg":"unknown op \"flush\" (this server knows op=stats)"}}|};
+        ]
+      in
+      Alcotest.(check (list string)) "stats grammar rejections" expect got)
 
 (* Protocol errors are answered immediately; served responses follow
    in admission order — the documented interleaving. *)
@@ -401,6 +465,8 @@ let () =
       ( "determinism",
         [
           Alcotest.test_case "served lines match engine" `Quick test_served_lines_match_engine;
+          Alcotest.test_case "bytes identical with telemetry on/off" `Quick
+            test_bytes_identical_with_telemetry;
           Alcotest.test_case "connection splits and worker counts" `Quick
             test_determinism_across_connections_and_workers;
         ] );
@@ -408,6 +474,11 @@ let () =
         [
           Alcotest.test_case "overload refusal" `Quick test_overload_refusal;
           Alcotest.test_case "deadline refusal" `Quick test_deadline_refusal;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "golden op=stats transcript" `Quick test_golden_stats;
+          Alcotest.test_case "stats grammar rejections" `Quick test_stats_grammar_rejections;
         ] );
       ("shutdown", [ Alcotest.test_case "drain on stop" `Quick test_drain_on_stop ]);
       ( "framing",
