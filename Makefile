@@ -1,4 +1,4 @@
-.PHONY: all build test lint analyze analyze-baseline chaos serve-smoke bench bench-json engine-bench clean
+.PHONY: all build test lint analyze analyze-baseline chaos store-chaos serve-smoke bench bench-json engine-bench clean
 
 all: build
 
@@ -34,6 +34,13 @@ analyze-baseline:
 chaos:
 	dune build @chaos
 
+# Store sabotage matrix: fault trips, torn writes, bit flips, foreign
+# files, future frames and killed writers against the persistent
+# artifact store — served bytes must match a storeless run (@chaos
+# depends on this too).
+store-chaos:
+	dune build @store-chaos
+
 # End-to-end serving smoke: dpserved on an ephemeral port + a dpopt
 # client round trip, byte-identical to `dpopt engine`, then a graceful
 # SIGTERM drain (@runtest depends on this too).
@@ -48,7 +55,7 @@ bench:
 # number in the file name is the PR sequence number, so successive
 # PRs leave comparable snapshots behind.
 bench-json:
-	dune exec bench/main.exe -- --bench-json BENCH_6.json
+	dune exec bench/main.exe -- --bench-json BENCH_7.json
 
 # Just the serving-engine experiment (E1): cache + compiled samplers +
 # Domain pool, checking byte-identical output across worker counts.

@@ -1435,6 +1435,130 @@ let telemetry_plane =
             final_samples final_latency_count p50 p99 p999 ))
 
 (* ================================================================= *)
+(* P1 — Persistence: warm restarts from the artifact store           *)
+(* ================================================================= *)
+
+let persistence =
+  let module En = Engine in
+  let module Rq = Engine.Request in
+  let module St = Store in
+  E.make ~id:"P1" ~title:"Persistence: cold vs warm restart over the artifact store"
+    ~paper_claim:
+      "(ours; DESIGN.md §4i) A compiled release is a pure function of its canonical \
+       key, so a restarted process may serve a verified disk artifact instead of \
+       re-running the simplex solve — byte-identically, because verify-on-load replays \
+       the same Check.Invariants wall a fresh compile must pass"
+    (fun () ->
+      let n = 6 and alpha = q 1 2 in
+      let count = 1_000 in
+      let requests =
+        Array.of_list
+          (List.map
+             (fun (input, loss) ->
+               match Rq.make ~input ~count ~n ~alpha ~loss ~side:Rq.Full () with
+               | Ok r -> r
+               | Error m -> failwith ("P1 request: " ^ m))
+             [ (1, Rq.Absolute); (3, Rq.Squared); (5, Rq.Zero_one) ])
+      in
+      let with_dir f =
+        let dir = Filename.temp_file "dpstore-bench" "" in
+        Sys.remove dir;
+        Fun.protect
+          ~finally:(fun () ->
+            if Sys.file_exists dir then begin
+              Array.iter
+                (fun name -> Sys.remove (Filename.concat dir name))
+                (Sys.readdir dir);
+              Sys.rmdir dir
+            end)
+          (fun () -> f dir)
+      in
+      let open_store dir =
+        match St.open_dir dir with
+        | Ok s -> s
+        | Error e -> failwith ("P1 open_dir: " ^ St.error_to_string e)
+      in
+      let samples rs = Array.map (fun (r : En.response) -> r.En.samples) rs in
+      (* TTFB: a fresh engine serving its very first request — the
+         restart-critical path. Timed on a single-request batch so the
+         clock covers exactly one compile (or one store probe). *)
+      let ttfb ?tier () =
+        En.with_engine ~domains:1 ?tier (fun e ->
+            let t0 = now_s () in
+            let _ = En.run_batch ~seed:11 e (Array.sub requests 0 1) in
+            now_s () -. t0)
+      in
+      let full ?tier () =
+        En.with_engine ~domains:1 ?tier (fun e -> En.run_batch ~seed:11 e requests)
+      in
+      (* Reference: the storeless bytes every tiered run must equal. *)
+      let ref_rs = full () in
+      let ttfb_ref = ttfb () in
+      with_dir (fun dir ->
+          (* Cold: empty directory. The first-request probe misses,
+             compiles, and writes back. *)
+          let cold_store = open_store dir in
+          let ttfb_cold = ttfb ~tier:(St.tier cold_store) () in
+          let cold_rs = full ~tier:(St.tier cold_store) () in
+          let cold_stats = St.stats cold_store in
+          (* Warm: a fresh process image over the populated directory —
+             every request must come off disk, re-verified, with zero
+             compiles (and therefore zero write-backs). *)
+          let warm_store = open_store dir in
+          let ttfb_warm = ttfb ~tier:(St.tier warm_store) () in
+          let warm_rs = full ~tier:(St.tier warm_store) () in
+          let warm_stats = St.stats warm_store in
+          let identical = samples cold_rs = samples ref_rs && samples warm_rs = samples ref_rs in
+          let all_store_hits =
+            Array.for_all (fun (r : En.response) -> r.En.store_hit) warm_rs
+          in
+          let speedup = if ttfb_warm > 0. then ttfb_cold /. ttfb_warm else infinity in
+          let row name dt (s : St.stats option) =
+            [
+              name;
+              Printf.sprintf "%.4fs" dt;
+              (match s with
+              | None -> "-"
+              | Some s ->
+                Printf.sprintf "%d/%d/%d/%d" s.St.hits s.St.misses s.St.corrupt s.St.writes);
+            ]
+          in
+          let table =
+            T.make ~headers:[ "restart"; "ttfb"; "store hit/miss/corrupt/write" ]
+              [
+                row "storeless" ttfb_ref None;
+                row "cold (empty store)" ttfb_cold (Some cold_stats);
+                row "warm (populated store)" ttfb_warm (Some warm_stats);
+              ]
+          in
+          let problems =
+            List.filter_map Fun.id
+              [
+                (if identical then None
+                 else Some "served bytes differ across storeless/cold/warm runs");
+                (if all_store_hits then None
+                 else Some "a warm request was not served from the store");
+                (if warm_stats.St.writes = 0 then None
+                 else Some "warm restart recompiled (write-backs > 0)");
+                (if warm_stats.St.corrupt = 0 then None
+                 else Some "warm restart refused an entry");
+                (if speedup >= 5.0 then None
+                 else Some (Printf.sprintf "warm ttfb only %.1fx faster than cold" speedup));
+              ]
+          in
+          ( (if problems = [] then E.Pass else E.Fail (String.concat "; " problems)),
+            buf_table table
+            ^ Printf.sprintf
+                "  %d requests x %d samples (seed 11); byte-identical across runs: %b.\n\
+                \  warm restart served %d/%d requests from disk, 0 compiles;\n\
+                \  first-response speedup cold->warm: %.1fx (>= 5x gate).\n"
+                (Array.length requests) count identical
+                (Array.fold_left
+                   (fun a (r : En.response) -> if r.En.store_hit then a + 1 else a)
+                   0 warm_rs)
+                (Array.length requests) speedup )))
+
+(* ================================================================= *)
 (* PERF — Bechamel micro-benchmarks                                  *)
 (* ================================================================= *)
 
@@ -1550,6 +1674,7 @@ let experiments =
     ("engine", engine_serving);
     ("serving", network_serving);
     ("telemetry", telemetry_plane);
+    ("persistence", persistence);
   ]
 
 (* Experiments are addressable both by harness name ("fig1") and by

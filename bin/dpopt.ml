@@ -393,10 +393,22 @@ let engine_cmd =
     in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let cache_state (r : Engine.response) =
-    if r.Engine.cache_bypassed then "bypass" else if r.Engine.cache_hit then "hit" else "miss"
+  let store_dir =
+    let doc =
+      "Persistent artifact store directory (created if absent): memory misses probe it \
+       for a verified warm artifact before compiling, and fresh compiles are written \
+       back as crash-safe checksummed frames. Served bytes are identical with or \
+       without it."
+    in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
   in
-  let run () file workers cache print_samples json seed budget =
+  let cache_state (r : Engine.response) =
+    if r.Engine.cache_bypassed then "bypass"
+    else if r.Engine.cache_hit then "hit"
+    else if r.Engine.store_hit then "store"
+    else "miss"
+  in
+  let run () file workers cache store_dir print_samples json seed budget =
     let lines = try Ok (read_request_lines file) with Sys_error m -> Error m in
     match lines with
     | Error m -> `Error (false, m)
@@ -429,6 +441,16 @@ let engine_cmd =
         let wires = Array.of_list (List.rev (List.filter_map Result.to_option parsed)) in
         if Array.length wires = 0 then `Error (false, "no requests (input was empty)")
         else begin
+          match
+            match store_dir with
+            | None -> Ok None
+            | Some dir -> (
+              match Store.open_dir dir with
+              | Ok s -> Ok (Some s)
+              | Error e -> Error (Store.error_to_string e))
+          with
+          | Error m -> `Error (false, "cannot open store: " ^ m)
+          | Ok store ->
           (* One seeder for the whole file: line k with seed s draws
              the k-th split of Rng.of_int s — the same chain the server
              walks per connection, and (when every line shares the
@@ -458,7 +480,8 @@ let engine_cmd =
               wires
           in
           let results, elapsed_ns, stats, domains =
-            Engine.with_engine ?domains:workers ~cache_capacity:cache ?budget (fun e ->
+            Engine.with_engine ?domains:workers ~cache_capacity:cache ?budget
+              ?tier:(Option.map Store.tier store) (fun e ->
               let t0 = Obs.Clock.monotonic () in
               let results = Engine.run_jobs e jobs in
               let t1 = Obs.Clock.monotonic () in
@@ -506,11 +529,17 @@ let engine_cmd =
           let summary =
             Printf.sprintf
               "%d request(s), %d sample(s)%s in %.3fs (%.0f samples/s) on %d worker \
-               domain(s); cache: %d hit(s) %d miss(es) %d eviction(s)"
+               domain(s); cache: %d hit(s) %d miss(es) %d eviction(s)%s"
               (Array.length results) total_samples
               (if error_count > 0 then Printf.sprintf ", %d error(s)" error_count else "")
               seconds per_s domains stats.Engine.Cache.hits stats.Engine.Cache.misses
               stats.Engine.Cache.evictions
+              (match store with
+              | None -> ""
+              | Some s ->
+                let st = Store.stats s in
+                Printf.sprintf "; store: %d hit(s) %d miss(es) %d corrupt %d write(s)"
+                  st.Store.hits st.Store.misses st.Store.corrupt st.Store.writes)
           in
           if json then
             let open Obs.Json in
@@ -532,6 +561,18 @@ let engine_cmd =
                             ("evictions", Int stats.Engine.Cache.evictions);
                             ("insertions", Int stats.Engine.Cache.insertions);
                           ] );
+                      ( "store",
+                        match store with
+                        | None -> Null
+                        | Some s ->
+                          let st = Store.stats s in
+                          Obj
+                            [
+                              ("hits", Int st.Store.hits);
+                              ("misses", Int st.Store.misses);
+                              ("corrupt", Int st.Store.corrupt);
+                              ("writes", Int st.Store.writes);
+                            ] );
                     ]))
           else print_endline summary;
           `Ok ()
@@ -540,8 +581,8 @@ let engine_cmd =
   let term =
     Term.(
       ret
-        (const run $ obs_term $ file $ workers $ cache $ print_samples $ json $ seed_arg
-       $ budget_thunk_term))
+        (const run $ obs_term $ file $ workers $ cache $ store_dir $ print_samples $ json
+       $ seed_arg $ budget_thunk_term))
   in
   Cmd.v
     (Cmd.info "engine"

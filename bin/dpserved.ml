@@ -4,10 +4,18 @@
    print the bound address (port 0 picks an ephemeral port, so scripts
    parse this line), serve until SIGINT/SIGTERM, then drain — every
    admitted request is answered and flushed before exit. A second
-   signal while draining exits immediately. *)
+   signal while draining exits immediately.
+
+   Signals: SIGINT/SIGTERM start the drain. SIGHUP means "flush
+   write-backs and reopen the store directory" — with --store the
+   handler re-validates the directory and sweeps stale temp files
+   (write-backs are synchronous, so there is never anything buffered
+   to flush beyond what the kernel already has); without --store it is
+   a documented no-op. Either way SIGHUP never interrupts serving. *)
 
 open Cmdliner
 module Server = Minimax_dp.Server
+module Store = Minimax_dp.Store
 module Obs = Minimax_dp.Obs
 
 let host_arg =
@@ -55,6 +63,29 @@ let seed_arg =
   let doc = "Seed for request lines that carry no seed= field." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let store_arg =
+  let doc =
+    "Persistent artifact store directory (created if absent). Compiled mechanisms are \
+     written back as crash-safe checksummed frames and re-verified through the full \
+     invariant replay before any warm restart serves them."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let preload_arg =
+  let doc =
+    "Verify-and-load every store entry into the memory cache before accepting \
+     connections (refused entries are reported on stderr and skipped). Requires \
+     --store."
+  in
+  Arg.(value & flag & info [ "preload" ] ~doc)
+
+let store_readonly_arg =
+  let doc =
+    "Open the store read-only: probes serve verified entries but nothing is written \
+     back and the directory is never modified. Requires --store."
+  in
+  Arg.(value & flag & info [ "store-readonly" ] ~doc)
+
 let no_obs_arg =
   let doc =
     "Disable telemetry (no recorder installed): v=1 op=stats answers with zeros and \
@@ -63,50 +94,118 @@ let no_obs_arg =
   in
   Arg.(value & flag & info [ "no-obs" ] ~doc)
 
-let run host port workers cache queue deadline pivots bits seed no_obs =
-  let config =
-    {
-      Server.host;
-      port;
-      domains = workers;
-      cache_capacity = cache;
-      queue_capacity = queue;
-      conn_deadline_ms = deadline;
-      max_pivots = pivots;
-      max_bits = bits;
-      default_seed = seed;
-    }
-  in
-  (* Telemetry is on by default: the recorder is what op=stats reads.
-     Sampling determinism never depends on it, so --no-obs only trades
-     the stats/trace plane for a slightly shorter hot path. *)
-  if not no_obs then Obs.set_current (Some (Obs.create ()));
-  match Server.create ~config () with
-  | exception Unix.Unix_error (e, _, _) ->
-    `Error (false, Printf.sprintf "cannot bind %s:%d: %s" host port (Unix.error_message e))
-  | t ->
-    Printf.printf "dpserved: listening on %s:%d\n%!" host (Server.port t);
-    let draining = ref false in
-    let on_signal _ =
-      if !draining then exit 130
-      else begin
-        draining := true;
-        Server.stop t
-      end
+let run host port workers cache queue deadline pivots bits seed store_dir preload
+    store_readonly no_obs =
+  if (preload || store_readonly) && store_dir = None then
+    `Error (true, "--preload and --store-readonly require --store DIR")
+  else
+    let store =
+      match store_dir with
+      | None -> Ok None
+      | Some dir -> (
+        match Store.open_dir ~readonly:store_readonly dir with
+        | Ok s -> Ok (Some s)
+        | Error e -> Error (Store.error_to_string e))
     in
-    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
-    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
-    Server.serve t;
-    Printf.printf "dpserved: drained\n%!";
-    `Ok ()
+    match store with
+    | Error msg -> `Error (false, Printf.sprintf "cannot open store: %s" msg)
+    | Ok store ->
+      let config =
+        {
+          Server.host;
+          port;
+          domains = workers;
+          cache_capacity = cache;
+          queue_capacity = queue;
+          conn_deadline_ms = deadline;
+          max_pivots = pivots;
+          max_bits = bits;
+          default_seed = seed;
+          tier = Option.map Store.tier store;
+        }
+      in
+      (* Telemetry is on by default: the recorder is what op=stats reads.
+         Sampling determinism never depends on it, so --no-obs only trades
+         the stats/trace plane for a slightly shorter hot path. *)
+      if not no_obs then Obs.set_current (Some (Obs.create ()));
+      (match Server.create ~config () with
+      | exception Unix.Unix_error (e, _, _) ->
+        `Error
+          (false, Printf.sprintf "cannot bind %s:%d: %s" host port (Unix.error_message e))
+      | t ->
+        (match store with
+        | Some s when preload ->
+          let artifacts, refused = Store.load_all s in
+          List.iter
+            (fun (name, e) ->
+              Printf.eprintf "dpserved: store entry %s refused: %s\n%!" name
+                (Store.error_to_string e))
+            refused;
+          Minimax_dp.Engine.preload (Server.engine t) artifacts;
+          Printf.printf "dpserved: preloaded %d artifact%s from %s\n%!"
+            (List.length artifacts)
+            (if List.length artifacts = 1 then "" else "s")
+            (Store.dir s)
+        | _ -> ());
+        Printf.printf "dpserved: listening on %s:%d\n%!" host (Server.port t);
+        let draining = ref false in
+        let on_signal _ =
+          if !draining then exit 130
+          else begin
+            draining := true;
+            Server.stop t
+          end
+        in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+        (* SIGHUP: flush write-backs and reopen the store directory.
+           Write-backs are synchronous (an artifact is fsynced before
+           its rename lands), so the flush half is already true by
+           construction; reopen re-validates the directory and sweeps
+           temp files left by killed writers. Without --store this is
+           a no-op — but the handler is still installed, because the
+           default disposition would kill the daemon. OCaml runs
+           handlers at safe points on the main domain; Store.reopen
+           takes the store's own mutex, so it cannot race a runner
+           probe. *)
+        let on_hup _ =
+          match store with
+          | None -> ()
+          | Some s -> (
+            match Store.reopen s with
+            | Ok () -> Printf.printf "dpserved: store reopened (%s)\n%!" (Store.dir s)
+            | Error e ->
+              Printf.eprintf "dpserved: store reopen failed: %s\n%!"
+                (Store.error_to_string e))
+        in
+        (try Sys.set_signal Sys.sighup (Sys.Signal_handle on_hup)
+         with Invalid_argument _ -> ());
+        Server.serve t;
+        Printf.printf "dpserved: drained\n%!";
+        `Ok ())
 
 let main =
   let doc = "serve minimax-DP mechanisms over TCP (v=1 line protocol; see PROTOCOL.md)" in
+  let man =
+    [
+      `S "SIGNALS";
+      `P
+        "SIGINT/SIGTERM start the drain: the listener closes, every admitted request is \
+         answered and flushed, then the process exits (a second signal exits \
+         immediately).";
+      `P
+        "SIGHUP flushes write-backs and reopens the store directory: with $(b,--store) \
+         the directory is re-validated and stale temp files left by killed writers are \
+         swept (write-backs are synchronous, so nothing is ever buffered); without \
+         $(b,--store) it is a no-op. Serving is never interrupted.";
+    ]
+  in
   Cmd.v
-    (Cmd.info "dpserved" ~version:"1.0.0" ~doc)
+    (Cmd.info "dpserved" ~version:"1.0.0" ~doc ~man)
     Term.(
       ret
         (const run $ host_arg $ port_arg $ workers_arg $ cache_arg $ queue_arg $ deadline_arg
-       $ pivots_arg $ bits_arg $ seed_arg $ no_obs_arg))
+       $ pivots_arg $ bits_arg $ seed_arg $ store_arg $ preload_arg $ store_readonly_arg
+       $ no_obs_arg))
 
 let () = exit (Cmd.eval main)

@@ -75,5 +75,14 @@ let compile ?budget ~alpha ~key consumer =
   Obs.incr "engine.compiles";
   { key; served; certificates; sampler }
 
+(* The warm-restart entry point: a release reconstituted from outside
+   the serve ladder (e.g. deserialized from a disk store) earns its
+   certificates through the exact same audit a fresh compile does, so
+   an artifact that skipped the solver still cannot exist uncertified.
+   Deliberately does not bump "engine.compiles": no solve happened. *)
+let of_served ~key ~alpha served =
+  let certificates = recertify ~key ~alpha served in
+  { key; served; certificates; sampler = sampler_of_mechanism served.S.mechanism }
+
 let rung t = t.served.S.provenance.S.rung
 let loss t = t.served.S.loss

@@ -54,5 +54,14 @@ val compile : ?budget:Lp.Budget.t -> alpha:Rat.t -> key:string -> Minimax.Consum
     Emits an ["engine.compile"] span.
     @raise Uncertified if any re-verification fails *)
 
+val of_served : key:string -> alpha:Rat.t -> Minimax.Serve.served -> t
+(** Admit an externally reconstituted release (e.g. one deserialized
+    from a disk artifact store) through the exact audit {!compile}
+    applies: the release is re-verified via {!Check.Invariants} and the
+    alias tables are rebuilt, so the returned artifact carries freshly
+    replayed certificates rather than trusted ones. Never bumps
+    ["engine.compiles"] — no solve happened.
+    @raise Uncertified if any re-verification fails *)
+
 val rung : t -> Minimax.Serve.rung
 val loss : t -> Rat.t

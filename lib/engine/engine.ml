@@ -6,14 +6,25 @@ module Compiled = Compiled
 module Pool = Pool
 module Seeder = Seeder
 
+(* The optional second cache tier (a disk artifact store, in
+   practice). Both callbacks are contractually total: a probe that
+   cannot produce a verified artifact answers None and a store that
+   cannot persist swallows the failure, so tier trouble can slow a
+   request down but never fail it. *)
+type tier = {
+  probe : Request.t -> Compiled.t option;
+  store : Compiled.t -> unit;
+}
+
 type t = {
   pool : Pool.t;
   cache : Compiled.t Cache.t;
   budget : (unit -> Lp.Budget.t) option;
+  tier : tier option;
   mutable closed : bool;
 }
 
-let create ?domains ?(cache_capacity = 64) ?budget () =
+let create ?domains ?(cache_capacity = 64) ?budget ?tier () =
   let domains =
     match domains with Some d -> d | None -> Pool.recommended_domains ()
   in
@@ -21,6 +32,7 @@ let create ?domains ?(cache_capacity = 64) ?budget () =
     pool = Pool.create ~domains;
     cache = Cache.create ~capacity:cache_capacity;
     budget;
+    tier;
     closed = false;
   }
 
@@ -36,6 +48,7 @@ type response = {
   loss : Rat.t;
   provenance : Minimax.Serve.provenance;
   cache_hit : bool;
+  store_hit : bool;
   cache_bypassed : bool;
 }
 
@@ -43,7 +56,10 @@ type response = {
    tripped "engine.cache" site degrades to a cacheless compile: the
    request is still served, the cache is never touched mid-fault (so a
    trip cannot corrupt or partially populate it), and the bypass is
-   counted. *)
+   counted. A memory miss probes the second tier (when one is wired)
+   before compiling, and a fresh compile is offered back to it; the
+   tier's contract makes both calls total, so store trouble degrades
+   to exactly the storeless path. *)
 let resolve ?budget t (req : Request.t) =
   let key = Request.canonical_key req in
   let compile () =
@@ -59,15 +75,25 @@ let resolve ?budget t (req : Request.t) =
   in
   if bypass then begin
     Obs.incr "engine.cache.bypassed";
-    (compile (), false, true)
+    (compile (), false, false, true)
   end
   else
     match Cache.find t.cache key with
-    | Some c -> (c, true, false)
+    | Some c -> (c, true, false, false)
     | None ->
-      let c = compile () in
+      let c, store_hit =
+        match t.tier with
+        | None -> (compile (), false)
+        | Some tier -> (
+          match tier.probe req with
+          | Some c -> (c, true)
+          | None ->
+            let c = compile () in
+            tier.store c;
+            (c, false))
+      in
       Cache.add t.cache key c;
-      (c, false, false)
+      (c, false, store_hit, false)
 
 type job = {
   request : Request.t;
@@ -129,7 +155,7 @@ let run_jobs t (jobs : job array) =
   let sample_into rng i =
     match resolved.(i) with
     | Error _ -> ()
-    | Ok (c, _, _) ->
+    | Ok (c, _, _, _) ->
       let req = jobs.(i).request in
       results.(i) <-
         Compiled.draws c.Compiled.sampler ~input:req.Request.input ~count:req.Request.count rng
@@ -142,7 +168,7 @@ let run_jobs t (jobs : job array) =
   let sample_attrs i =
     match resolved.(i) with
     | Error _ -> []
-    | Ok ((c : Compiled.t), cache_hit, _) ->
+    | Ok ((c : Compiled.t), cache_hit, _, _) ->
       let prov = c.Compiled.served.Minimax.Serve.provenance in
       [
         ("cache_hit", Obs.Bool cache_hit);
@@ -189,7 +215,7 @@ let run_jobs t (jobs : job array) =
     Array.init len (fun i ->
         match resolved.(i) with
         | Error e -> Error e
-        | Ok (c, cache_hit, cache_bypassed) ->
+        | Ok (c, cache_hit, store_hit, cache_bypassed) ->
           Ok
             {
               request = jobs.(i).request;
@@ -199,6 +225,7 @@ let run_jobs t (jobs : job array) =
               loss = Compiled.loss c;
               provenance = c.Compiled.served.Minimax.Serve.provenance;
               cache_hit;
+              store_hit;
               cache_bypassed;
             })
   in
@@ -232,6 +259,13 @@ let run_batch ?(seed = 42) t (requests : Request.t array) =
 
 let artifact t req = Cache.peek t.cache (Request.canonical_key req)
 
+(* Warm-boot entry point: artifacts a store already verified go
+   straight into the memory tier, in the order given (so beyond the
+   cache capacity the LRU keeps the last ones offered). *)
+let preload t artifacts =
+  if t.closed then invalid_arg "Engine.preload: engine is shut down";
+  List.iter (fun (c : Compiled.t) -> Cache.add t.cache c.Compiled.key c) artifacts
+
 (* analysis: domain-local — closed is a coordinator-domain latch: set
    and read only by the domain that owns the engine handle. *)
 let shutdown t =
@@ -240,6 +274,6 @@ let shutdown t =
     Pool.shutdown t.pool
   end
 
-let with_engine ?domains ?cache_capacity ?budget f =
-  let t = create ?domains ?cache_capacity ?budget () in
+let with_engine ?domains ?cache_capacity ?budget ?tier f =
+  let t = create ?domains ?cache_capacity ?budget ?tier () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

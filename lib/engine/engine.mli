@@ -35,13 +35,34 @@ module Seeder = Seeder
 
 type t
 
-val create : ?domains:int -> ?cache_capacity:int -> ?budget:(unit -> Lp.Budget.t) -> unit -> t
+(** An optional second cache tier behind the in-memory LRU — in
+    practice a disk artifact store ([lib/store]). A memory miss calls
+    [probe] before compiling; a fresh compile is offered to [store]
+    for write-back. Both callbacks are contractually total: [probe]
+    answers [None] for anything it cannot produce a {e verified}
+    artifact for (absent, corrupt, failed re-certification, I/O
+    trouble) and [store] swallows its own failures — so a broken tier
+    degrades the engine to exactly the storeless compile path, never
+    into an error or a wrong byte. *)
+type tier = {
+  probe : Request.t -> Compiled.t option;
+  store : Compiled.t -> unit;
+}
+
+val create :
+  ?domains:int ->
+  ?cache_capacity:int ->
+  ?budget:(unit -> Lp.Budget.t) ->
+  ?tier:tier ->
+  unit ->
+  t
 (** [domains] defaults to {!Pool.recommended_domains}[ ()] ([<= 1]
     means the inline single-domain fallback); [cache_capacity]
     defaults to [64]. [budget] is invoked once per compile so each
     solve gets a fresh deadline window; compiles that exhaust it
     degrade down the serve ladder instead of failing
-    (see {!Minimax.Serve}). *)
+    (see {!Minimax.Serve}). [tier] wires a second cache tier under the
+    LRU (memory miss → tier probe → compile → tier write-back). *)
 
 val domains : t -> int
 val cache_stats : t -> Cache.stats
@@ -56,7 +77,10 @@ type response = {
   loss : Rat.t;  (** the consumer's minimax loss of that mechanism *)
   provenance : Minimax.Serve.provenance;
       (** full serve-ladder provenance of the compiled artifact *)
-  cache_hit : bool;
+  cache_hit : bool;  (** served from the in-memory LRU *)
+  store_hit : bool;
+      (** memory miss answered by the second tier (a verified
+          warm-restart artifact), no compile paid *)
   cache_bypassed : bool;  (** compiled outside the cache (fault trip) *)
 }
 
@@ -107,9 +131,20 @@ val artifact : t -> Request.t -> Compiled.t option
 (** The cached artifact that would serve this request, if present
     (recency- and counter-neutral). *)
 
+val preload : t -> Compiled.t list -> unit
+(** Warm the memory tier with already-verified artifacts (a store's
+    [load_all] hand-off), in list order; beyond the cache capacity the
+    LRU keeps the last ones offered.
+    @raise Invalid_argument after {!shutdown} *)
+
 val shutdown : t -> unit
 (** Stop the pool. Idempotent. *)
 
 val with_engine :
-  ?domains:int -> ?cache_capacity:int -> ?budget:(unit -> Lp.Budget.t) -> (t -> 'a) -> 'a
+  ?domains:int ->
+  ?cache_capacity:int ->
+  ?budget:(unit -> Lp.Budget.t) ->
+  ?tier:tier ->
+  (t -> 'a) ->
+  'a
 (** [create], run, and {!shutdown} (also on exceptions). *)

@@ -8,4 +8,5 @@ module Invariants = Check.Invariants
 module Budget = Resilience.Budget
 module Engine = Engine
 module Server = Server
+module Store = Store
 module Obs = Obs

@@ -18,6 +18,8 @@
     - {!Invariants} — independent certification of released matrices
       ({!Check.Invariants});
     - {!Budget} — solve budgets ({!Resilience.Budget});
+    - {!Store} — the crash-safe persistent artifact store behind
+      warm restarts ([--store]);
     - {!Obs} — the telemetry plane: sharded recorder, traces, rolling
       latency windows, and the text / JSON / Chrome-trace sinks. *)
 
@@ -29,4 +31,5 @@ module Invariants = Check.Invariants
 module Budget = Resilience.Budget
 module Engine = Engine
 module Server = Server
+module Store = Store
 module Obs = Obs

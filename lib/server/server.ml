@@ -15,6 +15,7 @@ type config = {
   max_pivots : int option;
   max_bits : int option;
   default_seed : int;
+  tier : Engine.tier option;
 }
 
 let default_config =
@@ -28,6 +29,7 @@ let default_config =
     max_pivots = None;
     max_bits = None;
     default_seed = 42;
+    tier = None;
   }
 
 (* analysis: domain-local — conn records belong to the single
@@ -104,7 +106,9 @@ let create ?(config = default_config) () =
     config;
     listener;
     actual_port;
-    engine = Engine.create ?domains:config.domains ~cache_capacity:config.cache_capacity ();
+    engine =
+      Engine.create ?domains:config.domains ~cache_capacity:config.cache_capacity
+        ?tier:config.tier ();
     wake_r;
     wake_w;
     stopping = Atomic.make false;
@@ -118,6 +122,7 @@ let create ?(config = default_config) () =
   }
 
 let port t = t.actual_port
+let engine t = t.engine
 let stop t =
   Atomic.set t.stopping true;
   Framing.wake t.wake_w

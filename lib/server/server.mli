@@ -72,11 +72,16 @@ type config = {
   max_pivots : int option;  (** per-connection budget dimensions... *)
   max_bits : int option;  (** ...threaded into every compile *)
   default_seed : int;  (** for request lines without [seed=] *)
+  tier : Engine.tier option;
+      (** second cache tier under the engine's LRU — in practice a
+          disk artifact store's [Store.tier]. The server stays
+          storage-agnostic: it only ever sees the two total
+          callbacks. *)
 }
 
 val default_config : config
 (** [127.0.0.1:0], recommended domains, cache 64, queue 64, no
-    deadline, seed 42. *)
+    deadline, seed 42, no second tier. *)
 
 type t
 
@@ -89,6 +94,10 @@ val create : ?config:config -> unit -> t
 val port : t -> int
 (** The actually-bound port — the ephemeral one when [config.port]
     was [0]. *)
+
+val engine : t -> Engine.t
+(** The server's engine, e.g. to {!Engine.preload} warm-restart
+    artifacts before {!serve}. *)
 
 val serve : t -> unit
 (** Run the event loop on the calling thread until {!stop}, then drain

@@ -24,6 +24,11 @@ type t = {
   engine_samples : int;
   cache : Engine.Cache.stats;
   cache_bypassed : int;
+  store_hits : int;
+  store_misses : int;
+  store_corrupt : int;
+  store_writes : int;
+  store_probe : Obs.Rolling.snapshot option;
   latency : Obs.Rolling.snapshot option;
 }
 
@@ -45,6 +50,11 @@ let capture ~queue_depth ~queue_capacity ~cache () =
     engine_samples = Obs.counter_value "engine.samples";
     cache;
     cache_bypassed = Obs.counter_value "engine.cache.bypassed";
+    store_hits = Obs.counter_value "store.hits";
+    store_misses = Obs.counter_value "store.misses";
+    store_corrupt = Obs.counter_value "store.corrupt";
+    store_writes = Obs.counter_value "store.writes";
+    store_probe = Obs.rolling_value "store.probe.latency";
     latency = Obs.rolling_value "server.latency";
   }
 
@@ -95,6 +105,15 @@ let to_json t =
             ("insertions", J.Int t.cache.Engine.Cache.insertions);
             ("bypassed", J.Int t.cache_bypassed);
           ] );
+      ( "store",
+        J.Obj
+          [
+            ("hits", J.Int t.store_hits);
+            ("misses", J.Int t.store_misses);
+            ("corrupt", J.Int t.store_corrupt);
+            ("writes", J.Int t.store_writes);
+            ("probe_latency_us", latency_to_json t.store_probe);
+          ] );
       ("latency_us", latency_to_json t.latency);
     ]
 
@@ -132,8 +151,13 @@ let to_prometheus t =
   add "dpserved_cache_events_total{event=\"evictions\"} %d\n" t.cache.Engine.Cache.evictions;
   add "dpserved_cache_events_total{event=\"insertions\"} %d\n" t.cache.Engine.Cache.insertions;
   add "dpserved_cache_events_total{event=\"bypassed\"} %d\n" t.cache_bypassed;
-  let count, p50, p99, p999, sum =
-    match t.latency with
+  add "# TYPE dpserved_store_events_total counter\n";
+  add "dpserved_store_events_total{event=\"hits\"} %d\n" t.store_hits;
+  add "dpserved_store_events_total{event=\"misses\"} %d\n" t.store_misses;
+  add "dpserved_store_events_total{event=\"corrupt\"} %d\n" t.store_corrupt;
+  add "dpserved_store_events_total{event=\"writes\"} %d\n" t.store_writes;
+  let window w =
+    match w with
     | None -> (0, 0, 0, 0, 0)
     | Some w ->
       ( w.Obs.Rolling.count,
@@ -142,10 +166,15 @@ let to_prometheus t =
         w.Obs.Rolling.p999_us,
         w.Obs.Rolling.sum_us )
   in
-  add "# TYPE dpserved_latency_microseconds summary\n";
-  add "dpserved_latency_microseconds{quantile=\"0.5\"} %d\n" p50;
-  add "dpserved_latency_microseconds{quantile=\"0.99\"} %d\n" p99;
-  add "dpserved_latency_microseconds{quantile=\"0.999\"} %d\n" p999;
-  add "dpserved_latency_microseconds_sum %d\n" sum;
-  add "dpserved_latency_microseconds_count %d\n" count;
+  let summary family w =
+    let count, p50, p99, p999, sum = window w in
+    add "# TYPE %s summary\n" family;
+    add "%s{quantile=\"0.5\"} %d\n" family p50;
+    add "%s{quantile=\"0.99\"} %d\n" family p99;
+    add "%s{quantile=\"0.999\"} %d\n" family p999;
+    add "%s_sum %d\n" family sum;
+    add "%s_count %d\n" family count
+  in
+  summary "dpserved_store_probe_microseconds" t.store_probe;
+  summary "dpserved_latency_microseconds" t.latency;
   Buffer.contents buf

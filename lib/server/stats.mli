@@ -30,6 +30,13 @@ type t = {
   engine_samples : int;
   cache : Engine.Cache.stats;
   cache_bypassed : int;  (** compiles that skipped the cache (fault trips) *)
+  store_hits : int;  (** memory misses answered by the artifact store *)
+  store_misses : int;  (** store probes that found no entry *)
+  store_corrupt : int;  (** entries refused by frame or verify checks *)
+  store_writes : int;  (** artifacts persisted (write-backs) *)
+  store_probe : Obs.Rolling.snapshot option;
+      (** the ["store.probe.latency"] rolling window; [None] when no
+          store is wired or nothing has been probed yet *)
   latency : Obs.Rolling.snapshot option;
       (** the ["server.latency"] rolling window; [None] when telemetry
           is disabled or nothing has been served yet *)
@@ -41,12 +48,14 @@ val capture : queue_depth:int -> queue_capacity:int -> cache:Engine.Cache.stats 
 
 val to_json : t -> Obs.Json.t
 (** The stats snapshot object: [queue], [conns], [requests],
-    [rejected], [engine], [cache] and [latency_us] (a rolling-quantile
-    object, or [null] before any served request). *)
+    [rejected], [engine], [cache], [store] (tier counters plus its
+    [probe_latency_us] rolling-quantile object) and [latency_us] (a
+    rolling-quantile object, or [null] before any served request). *)
 
 val to_prometheus : t -> string
 (** Prometheus text exposition (format 0.0.4) of the same capture:
     gauges for queue depth/capacity, [_total] counters for
-    connection/request/rejection/cache events, and the latency window
-    as a [summary] with 0.5/0.99/0.999 quantiles. Every series is
-    emitted even at zero, so scrapes see a stable set. *)
+    connection/request/rejection/cache/store events, and the store
+    probe and latency windows as [summary] families with
+    0.5/0.99/0.999 quantiles. Every series is emitted even at zero,
+    so scrapes see a stable set. *)

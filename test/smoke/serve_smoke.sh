@@ -2,8 +2,9 @@
 # End-to-end serving smoke (`make serve-smoke`; @runtest depends on it):
 # boot dpserved on an ephemeral port, round-trip a request file through
 # `dpopt client`, and require the served bytes to be identical to what
-# `dpopt engine` emits for the same file — then SIGTERM the daemon and
-# require a graceful drain.
+# `dpopt engine` emits for the same file — then exercise SIGHUP (a
+# documented no-op without --store), SIGTERM-drain the daemon, and run
+# the same checks through a warm restart over a --store directory.
 set -eu
 
 DPSERVED=$1
@@ -24,46 +25,138 @@ v=1 id=s1 seed=12 n=5 alpha=1/3 loss=squared count=2
 v=1 id=s2 seed=13 n=4 alpha=2/5 side=>=1 count=4
 EOF
 
-"$DPSERVED" -w 2 --queue 8 > "$dir/served.log" 2>&1 &
-served_pid=$!
-
-port=
-i=0
-while [ $i -lt 100 ]; do
-  port=$(sed -n 's/^dpserved: listening on .*:\([0-9][0-9]*\)$/\1/p' "$dir/served.log")
-  if [ -n "$port" ]; then break; fi
-  if ! kill -0 "$served_pid" 2>/dev/null; then
-    echo "serve-smoke: dpserved died at startup:"
-    cat "$dir/served.log"
-    exit 1
-  fi
-  sleep 0.1
-  i=$((i + 1))
-done
-if [ -z "$port" ]; then
+# Wait for the daemon whose log is $1 to announce its port.
+discover_port() {
+  port=
+  i=0
+  while [ $i -lt 100 ]; do
+    port=$(sed -n 's/^dpserved: listening on .*:\([0-9][0-9]*\)$/\1/p' "$1")
+    if [ -n "$port" ]; then return 0; fi
+    if ! kill -0 "$served_pid" 2>/dev/null; then
+      echo "serve-smoke: dpserved died at startup:"
+      cat "$1"
+      exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+  done
   echo "serve-smoke: dpserved never announced a port"
   exit 1
-fi
+}
 
-"$DPOPT" client -p "$port" -f "$dir/requests" > "$dir/client.out"
+# First contact with a freshly announced listener: bounded retry with
+# backoff on connection refusal (the announcement races the kernel
+# making the socket connectable under load) — never a fixed sleep,
+# never an unbounded wait, and any non-refusal error fails at once.
+client_round() {
+  # client_round PORT OUTFILE
+  attempt=0
+  backoff=0.1
+  while :; do
+    if "$DPOPT" client -p "$1" -f "$dir/requests" > "$2" 2> "$dir/client.err"; then
+      return 0
+    fi
+    if ! grep -qi 'connection refused\|cannot connect' "$dir/client.err"; then
+      echo "serve-smoke: dpopt client failed (not a refused connection):"
+      cat "$dir/client.err"
+      exit 1
+    fi
+    attempt=$((attempt + 1))
+    if [ $attempt -ge 6 ]; then
+      echo "serve-smoke: connection still refused after $attempt attempts:"
+      cat "$dir/client.err"
+      exit 1
+    fi
+    sleep "$backoff"
+    backoff=$(awk "BEGIN { print $backoff * 2 }")
+  done
+}
+
+require_identical() {
+  # require_identical GOT LABEL
+  if ! cmp -s "$1" "$dir/engine.out"; then
+    echo "serve-smoke: $2: served bytes differ from dpopt engine bytes:"
+    diff "$1" "$dir/engine.out" || true
+    exit 1
+  fi
+}
+
+drain() {
+  # drain LOGFILE
+  kill -TERM "$served_pid"
+  if ! wait "$served_pid"; then
+    echo "serve-smoke: dpserved exited non-zero after SIGTERM"
+    exit 1
+  fi
+  served_pid=
+  if ! grep -q '^dpserved: drained$' "$1"; then
+    echo "serve-smoke: no graceful drain marker:"
+    cat "$1"
+    exit 1
+  fi
+}
+
+# The reference bytes every serving path must reproduce.
 "$DPOPT" engine --json -f "$dir/requests" | sed '$d' > "$dir/engine.out"
 
-if ! cmp -s "$dir/client.out" "$dir/engine.out"; then
-  echo "serve-smoke: served bytes differ from dpopt engine bytes:"
-  diff "$dir/client.out" "$dir/engine.out" || true
+# --- Round 1: storeless daemon -------------------------------------
+
+"$DPSERVED" -w 2 --queue 8 > "$dir/served.log" 2>&1 &
+served_pid=$!
+discover_port "$dir/served.log"
+
+client_round "$port" "$dir/client.out"
+require_identical "$dir/client.out" "storeless"
+
+# SIGHUP without --store is a documented no-op: the daemon must
+# neither die nor change its served bytes.
+kill -HUP "$served_pid"
+client_round "$port" "$dir/client2.out"
+require_identical "$dir/client2.out" "storeless after SIGHUP"
+
+drain "$dir/served.log"
+
+# --- Round 2: cold boot over an empty store, SIGHUP reopen ----------
+
+"$DPSERVED" -w 2 --queue 8 --store "$dir/store" > "$dir/served2.log" 2>&1 &
+served_pid=$!
+discover_port "$dir/served2.log"
+
+client_round "$port" "$dir/cold.out"
+require_identical "$dir/cold.out" "cold boot with --store"
+
+# SIGHUP with --store reopens the directory (flush + sweep).
+kill -HUP "$served_pid"
+client_round "$port" "$dir/cold2.out"
+require_identical "$dir/cold2.out" "after store reopen"
+
+drain "$dir/served2.log"
+if ! grep -q '^dpserved: store reopened' "$dir/served2.log"; then
+  echo "serve-smoke: no store-reopen marker after SIGHUP:"
+  cat "$dir/served2.log"
   exit 1
 fi
 
-kill -TERM "$served_pid"
-if ! wait "$served_pid"; then
-  echo "serve-smoke: dpserved exited non-zero after SIGTERM"
-  exit 1
-fi
-served_pid=
-if ! grep -q '^dpserved: drained$' "$dir/served.log"; then
-  echo "serve-smoke: no graceful drain marker:"
-  cat "$dir/served.log"
+entries=$(ls "$dir/store"/*.dpa 2>/dev/null | wc -l)
+if [ "$entries" -eq 0 ]; then
+  echo "serve-smoke: cold boot wrote no store entries"
   exit 1
 fi
 
-echo "serve-smoke: clean (3 requests served byte-identical to dpopt engine; drained on SIGTERM)"
+# --- Round 3: warm restart, preloaded from the store ----------------
+
+"$DPSERVED" -w 2 --queue 8 --store "$dir/store" --preload > "$dir/served3.log" 2>&1 &
+served_pid=$!
+discover_port "$dir/served3.log"
+
+client_round "$port" "$dir/warm.out"
+require_identical "$dir/warm.out" "warm restart"
+
+drain "$dir/served3.log"
+if ! grep -q '^dpserved: preloaded' "$dir/served3.log"; then
+  echo "serve-smoke: no preload marker on warm restart:"
+  cat "$dir/served3.log"
+  exit 1
+fi
+
+echo "serve-smoke: clean (3 requests byte-identical to dpopt engine across storeless, SIGHUP, cold-store and warm-restart rounds)"
