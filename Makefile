@@ -1,4 +1,4 @@
-.PHONY: all build test lint analyze analyze-baseline chaos store-chaos serve-smoke bench bench-json engine-bench clean
+.PHONY: all build test lint analyze analyze-baseline chaos store-chaos session-chaos serve-smoke bench bench-json engine-bench clean
 
 all: build
 
@@ -41,6 +41,14 @@ chaos:
 store-chaos:
 	dune build @store-chaos
 
+# Session sabotage matrix: tripped epoch draws, tripped checkpoint
+# writes, torn checkpoint frames and exhausted budgets against the
+# stateful session plane — every surviving epoch must be
+# byte-identical to the undisturbed sequence (@chaos depends on this
+# too).
+session-chaos:
+	dune build @session-chaos
+
 # End-to-end serving smoke: dpserved on an ephemeral port + a dpopt
 # client round trip, byte-identical to `dpopt engine`, then a graceful
 # SIGTERM drain (@runtest depends on this too).
@@ -55,7 +63,7 @@ bench:
 # number in the file name is the PR sequence number, so successive
 # PRs leave comparable snapshots behind.
 bench-json:
-	dune exec bench/main.exe -- --bench-json BENCH_7.json
+	dune exec bench/main.exe -- --bench-json BENCH_8.json
 
 # Just the serving-engine experiment (E1): cache + compiled samplers +
 # Domain pool, checking byte-identical output across worker counts.

@@ -1070,7 +1070,8 @@ let network_serving =
           (fun l ->
             match En.Request.of_line l with
             | Ok (En.Request.Query w) -> w
-            | Ok (En.Request.Stats _) -> failwith "N1: unexpected op=stats line"
+            | Ok (En.Request.Stats _ | En.Request.Session _) ->
+              failwith "N1: unexpected op line"
             | Error e -> failwith ("N1: " ^ En.Request.wire_error_to_string e))
           lines
       in
@@ -1224,7 +1225,8 @@ let telemetry_plane =
           (fun l ->
             match En.Request.of_line l with
             | Ok (En.Request.Query w) -> w
-            | Ok (En.Request.Stats _) -> failwith "O1: unexpected op=stats line"
+            | Ok (En.Request.Stats _ | En.Request.Session _) ->
+              failwith "O1: unexpected op line"
             | Error e -> failwith ("O1: " ^ En.Request.wire_error_to_string e))
           lines
       in
@@ -1559,6 +1561,204 @@ let persistence =
                 (Array.length requests) speedup )))
 
 (* ================================================================= *)
+(* S1 — Sessions: multi-level release as a stateful service          *)
+(* ================================================================= *)
+
+let session_service =
+  E.make ~id:"S1" ~title:"Sessions: subscriptions, budget ledgers, collusion certificates"
+    ~paper_claim:
+      "(ours; DESIGN.md §4j) Algorithm 1 as a stateful service: subscribers sharing a \
+       group receive the rungs of one correlated cascade draw per epoch — a pure \
+       function of (seed, group, epoch) — so Lemma 4 holds release after release, \
+       budgets compose multiplicatively to exact refusal floors, and a warm restart \
+       resumes every ledger with zero double-spend"
+    (fun () ->
+      let module S = Session in
+      let module Cert = Session.Certificate in
+      let seed = 23 and n = 6 and input = 3 in
+      let levels = [ q 1 4; q 1 2; q 3 4 ] in
+      let group = S.group_key ~n ~input in
+      let plan = Ml.make_plan ~n ~levels in
+      let draw epoch =
+        Ml.release plan ~true_result:input (S.epoch_stream ~seed ~group ~epoch)
+      in
+      let epochs = 8 in
+      let fresh ?checkpoint () =
+        match S.create ~seed ?checkpoint () with
+        | Ok t -> t
+        | Error m -> failwith ("S1 create: " ^ m)
+      in
+      (* Four concurrent subscribers, two sharing the middle level;
+         only bea carries a budget floor. *)
+      let subs =
+        [ ("ada", 0, None); ("bea", 1, Some (q 1 4)); ("cyn", 2, None); ("dee", 1, None) ]
+      in
+      let subscribe t (sub, i, budget) =
+        match S.subscribe t ~sub ~n ~input ~level:(List.nth levels i) ?budget () with
+        | Ok _ -> ()
+        | Error m -> failwith ("S1 subscribe: " ^ m)
+      in
+      let release t =
+        match S.release t ~n ~input with
+        | Ok r -> r
+        | Error (S.Rejected m | S.Faulted m) -> failwith ("S1 release: " ^ m)
+      in
+      let ledger t sub =
+        match S.ledger t ~sub ~n ~input with
+        | Ok v -> v
+        | Error m -> failwith ("S1 ledger: " ^ m)
+      in
+      let rec pow r k = if k = 0 then Rat.one else Rat.mul r (pow r (k - 1)) in
+      let problems = ref [] in
+      let fail m = if not (List.mem m !problems) then problems := m :: !problems in
+      (* The uninterrupted reference service. *)
+      let t = fresh () in
+      List.iter (subscribe t) subs;
+      let outcomes = Array.init epochs (fun _ -> release t) in
+      (* Gate (a): every epoch's rungs are byte-derived from the one
+         contract draw, and every served subscriber got exactly its
+         rung of that draw. *)
+      Array.iteri
+        (fun e r ->
+          if r.S.r_values <> draw e then
+            fail (Printf.sprintf "gate a: epoch %d diverged from the contract draw" e);
+          List.iter
+            (fun (_, o) ->
+              match o with
+              | S.Served { level; value; _ } ->
+                let idx = ref (-1) in
+                List.iteri (fun i l -> if Rat.equal l level then idx := i) levels;
+                if value <> r.S.r_values.(!idx) then
+                  fail (Printf.sprintf "gate a: epoch %d served a rung off the draw" e)
+              | S.Refused _ -> ())
+            r.S.r_outcomes)
+        outcomes;
+      (* Gate (b): every certificate replays green from its own data,
+         and the Lemma-4 posterior equality holds for the exact values
+         released: colluding over all rungs learns nothing beyond the
+         least-private rung alone. *)
+      Array.iteri
+        (fun e r ->
+          (match Cert.replay r.S.r_certificate with
+          | Ok () -> ()
+          | Error rule ->
+            fail (Printf.sprintf "gate b: epoch %d certificate red (%s)" e rule));
+          let observed = Array.to_list (Array.mapi (fun i v -> (i, v)) r.S.r_values) in
+          match
+            (Ml.posterior plan ~observed, Ml.posterior plan ~observed:[ (0, r.S.r_values.(0)) ])
+          with
+          | Some joint, Some single ->
+            if not (Array.for_all2 Rat.equal joint single) then
+              fail
+                (Printf.sprintf
+                   "gate b: epoch %d colluding posterior differs from the least-private \
+                    rung's"
+                   e)
+          | _ -> fail (Printf.sprintf "gate b: epoch %d posterior undefined" e))
+        outcomes;
+      (* Gate (c): exact ledger refusals under concurrent subscribers.
+         bea (α=1/2, floor 1/4) serves epochs 0 and 1, then refuses
+         with spent pinned at the floor; dee shares the level but has
+         no floor and is never refused. *)
+      Array.iteri
+        (fun e r ->
+          match (List.assoc "bea" r.S.r_outcomes, e >= 2) with
+          | S.Served _, true ->
+            fail (Printf.sprintf "gate c: epoch %d served bea past the floor" e)
+          | S.Refused { spent; floor; _ }, true ->
+            if not (Rat.equal spent (q 1 4) && Rat.equal floor (q 1 4)) then
+              fail (Printf.sprintf "gate c: epoch %d refusal carries wrong ledger state" e)
+          | S.Refused _, false ->
+            fail (Printf.sprintf "gate c: epoch %d refused bea under the floor" e)
+          | S.Served _, false -> ())
+        outcomes;
+      let expect_ledgers =
+        [
+          ("ada", pow (q 1 4) epochs, epochs, 0);
+          ("bea", q 1 4, 2, epochs - 2);
+          ("cyn", pow (q 3 4) epochs, epochs, 0);
+          ("dee", pow (q 1 2) epochs, epochs, 0);
+        ]
+      in
+      List.iter
+        (fun (sub, spent, served, refusals) ->
+          let v = ledger t sub in
+          if
+            not
+              (Rat.equal v.S.v_spent spent && v.S.v_served = served
+             && v.S.v_refusals = refusals)
+          then fail (Printf.sprintf "gate c: %s's ledger is not the exact product" sub))
+        expect_ledgers;
+      (* Gate (d): warm restart. Run the same service over a
+         checkpoint file, drop it after three epochs, resume from the
+         frame, finish the sequence — every ledger and every epoch
+         must land exactly where the uninterrupted service did. *)
+      let split = 3 in
+      let path = Filename.temp_file "dpsession-bench" ".frame" in
+      Sys.remove path;
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+        (fun () ->
+          let t1 = fresh ~checkpoint:path () in
+          List.iter (subscribe t1) subs;
+          for _ = 1 to split do
+            ignore (release t1)
+          done;
+          let t2 = fresh ~checkpoint:path () in
+          let mid = ledger t2 "ada" in
+          if not (Rat.equal mid.S.v_spent (pow (q 1 4) split)) || mid.S.v_epoch <> split
+          then fail "gate d: restart did not resume the checkpointed ledger";
+          if mid.S.v_active then fail "gate d: liveness must not be persisted";
+          List.iter (subscribe t2) subs;
+          let resumed = Array.init (epochs - split) (fun _ -> release t2) in
+          Array.iteri
+            (fun i r ->
+              let e = split + i in
+              if r.S.r_epoch <> e || r.S.r_values <> draw e then
+                fail
+                  (Printf.sprintf "gate d: resumed epoch %d diverged from the sequence" e))
+            resumed;
+          List.iter
+            (fun (sub, _, _, _) ->
+              let a = ledger t sub and b = ledger t2 sub in
+              if
+                not
+                  (Rat.equal a.S.v_spent b.S.v_spent && a.S.v_served = b.S.v_served
+                 && a.S.v_refusals = b.S.v_refusals && a.S.v_epoch = b.S.v_epoch)
+              then
+                fail
+                  (Printf.sprintf "gate d: %s double-spent or lost spend across the restart"
+                     sub))
+            expect_ledgers);
+      let values_str a = String.concat "," (Array.to_list (Array.map string_of_int a)) in
+      let table =
+        T.make ~headers:[ "epoch"; "rungs (α=1/4,1/2,3/4)"; "bea (floor 1/4)"; "certificate" ]
+          (Array.to_list
+             (Array.mapi
+                (fun e r ->
+                  [
+                    string_of_int e;
+                    values_str r.S.r_values;
+                    (match List.assoc "bea" r.S.r_outcomes with
+                    | S.Served { spent; _ } -> "served, spent " ^ Rat.to_string spent
+                    | S.Refused _ -> "budget_exhausted");
+                    (match Cert.replay r.S.r_certificate with
+                    | Ok () -> "replays green"
+                    | Error rule -> "RED: " ^ rule);
+                  ])
+                outcomes))
+      in
+      ( (if !problems = [] then E.Pass else E.Fail (String.concat "; " (List.rev !problems))),
+        buf_table table
+        ^ Printf.sprintf
+            "  %d epochs, 4 subscribers over group %s (seed %d).\n\
+            \  gates: (a) rungs byte-derived from the per-epoch draw, (b) every \n\
+            \  certificate replays green with the Lemma-4 posterior equality, (c) \n\
+            \  ledger refusals exact under concurrent subscribers, (d) warm restart \n\
+            \  after epoch %d resumed every ledger with zero double-spend.\n"
+            epochs group seed split ))
+
+(* ================================================================= *)
 (* PERF — Bechamel micro-benchmarks                                  *)
 (* ================================================================= *)
 
@@ -1675,6 +1875,7 @@ let experiments =
     ("serving", network_serving);
     ("telemetry", telemetry_plane);
     ("persistence", persistence);
+    ("session", session_service);
   ]
 
 (* Experiments are addressable both by harness name ("fig1") and by

@@ -426,6 +426,12 @@ let engine_cmd =
                    "line %d: op=stats is a server admin verb; ask a running dpserved \
                     (dpopt client --stats)"
                    lineno)
+            | Ok (Engine.Request.Session _) ->
+              Error
+                (Printf.sprintf
+                   "line %d: session verbs need a running dpserved (dpopt client \
+                    --subscribe)"
+                   lineno)
             | Error e ->
               Error
                 (Printf.sprintf "line %d: %s" lineno
@@ -630,6 +636,16 @@ let client_cmd =
     in
     Arg.(value & flag & info [ "prom" ] ~doc)
   in
+  let subscribe_arg =
+    let doc =
+      "Stay connected after sending the request lines (meant for op=subscribe lines): \
+       pushed status:\"release\" rungs and typed budget_exhausted refusals are printed \
+       as they arrive, until the server drains or the process is interrupted. Without \
+       this flag the client half-closes after sending and exits at the last direct \
+       response."
+    in
+    Arg.(value & flag & info [ "subscribe" ] ~doc)
+  in
   (* Unwrap a stats response line down to what the caller asked for:
      the snapshot object, or the raw Prometheus text riding next to
      it. Anything else (an error response, junk) is surfaced as-is. *)
@@ -648,7 +664,7 @@ let client_cmd =
         | Some stats -> print_endline (J.to_string stats)
         | None -> fallthrough ())
   in
-  let run () host port file stats prom =
+  let run () host port file stats prom subscribe =
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
     let lines =
       if stats then Ok [ "v=1 op=stats" ]
@@ -676,8 +692,12 @@ let client_cmd =
           (try Unix.close fd with Unix.Unix_error _ -> ());
           `Error (false, "server closed the connection before reading every request")
         | F.Blocked (* unreachable: flush_blocking waits out Blocked *) | F.Flushed ->
-          (* Half-close: requests done, now stream responses to EOF. *)
-          (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+          (* Half-close: requests done, now stream responses to EOF —
+             unless we are a live subscriber, in which case the send
+             side stays open so the server keeps the session (and its
+             pushes) alive until we are killed or it drains. *)
+          if not subscribe then
+            (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
           let r = F.reader fd in
           let emit = if stats then print_stats_line ~prom else print_endline in
           let rec pump () =
@@ -690,14 +710,18 @@ let client_cmd =
           `Ok ()))
   in
   let term =
-    Term.(ret (const run $ obs_term $ host_arg $ port_arg $ request_file_arg $ stats_arg $ prom_arg))
+    Term.(
+      ret
+        (const run $ obs_term $ host_arg $ port_arg $ request_file_arg $ stats_arg
+       $ prom_arg $ subscribe_arg))
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:
          "Send request lines (v=1 key=value grammar, PROTOCOL.md) to a running dpserved \
           and print its JSON responses, one per line, in admission order. With --stats, \
-          fetch the live telemetry snapshot instead (op=stats admin verb).")
+          fetch the live telemetry snapshot instead (op=stats admin verb). With \
+          --subscribe, stay connected and print pushed session release lines.")
     term
 
 (* ----------------------------------------------------------------- *)

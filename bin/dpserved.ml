@@ -86,6 +86,15 @@ let store_readonly_arg =
   in
   Arg.(value & flag & info [ "store-readonly" ] ~doc)
 
+let session_store_arg =
+  let doc =
+    "Durable session checkpoint file (created on first write). Privacy-budget ledgers \
+     and epoch counters are persisted as a crash-safe checksummed frame after every \
+     mutation and verified on load, so a warm restart resumes budgets with zero \
+     double-spend; a checkpoint that fails verification is a refusal to start."
+  in
+  Arg.(value & opt (some string) None & info [ "session-store" ] ~docv:"FILE" ~doc)
+
 let no_obs_arg =
   let doc =
     "Disable telemetry (no recorder installed): v=1 op=stats answers with zeros and \
@@ -95,7 +104,7 @@ let no_obs_arg =
   Arg.(value & flag & info [ "no-obs" ] ~doc)
 
 let run host port workers cache queue deadline pivots bits seed store_dir preload
-    store_readonly no_obs =
+    store_readonly session_store no_obs =
   if (preload || store_readonly) && store_dir = None then
     `Error (true, "--preload and --store-readonly require --store DIR")
   else
@@ -122,6 +131,7 @@ let run host port workers cache queue deadline pivots bits seed store_dir preloa
           max_bits = bits;
           default_seed = seed;
           tier = Option.map Store.tier store;
+          session_store;
         }
       in
       (* Telemetry is on by default: the recorder is what op=stats reads.
@@ -132,6 +142,7 @@ let run host port workers cache queue deadline pivots bits seed store_dir preloa
       | exception Unix.Unix_error (e, _, _) ->
         `Error
           (false, Printf.sprintf "cannot bind %s:%d: %s" host port (Unix.error_message e))
+      | exception Invalid_argument msg -> `Error (false, msg)
       | t ->
         (match store with
         | Some s when preload ->
@@ -146,6 +157,13 @@ let run host port workers cache queue deadline pivots bits seed store_dir preloa
             (List.length artifacts)
             (if List.length artifacts = 1 then "" else "s")
             (Store.dir s)
+        | _ -> ());
+        (match session_store with
+        | Some path when Sys.file_exists path ->
+          let groups = Minimax_dp.Session.groups (Server.session t) in
+          Printf.printf "dpserved: session ledgers resumed from %s (%d group%s)\n%!" path
+            (List.length groups)
+            (if List.length groups = 1 then "" else "s")
         | _ -> ());
         Printf.printf "dpserved: listening on %s:%d\n%!" host (Server.port t);
         let draining = ref false in
@@ -206,6 +224,6 @@ let main =
       ret
         (const run $ host_arg $ port_arg $ workers_arg $ cache_arg $ queue_arg $ deadline_arg
        $ pivots_arg $ bits_arg $ seed_arg $ store_arg $ preload_arg $ store_readonly_arg
-       $ no_obs_arg))
+       $ session_store_arg $ no_obs_arg))
 
 let () = exit (Cmd.eval main)

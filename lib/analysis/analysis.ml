@@ -18,7 +18,15 @@ let default_config =
   {
     roots = [ "lib"; "bin" ];
     core_dirs = [ "lib/bigint"; "lib/rational"; "lib/linalg"; "lib/lp"; "lib/mech" ];
-    serve_roots = [ "lib/server"; "lib/engine"; "lib/store"; "bin/dpserved.ml" ];
+    serve_roots =
+      [
+        "lib/server";
+        "lib/engine";
+        "lib/store";
+        "lib/session";
+        "lib/minimax_dp";
+        "bin/dpserved.ml";
+      ];
     clock_exempt = [ "lib/obs" ];
   }
 

@@ -30,7 +30,8 @@ type config = {
 val default_config : config
 (** Scans [lib] and [bin]; exact core = [lib/bigint], [lib/rational],
     [lib/linalg], [lib/lp], [lib/mech]; serve roots = [lib/server],
-    [lib/engine], [bin/dpserved.ml]; clock-exempt = [lib/obs]. *)
+    [lib/engine], [lib/store], [lib/session], [lib/minimax_dp],
+    [bin/dpserved.ml]; clock-exempt = [lib/obs]. *)
 
 type outcome = {
   diagnostics : Check.Diagnostic.t list;

@@ -145,9 +145,22 @@ let version = 1
 
 type wire = { id : string option; seed : int option; request : t }
 
+type session_verb =
+  | Subscribe of {
+      sub : string;
+      n : int;
+      input : int;
+      level : Rat.t;
+      budget : Rat.t option;
+    }
+  | Release of { n : int; input : int }
+  | Unsubscribe of { sub : string; n : int; input : int }
+  | Ledger of { sub : string; n : int; input : int }
+
 type parsed =
   | Query of wire
   | Stats of { id : string option }
+  | Session of { id : string option; verb : session_verb }
 
 type wire_error =
   | Unsupported_version of { got : string option }
@@ -168,8 +181,9 @@ let wire_error_to_string = function
     Printf.sprintf "unsupported protocol version %S (this server speaks v=%d)" v version
   | Unknown_key { key } ->
     Printf.sprintf
-      "unknown key %S (v=%d knows v, op, id, seed, n, alpha, loss, side, input, count)" key
-      version
+      "unknown key %S (v=%d knows v, op, id, seed, n, alpha, loss, side, input, count, sub, \
+       budget)"
+      key version
   | Malformed { msg } -> msg
   | Invalid { msg } -> msg
 
@@ -225,7 +239,8 @@ let parse_side s =
       Ok (Members (List.filter_map Fun.id members))
     else Error (Printf.sprintf "cannot parse side information %S" s)
 
-let known_keys = [ "v"; "op"; "id"; "seed"; "n"; "alpha"; "loss"; "side"; "input"; "count" ]
+let known_keys =
+  [ "v"; "op"; "id"; "seed"; "n"; "alpha"; "loss"; "side"; "input"; "count"; "sub"; "budget" ]
 
 let valid_id s =
   let n = String.length s in
@@ -302,9 +317,99 @@ let of_line line =
             | Some (k, _) ->
               Error (Invalid { msg = Printf.sprintf "op=stats takes no %s= (only id=)" k })
             | None -> ( match id with Error e -> Error e | Ok id -> Ok (Stats { id })))
+          | Some (("subscribe" | "release" | "unsubscribe" | "ledger") as op) -> (
+            (* Session verbs validate against their own allowed-key
+               sets, like op=stats: a stray query field is a typed
+               rejection, never a silent drop. *)
+            let allowed =
+              match op with
+              | "subscribe" -> [ "op"; "id"; "sub"; "n"; "input"; "alpha"; "budget" ]
+              | "release" -> [ "op"; "id"; "n"; "input" ]
+              | _ -> [ "op"; "id"; "sub"; "n"; "input" ]
+            in
+            match List.find_opt (fun (k, _) -> not (List.mem k allowed)) rest with
+            | Some (k, _) ->
+              Error (Invalid { msg = Printf.sprintf "op=%s takes no %s=" op k })
+            | None -> (
+              let required_int k =
+                match int_field k with
+                | Error e -> Error e
+                | Ok None -> Error (Invalid { msg = Printf.sprintf "op=%s needs %s=" op k })
+                | Ok (Some v) -> Ok v
+              in
+              let required_sub () =
+                match find "sub" with
+                | None -> Error (Invalid { msg = Printf.sprintf "op=%s needs sub=" op })
+                | Some s ->
+                  if valid_id s then Ok s
+                  else
+                    Error
+                      (Malformed
+                         {
+                           msg =
+                             Printf.sprintf "sub %S must be 1-64 chars of [A-Za-z0-9._:-]" s;
+                         })
+              in
+              match (id, required_int "n", required_int "input") with
+              | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+              | Ok id, Ok n, Ok input -> (
+                match op with
+                | "release" -> Ok (Session { id; verb = Release { n; input } })
+                | "unsubscribe" -> (
+                  match required_sub () with
+                  | Error e -> Error e
+                  | Ok sub -> Ok (Session { id; verb = Unsubscribe { sub; n; input } }))
+                | "ledger" -> (
+                  match required_sub () with
+                  | Error e -> Error e
+                  | Ok sub -> Ok (Session { id; verb = Ledger { sub; n; input } }))
+                | _ -> (
+                  match required_sub () with
+                  | Error e -> Error e
+                  | Ok sub -> (
+                    match find "alpha" with
+                    | None -> Error (Invalid { msg = "op=subscribe needs alpha=" })
+                    | Some a -> (
+                      match Rat.of_string_opt a with
+                      | None ->
+                        Error
+                          (Invalid { msg = "alpha= is not a rational (use p/q or decimals)" })
+                      | Some level -> (
+                        match find "budget" with
+                        | None ->
+                          Ok
+                            (Session
+                               { id; verb = Subscribe { sub; n; input; level; budget = None } })
+                        | Some b -> (
+                          match Rat.of_string_opt b with
+                          | None ->
+                            Error
+                              (Invalid
+                                 { msg = "budget= is not a rational (use p/q or decimals)" })
+                          | Some budget ->
+                            Ok
+                              (Session
+                                 {
+                                   id;
+                                   verb =
+                                     Subscribe { sub; n; input; level; budget = Some budget };
+                                 })))))))))
           | Some op ->
             Error
-              (Invalid { msg = Printf.sprintf "unknown op %S (this server knows op=stats)" op })
+              (Invalid
+                 {
+                   msg =
+                     Printf.sprintf
+                       "unknown op %S (this server knows op=stats, subscribe, release, \
+                        unsubscribe, ledger)"
+                       op;
+                 })
+          | None -> (
+          match List.find_opt (fun (k, _) -> k = "sub" || k = "budget") rest with
+          | Some (k, _) ->
+            Error
+              (Invalid
+                 { msg = Printf.sprintf "%s= belongs to session verbs (op=subscribe, ...)" k })
           | None -> (
           match (id, int_field "seed", int_field "n", int_field "input", int_field "count") with
           | Error e, _, _, _, _
@@ -332,7 +437,7 @@ let of_line line =
                 | Ok loss, Ok side -> (
                   match make ?input ?count ~n ~alpha ~loss ~side () with
                   | Ok request -> Ok (Query { id; seed; request })
-                  | Error m -> Error (Invalid { msg = m })))))))))
+                  | Error m -> Error (Invalid { msg = m }))))))))))
 
 let to_line ?id ?seed t =
   Printf.sprintf "v=%d%s%s n=%d alpha=%s loss=%s side=%s input=%d count=%d" version
@@ -340,6 +445,19 @@ let to_line ?id ?seed t =
     (match seed with None -> "" | Some s -> Printf.sprintf " seed=%d" s)
     t.n (Rat.to_string t.alpha) (loss_spec_to_string t.loss) (side_spec_to_string t.side)
     t.input t.count
+
+let session_to_line ?id verb =
+  let tag = match id with None -> "" | Some i -> " id=" ^ i in
+  match verb with
+  | Subscribe { sub; n; input; level; budget } ->
+    Printf.sprintf "v=%d op=subscribe%s sub=%s n=%d input=%d alpha=%s%s" version tag sub n
+      input (Rat.to_string level)
+      (match budget with None -> "" | Some b -> " budget=" ^ Rat.to_string b)
+  | Release { n; input } -> Printf.sprintf "v=%d op=release%s n=%d input=%d" version tag n input
+  | Unsubscribe { sub; n; input } ->
+    Printf.sprintf "v=%d op=unsubscribe%s sub=%s n=%d input=%d" version tag sub n input
+  | Ledger { sub; n; input } ->
+    Printf.sprintf "v=%d op=ledger%s sub=%s n=%d input=%d" version tag sub n input
 
 let loss_spec_of_string = parse_loss
 let side_spec_of_string = parse_side

@@ -78,12 +78,32 @@ type wire = {
 (** A parsed request line: the consumer/query payload plus the
     transport-level envelope fields. *)
 
-(** A parsed line: either a serving query, or the [op=stats] admin
-    verb asking the server for its telemetry snapshot (which takes
-    only the optional [id=] echo tag). *)
+(** A session verb, parsed from an [op=subscribe | release |
+    unsubscribe | ledger] line. Subscribers are named by [sub=] (same
+    charset as [id=]); a group is named by its [(n, input)] pair;
+    [alpha=] is the subscription's privacy level and the optional
+    [budget=] its ledger floor. Semantic validation (ranges, ledger
+    rules) lives in the session service — the parser checks syntax
+    and per-verb allowed keys only. *)
+type session_verb =
+  | Subscribe of {
+      sub : string;
+      n : int;
+      input : int;
+      level : Rat.t;
+      budget : Rat.t option;
+    }
+  | Release of { n : int; input : int }
+  | Unsubscribe of { sub : string; n : int; input : int }
+  | Ledger of { sub : string; n : int; input : int }
+
+(** A parsed line: a serving query, the [op=stats] admin verb asking
+    the server for its telemetry snapshot (which takes only the
+    optional [id=] echo tag), or a session verb. *)
 type parsed =
   | Query of wire
   | Stats of { id : string option }
+  | Session of { id : string option; verb : session_verb }
 
 type wire_error =
   | Unsupported_version of { got : string option }
@@ -107,12 +127,18 @@ val of_line : string -> (parsed, wire_error) result
     [absolute | squared | zero-one | deadzone:<w> | capped:<c> |
     asym:<over>,<under>]; side is
     [full | lo-hi | >=k | <=k | m1,m2,...]. The admin line
-    [v=1 op=stats [id=...]] parses to {!Stats}; any other [op=] value,
-    or query fields alongside [op=stats], are typed rejections. *)
+    [v=1 op=stats [id=...]] parses to {!Stats} and the session lines
+    [v=1 op=subscribe|release|unsubscribe|ledger ...] parse to
+    {!Session}; any other [op=] value, keys outside a verb's allowed
+    set, or [sub=]/[budget=] on a query line, are typed rejections. *)
 
 val to_line : ?id:string -> ?seed:int -> t -> string
 (** Render in the {!of_line} grammar, [v=1] first (parses back to an
     equal request with the same envelope). *)
+
+val session_to_line : ?id:string -> session_verb -> string
+(** Render a session verb in the {!of_line} grammar (parses back to an
+    equal verb with the same [id]). *)
 
 val loss_spec_of_string : string -> (loss_spec, string) result
 (** Parse the [loss=] value grammar on its own (shared with the

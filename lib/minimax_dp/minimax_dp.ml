@@ -9,4 +9,5 @@ module Budget = Resilience.Budget
 module Engine = Engine
 module Server = Server
 module Store = Store
+module Session = Session
 module Obs = Obs

@@ -20,6 +20,9 @@
     - {!Budget} — solve budgets ({!Resilience.Budget});
     - {!Store} — the crash-safe persistent artifact store behind
       warm restarts ([--store]);
+    - {!Session} — multi-level release as a stateful service:
+      subscriptions, privacy-budget ledgers, and replayable collusion
+      certificates ([--session-store]);
     - {!Obs} — the telemetry plane: sharded recorder, traces, rolling
       latency windows, and the text / JSON / Chrome-trace sinks. *)
 
@@ -32,4 +35,5 @@ module Budget = Resilience.Budget
 module Engine = Engine
 module Server = Server
 module Store = Store
+module Session = Session
 module Obs = Obs

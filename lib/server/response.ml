@@ -20,13 +20,29 @@ type error =
   | Overloaded of { pending : int; capacity : int }
   | Deadline_exceeded
   | Uncertified of { key : string; rule : string }
+  | Budget_exhausted of { sub : string; group : string; spent : Rat.t; floor : Rat.t }
   | Internal of { msg : string }
+
+type session_status = Subscribed | Unsubscribed | Ledger_report
 
 type t =
   | Ok of payload
   | Degraded of payload
   | Error of { id : string option; error : error }
   | Stats of { id : string option; stats : Stats.t }
+  | Session_view of { id : string option; status : session_status; view : Session.view }
+  | Released of { id : string option; release : Session.release }
+  | Release_push of {
+      id : string option;
+      sub : string;
+      group : string;
+      epoch : int;
+      level : Rat.t;
+      value : int;
+      spent : Rat.t;
+      floor : Rat.t option;
+      certificate : Session.Certificate.t;
+    }
 
 let of_engine ?id (r : Engine.response) =
   let payload =
@@ -72,6 +88,43 @@ let of_job_error ?id (e : Engine.job_error) =
 
 let error ?id e = Error { id; error = e }
 let stats ?id s = Stats { id; stats = s }
+let subscribed ?id view = Session_view { id; status = Subscribed; view }
+let unsubscribed ?id view = Session_view { id; status = Unsubscribed; view }
+let ledger ?id view = Session_view { id; status = Ledger_report; view }
+let released ?id release = Released { id; release }
+
+(* One pushed line per served subscriber; refused subscribers get a
+   [Budget_exhausted] error line instead, built by the server. *)
+let release_pushes (r : Session.release) =
+  List.filter_map
+    (fun (sub, outcome) ->
+      match outcome with
+      | Session.Refused _ -> None
+      | Session.Served { level; value; spent; floor } ->
+        Some
+          (Release_push
+             {
+               id = None;
+               sub;
+               group = r.Session.r_group;
+               epoch = r.Session.r_epoch;
+               level;
+               value;
+               spent;
+               floor;
+               certificate = r.Session.r_certificate;
+             }))
+    r.Session.r_outcomes
+
+let with_id id t =
+  match t with
+  | Ok p -> Ok { p with id }
+  | Degraded p -> Degraded { p with id }
+  | Error e -> Error { e with id }
+  | Stats s -> Stats { s with id }
+  | Session_view s -> Session_view { s with id }
+  | Released r -> Released { r with id }
+  | Release_push p -> Release_push { p with id }
 
 let error_kind = function
   | Unsupported_version _ -> "unsupported_version"
@@ -81,6 +134,7 @@ let error_kind = function
   | Overloaded _ -> "overloaded"
   | Deadline_exceeded -> "deadline_exceeded"
   | Uncertified _ -> "uncertified"
+  | Budget_exhausted _ -> "budget_exhausted"
   | Internal _ -> "internal"
 
 let error_message = function
@@ -94,16 +148,25 @@ let error_message = function
   | Deadline_exceeded -> "connection deadline exceeded"
   | Uncertified { key; rule } ->
     Printf.sprintf "release for %s failed certification (%s)" key rule
+  | Budget_exhausted { sub; group; spent; floor } ->
+    Printf.sprintf "privacy budget exhausted for %S in %s (spent %s, floor %s)" sub group
+      (Rat.to_string spent) (Rat.to_string floor)
 
 let status = function
   | Ok _ -> "ok"
   | Degraded _ -> "degraded"
   | Error _ -> "error"
   | Stats _ -> "stats"
+  | Session_view { status = Subscribed; _ } -> "subscribed"
+  | Session_view { status = Unsubscribed; _ } -> "unsubscribed"
+  | Session_view { status = Ledger_report; _ } -> "ledger"
+  | Released _ -> "released"
+  | Release_push _ -> "release"
 
 let id = function
   | Ok p | Degraded p -> p.id
   | Error { id; _ } | Stats { id; _ } -> id
+  | Session_view { id; _ } | Released { id; _ } | Release_push { id; _ } -> id
 
 let error_to_json e =
   let extra =
@@ -111,12 +174,69 @@ let error_to_json e =
     | Overloaded { pending; capacity } ->
       [ ("pending", J.Int pending); ("capacity", J.Int capacity) ]
     | Uncertified { key; rule } -> [ ("key", J.Str key); ("rule", J.Str rule) ]
+    | Budget_exhausted { sub; group; spent; floor } ->
+      [
+        ("sub", J.Str sub);
+        ("group", J.Str group);
+        ("spent", J.rat spent);
+        ("floor", J.rat floor);
+      ]
     | Unknown_key { key } -> [ ("key", J.Str key) ]
     | Unsupported_version { got = Some v } -> [ ("got", J.Str v) ]
     | Unsupported_version { got = None }
     | Malformed _ | Invalid _ | Deadline_exceeded | Internal _ -> []
   in
   J.Obj ((("kind", J.Str (error_kind e)) :: extra) @ [ ("msg", J.Str (error_message e)) ])
+
+let view_to_json (v : Session.view) =
+  J.Obj
+    ([
+       ("sub", J.Str v.Session.v_sub);
+       ("group", J.Str v.Session.v_group);
+       ("alpha", J.rat v.Session.v_level);
+       ("levels", J.List (List.map J.rat v.Session.v_levels));
+       ("epoch", J.Int v.Session.v_epoch);
+       ("spent", J.rat v.Session.v_spent);
+     ]
+    @ (match v.Session.v_floor with None -> [] | Some f -> [ ("floor", J.rat f) ])
+    @ [
+        ("served", J.Int v.Session.v_served);
+        ("refusals", J.Int v.Session.v_refusals);
+        ("active", J.Bool v.Session.v_active);
+      ])
+
+let outcome_to_json (sub, outcome) =
+  match outcome with
+  | Session.Served { level; value; spent; floor } ->
+    J.Obj
+      ([
+         ("sub", J.Str sub);
+         ("outcome", J.Str "served");
+         ("alpha", J.rat level);
+         ("value", J.Int value);
+         ("spent", J.rat spent);
+       ]
+      @ match floor with None -> [] | Some f -> [ ("floor", J.rat f) ])
+  | Session.Refused { level; spent; floor } ->
+    J.Obj
+      [
+        ("sub", J.Str sub);
+        ("outcome", J.Str "budget_exhausted");
+        ("alpha", J.rat level);
+        ("spent", J.rat spent);
+        ("floor", J.rat floor);
+      ]
+
+let release_to_json (r : Session.release) =
+  J.Obj
+    [
+      ("group", J.Str r.Session.r_group);
+      ("epoch", J.Int r.Session.r_epoch);
+      ("levels", J.List (Array.to_list (Array.map J.rat r.Session.r_levels)));
+      ("values", J.List (Array.to_list (Array.map (fun v -> J.Int v) r.Session.r_values)));
+      ("outcomes", J.List (List.map outcome_to_json r.Session.r_outcomes));
+      ("certificate", Session.Certificate.to_json r.Session.r_certificate);
+    ]
 
 let to_json t =
   let id_field = match id t with None -> [] | Some i -> [ ("id", J.Str i) ] in
@@ -135,7 +255,7 @@ let to_json t =
     let prov =
       match t with
       | Degraded _ -> [ ("provenance", S.provenance_to_json p.provenance) ]
-      | Ok _ | Error _ | Stats _ -> []
+      | _ -> []
     in
     J.Obj (base @ prov)
   | Error { error = e; _ } -> J.Obj (head @ [ ("error", error_to_json e) ])
@@ -146,5 +266,20 @@ let to_json t =
           ("stats", Stats.to_json stats);
           ("prometheus", J.Str (Stats.to_prometheus stats));
         ])
+  | Session_view { view; _ } -> J.Obj (head @ [ ("session", view_to_json view) ])
+  | Released { release; _ } -> J.Obj (head @ [ ("release", release_to_json release) ])
+  | Release_push { sub; group; epoch; level; value; spent; floor; certificate; _ } ->
+    J.Obj
+      (head
+      @ [
+          ("sub", J.Str sub);
+          ("group", J.Str group);
+          ("epoch", J.Int epoch);
+          ("alpha", J.rat level);
+          ("value", J.Int value);
+          ("spent", J.rat spent);
+        ]
+      @ (match floor with None -> [] | Some f -> [ ("floor", J.rat f) ])
+      @ [ ("certificate", Session.Certificate.to_json certificate) ])
 
 let to_line t = J.to_string (to_json t)

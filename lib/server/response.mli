@@ -41,7 +41,13 @@ type error =
   | Deadline_exceeded  (** the connection's {!Resilience.Budget} ran out *)
   | Uncertified of { key : string; rule : string }
       (** a release failed re-certification; nothing was served *)
+  | Budget_exhausted of { sub : string; group : string; spent : Rat.t; floor : Rat.t }
+      (** the subscriber's cumulative privacy-budget ledger refused
+          this epoch: [spent·α] would fall below [floor] *)
   | Internal of { msg : string }
+
+(** Which session verb a {!Session_view} answers. *)
+type session_status = Subscribed | Unsubscribed | Ledger_report
 
 type t =
   | Ok of payload
@@ -49,6 +55,27 @@ type t =
   | Error of { id : string option; error : error }
   | Stats of { id : string option; stats : Stats.t }
       (** the telemetry snapshot answering [op=stats] *)
+  | Session_view of { id : string option; status : session_status; view : Session.view }
+      (** the subscriber's ledger view answering [op=subscribe],
+          [op=unsubscribe] or [op=ledger] *)
+  | Released of { id : string option; release : Session.release }
+      (** the epoch summary answering [op=release]: the full rung
+          vector, every subscriber's outcome, and the collusion
+          certificate *)
+  | Release_push of {
+      id : string option;
+      sub : string;
+      group : string;
+      epoch : int;
+      level : Rat.t;
+      value : int;
+      spent : Rat.t;
+      floor : Rat.t option;
+      certificate : Session.Certificate.t;
+    }
+      (** one pushed [status:"release"] line delivering a served
+          subscriber its own rung (and the epoch's certificate); [id]
+          echoes the subscribe-time tag *)
 
 val of_engine : ?id:string -> Engine.response -> t
 (** [Ok] when the serve ladder's provenance records no abandoned
@@ -62,13 +89,28 @@ val of_wire_error : ?id:string -> Engine.Request.wire_error -> t
 val of_job_error : ?id:string -> Engine.job_error -> t
 val error : ?id:string -> error -> t
 val stats : ?id:string -> Stats.t -> t
+val subscribed : ?id:string -> Session.view -> t
+val unsubscribed : ?id:string -> Session.view -> t
+val ledger : ?id:string -> Session.view -> t
+val released : ?id:string -> Session.release -> t
+
+val release_pushes : Session.release -> t list
+(** One {!Release_push} per {e served} subscriber of the epoch, in
+    ledger order ([id] unset — stamp with {!with_id}); refused
+    subscribers are omitted (the server sends them
+    {!Budget_exhausted} error lines instead). *)
+
+val with_id : string option -> t -> t
+(** Replace the echoed id — how a push line gets stamped with its
+    subscriber's subscribe-time tag. *)
 
 val error_kind : error -> string
 (** Stable machine-readable tag, the JSON ["kind"] field. *)
 
 val error_message : error -> string
 val status : t -> string
-(** ["ok"], ["degraded"], ["error"] or ["stats"]. *)
+(** ["ok"], ["degraded"], ["error"], ["stats"], ["subscribed"],
+    ["unsubscribed"], ["ledger"], ["released"] or ["release"]. *)
 
 val id : t -> string option
 

@@ -16,6 +16,7 @@ type config = {
   max_bits : int option;
   default_seed : int;
   tier : Engine.tier option;
+  session_store : string option;
 }
 
 let default_config =
@@ -30,6 +31,7 @@ let default_config =
     max_bits = None;
     default_seed = 42;
     tier = None;
+    session_store = None;
   }
 
 (* analysis: domain-local — conn records belong to the single
@@ -77,6 +79,12 @@ type t = {
   (* analysis: domain-local — only the event-loop domain synthesizes
      trace ids for id-less requests. *)
   mutable trace_seq : int;
+  session : Session.t;
+  (* analysis: domain-local — the delivery map (subscriber, group) →
+     (connection, subscribe-time id) is read and written only by the
+     event-loop domain, which answers session verbs inline. Kept
+     sorted so push order is deterministic. *)
+  mutable subscriptions : ((string * string) * (conn * string option)) list;
 }
 
 let inet_addr host =
@@ -89,6 +97,15 @@ let inet_addr host =
     | h -> h.Unix.h_addr_list.(0))
 
 let create ?(config = default_config) () =
+  (* The session table comes up before the socket: a checkpoint that
+     fails verification is a refusal to start, not a silent reset. *)
+  let session =
+    match
+      Session.create ~seed:config.default_seed ?checkpoint:config.session_store ()
+    with
+    | Ok s -> s
+    | Error msg -> invalid_arg ("Server.create: " ^ msg)
+  in
   let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listener Unix.SO_REUSEADDR true;
   Unix.bind listener (Unix.ADDR_INET (inet_addr config.host, config.port));
@@ -119,10 +136,13 @@ let create ?(config = default_config) () =
     completed = [];
     runner_stop = false;
     trace_seq = 0;
+    session;
+    subscriptions = [];
   }
 
 let port t = t.actual_port
 let engine t = t.engine
+let session t = t.session
 let stop t =
   Atomic.set t.stopping true;
   Framing.wake t.wake_w
@@ -183,10 +203,83 @@ let answer_stats t c ~id =
   Obs.incr "server.stats";
   let queue_depth = Mutex.protect t.m (fun () -> Queue.length t.queue) in
   let snapshot =
-    Stats.capture ~queue_depth ~queue_capacity:t.config.queue_capacity
-      ~cache:(Engine.cache_stats t.engine) ()
+    Stats.capture ~session_live:(Session.live t.session) ~queue_depth
+      ~queue_capacity:t.config.queue_capacity ~cache:(Engine.cache_stats t.engine) ()
   in
   reply c (Response.stats ?id snapshot)
+
+(* Session verbs are answered inline from the event loop, like
+   op=stats: the session table is event-loop state, and an epoch's
+   cascade is milliseconds of exact arithmetic, not an LP solve — it
+   does not need the runner. *)
+let bind_subscription t ~sub ~group c id =
+  let key = (sub, group) in
+  t.subscriptions <-
+    List.sort compare ((key, (c, id)) :: List.remove_assoc key t.subscriptions)
+
+let drop_subscription t ~sub ~group =
+  t.subscriptions <- List.remove_assoc (sub, group) t.subscriptions
+
+let answer_session t c ~id verb =
+  Obs.span "server.session" @@ fun () ->
+  let invalid msg =
+    Obs.incr "server.errors";
+    reply c (Response.error ?id (Response.Invalid { msg }))
+  in
+  match verb with
+  | Engine.Request.Subscribe { sub; n; input; level; budget } -> (
+    match Session.subscribe t.session ~sub ~n ~input ~level ?budget () with
+    | Error msg -> invalid msg
+    | Ok view ->
+      bind_subscription t ~sub ~group:view.Session.v_group c id;
+      reply c (Response.subscribed ?id view))
+  | Engine.Request.Unsubscribe { sub; n; input } -> (
+    match Session.unsubscribe t.session ~sub ~n ~input with
+    | Error msg -> invalid msg
+    | Ok view ->
+      drop_subscription t ~sub ~group:view.Session.v_group;
+      reply c (Response.unsubscribed ?id view))
+  | Engine.Request.Ledger { sub; n; input } -> (
+    match Session.ledger t.session ~sub ~n ~input with
+    | Error msg -> invalid msg
+    | Ok view -> reply c (Response.ledger ?id view))
+  | Engine.Request.Release { n; input } -> (
+    match Session.release t.session ~n ~input with
+    | Error (Session.Rejected msg) -> invalid msg
+    | Error (Session.Faulted msg) ->
+      Obs.incr "server.errors";
+      reply c (Response.error ?id (Response.Internal { msg }))
+    | Ok release ->
+      (* The caller gets the epoch summary first, then every live
+         subscriber gets its own line — served rungs as
+         status:"release" pushes, ledger refusals as typed
+         budget_exhausted errors — in ledger (name) order, stamped
+         with their subscribe-time ids. *)
+      reply c (Response.released ?id release);
+      let group = release.Session.r_group in
+      let pushes = Response.release_pushes release in
+      List.iter
+        (fun (sub, outcome) ->
+          match List.assoc_opt (sub, group) t.subscriptions with
+          | None -> ()
+          | Some (sc, _) when sc.dead -> ()
+          | Some (sc, sid) -> (
+            match outcome with
+            | Session.Served _ -> (
+              match
+                List.find_opt
+                  (function
+                    | Response.Release_push { sub = s; _ } -> String.equal s sub
+                    | _ -> false)
+                  pushes
+              with
+              | Some push -> reply sc (Response.with_id sid push)
+              | None -> ())
+            | Session.Refused { spent; floor; _ } ->
+              reply sc
+                (Response.error ?id:sid
+                   (Response.Budget_exhausted { sub; group; spent; floor }))))
+        release.Session.r_outcomes)
 
 (* Parse and admit one request line (blank lines are ignored). Every
    refusal is written back as a typed response immediately — admission
@@ -199,6 +292,7 @@ let handle_line t c line =
       Obs.incr "server.rejected.protocol";
       reply c (Response.of_wire_error we)
     | Ok (Engine.Request.Stats { id }) -> answer_stats t c ~id
+    | Ok (Engine.Request.Session { id; verb }) -> answer_session t c ~id verb
     | Ok (Engine.Request.Query { id; seed; request }) -> (
       (* The request's trace context: wire id when given, else a
          synthesized request index. Built only when a recorder is
@@ -380,7 +474,16 @@ let serve t =
           let finished =
             c.dead || (c.eof && c.in_flight = 0 && not (Framing.buffered c.writer))
           in
-          if finished then close_quietly c.fd;
+          if finished then begin
+            (* A dying connection takes its live subscriptions with it:
+               deactivate (keeping the durable ledgers) and unbind. *)
+            List.iter
+              (fun ((sub, group), (sc, _)) ->
+                if sc == c then Session.detach t.session ~sub ~group)
+              t.subscriptions;
+            t.subscriptions <- List.filter (fun (_, (sc, _)) -> sc != c) t.subscriptions;
+            close_quietly c.fd
+          end;
           not finished)
         !conns;
     let idle =

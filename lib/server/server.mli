@@ -45,6 +45,19 @@
     sink as a per-request lane. Telemetry never changes served bytes:
     responses are byte-identical with the recorder on or off.
 
+    {b Sessions.} The session verbs ([op=subscribe | release |
+    unsubscribe | ledger]) are answered inline from the event loop
+    against one {!Session} table: an epoch's cascade is exact
+    arithmetic on an already-certified plan, not an LP solve, so it
+    never queues behind the runner. [op=release] answers the caller
+    with the epoch summary (rungs, outcomes, collusion certificate),
+    then pushes each live served subscriber its own rung as a
+    [status:"release"] line stamped with its subscribe-time [id=] —
+    and each over-budget subscriber a typed [budget_exhausted] error
+    line — in subscriber-name order. A connection that dies or drains
+    deactivates its subscriptions ({!Session.detach}) but keeps their
+    durable ledgers. Span ["server.session"].
+
     Fault sites: ["server.accept"] (the accepted socket is dropped and
     counted, the listener survives) and ["server.write"] (the
     connection dies as if the peer vanished; other connections are
@@ -77,6 +90,10 @@ type config = {
           disk artifact store's [Store.tier]. The server stays
           storage-agnostic: it only ever sees the two total
           callbacks. *)
+  session_store : string option;
+      (** durable checkpoint path for the session service's
+          privacy-budget ledgers ({!Session.create}); [None] keeps
+          ledgers in memory only *)
 }
 
 val default_config : config
@@ -89,7 +106,9 @@ val create : ?config:config -> unit -> t
 (** Bind and listen (with [SO_REUSEADDR]), and start the engine. The
     socket accepts from this moment; call {!serve} to start answering.
     @raise Unix.Unix_error if the address cannot be bound
-    @raise Invalid_argument if [config.host] does not resolve *)
+    @raise Invalid_argument if [config.host] does not resolve, or if
+    [config.session_store] holds a checkpoint that fails verification
+    (a refusal to start, never a silent ledger reset) *)
 
 val port : t -> int
 (** The actually-bound port — the ephemeral one when [config.port]
@@ -98,6 +117,10 @@ val port : t -> int
 val engine : t -> Engine.t
 (** The server's engine, e.g. to {!Engine.preload} warm-restart
     artifacts before {!serve}. *)
+
+val session : t -> Session.t
+(** The server's session table — ledgers restored from
+    [config.session_store] are visible here before {!serve}. *)
 
 val serve : t -> unit
 (** Run the event loop on the calling thread until {!stop}, then drain

@@ -29,10 +29,22 @@ type t = {
   store_corrupt : int;
   store_writes : int;
   store_probe : Obs.Rolling.snapshot option;
+  session_groups : int;
+  session_subscribers : int;
+  session_subscribes : int;
+  session_unsubscribes : int;
+  session_detached : int;
+  session_epochs : int;
+  session_served : int;
+  session_refused_budget : int;
+  session_checkpoints : int;
+  session_checkpoint_failed : int;
+  session_epoch_latency : Obs.Rolling.snapshot option;
   latency : Obs.Rolling.snapshot option;
 }
 
-let capture ~queue_depth ~queue_capacity ~cache () =
+let capture ?(session_live = (0, 0)) ~queue_depth ~queue_capacity ~cache () =
+  let session_groups, session_subscribers = session_live in
   {
     queue_depth;
     queue_capacity;
@@ -55,6 +67,17 @@ let capture ~queue_depth ~queue_capacity ~cache () =
     store_corrupt = Obs.counter_value "store.corrupt";
     store_writes = Obs.counter_value "store.writes";
     store_probe = Obs.rolling_value "store.probe.latency";
+    session_groups;
+    session_subscribers;
+    session_subscribes = Obs.counter_value "session.subscribes";
+    session_unsubscribes = Obs.counter_value "session.unsubscribes";
+    session_detached = Obs.counter_value "session.detached";
+    session_epochs = Obs.counter_value "session.epochs";
+    session_served = Obs.counter_value "session.served";
+    session_refused_budget = Obs.counter_value "session.refused.budget";
+    session_checkpoints = Obs.counter_value "session.checkpoints";
+    session_checkpoint_failed = Obs.counter_value "session.checkpoint.failed";
+    session_epoch_latency = Obs.rolling_value "session.epoch.latency";
     latency = Obs.rolling_value "server.latency";
   }
 
@@ -114,6 +137,21 @@ let to_json t =
             ("writes", J.Int t.store_writes);
             ("probe_latency_us", latency_to_json t.store_probe);
           ] );
+      ( "session",
+        J.Obj
+          [
+            ("groups", J.Int t.session_groups);
+            ("subscribers", J.Int t.session_subscribers);
+            ("subscribes", J.Int t.session_subscribes);
+            ("unsubscribes", J.Int t.session_unsubscribes);
+            ("detached", J.Int t.session_detached);
+            ("epochs", J.Int t.session_epochs);
+            ("served", J.Int t.session_served);
+            ("refused_budget", J.Int t.session_refused_budget);
+            ("checkpoints", J.Int t.session_checkpoints);
+            ("checkpoint_failed", J.Int t.session_checkpoint_failed);
+            ("epoch_latency_us", latency_to_json t.session_epoch_latency);
+          ] );
       ("latency_us", latency_to_json t.latency);
     ]
 
@@ -156,6 +194,20 @@ let to_prometheus t =
   add "dpserved_store_events_total{event=\"misses\"} %d\n" t.store_misses;
   add "dpserved_store_events_total{event=\"corrupt\"} %d\n" t.store_corrupt;
   add "dpserved_store_events_total{event=\"writes\"} %d\n" t.store_writes;
+  add "# TYPE dpserved_session_groups gauge\n";
+  add "dpserved_session_groups %d\n" t.session_groups;
+  add "# TYPE dpserved_session_subscribers gauge\n";
+  add "dpserved_session_subscribers %d\n" t.session_subscribers;
+  add "# TYPE dpserved_session_events_total counter\n";
+  add "dpserved_session_events_total{event=\"subscribes\"} %d\n" t.session_subscribes;
+  add "dpserved_session_events_total{event=\"unsubscribes\"} %d\n" t.session_unsubscribes;
+  add "dpserved_session_events_total{event=\"detached\"} %d\n" t.session_detached;
+  add "dpserved_session_events_total{event=\"epochs\"} %d\n" t.session_epochs;
+  add "dpserved_session_events_total{event=\"served\"} %d\n" t.session_served;
+  add "dpserved_session_events_total{event=\"refused_budget\"} %d\n" t.session_refused_budget;
+  add "dpserved_session_events_total{event=\"checkpoints\"} %d\n" t.session_checkpoints;
+  add "dpserved_session_events_total{event=\"checkpoint_failed\"} %d\n"
+    t.session_checkpoint_failed;
   let window w =
     match w with
     | None -> (0, 0, 0, 0, 0)
@@ -176,5 +228,6 @@ let to_prometheus t =
     add "%s_count %d\n" family count
   in
   summary "dpserved_store_probe_microseconds" t.store_probe;
+  summary "dpserved_session_epoch_microseconds" t.session_epoch_latency;
   summary "dpserved_latency_microseconds" t.latency;
   Buffer.contents buf

@@ -37,25 +37,48 @@ type t = {
   store_probe : Obs.Rolling.snapshot option;
       (** the ["store.probe.latency"] rolling window; [None] when no
           store is wired or nothing has been probed yet *)
+  session_groups : int;  (** live session groups (gauge) *)
+  session_subscribers : int;  (** live active subscriptions (gauge) *)
+  session_subscribes : int;
+  session_unsubscribes : int;
+  session_detached : int;  (** subscriptions dropped by dying connections *)
+  session_epochs : int;  (** release epochs minted *)
+  session_served : int;  (** per-subscriber rungs served *)
+  session_refused_budget : int;  (** ledger refusals ([budget_exhausted]) *)
+  session_checkpoints : int;  (** durable ledger frames written *)
+  session_checkpoint_failed : int;  (** checkpoint writes that failed *)
+  session_epoch_latency : Obs.Rolling.snapshot option;
+      (** the ["session.epoch.latency"] rolling window; [None] before
+          any epoch *)
   latency : Obs.Rolling.snapshot option;
       (** the ["server.latency"] rolling window; [None] when telemetry
           is disabled or nothing has been served yet *)
 }
 
-val capture : queue_depth:int -> queue_capacity:int -> cache:Engine.Cache.stats -> unit -> t
+val capture :
+  ?session_live:int * int ->
+  queue_depth:int ->
+  queue_capacity:int ->
+  cache:Engine.Cache.stats ->
+  unit ->
+  t
 (** Snapshot the ambient recorder (zeros when disabled) plus the given
-    live server state. *)
+    live server state. [session_live] is the {!Session.live} gauge pair
+    [(groups, active subscriptions)], defaulting to [(0, 0)] when no
+    session table is wired. *)
 
 val to_json : t -> Obs.Json.t
 (** The stats snapshot object: [queue], [conns], [requests],
     [rejected], [engine], [cache], [store] (tier counters plus its
-    [probe_latency_us] rolling-quantile object) and [latency_us] (a
-    rolling-quantile object, or [null] before any served request). *)
+    [probe_latency_us] rolling-quantile object), [session] (live
+    gauges, event counters and its [epoch_latency_us] window) and
+    [latency_us] (a rolling-quantile object, or [null] before any
+    served request). *)
 
 val to_prometheus : t -> string
 (** Prometheus text exposition (format 0.0.4) of the same capture:
-    gauges for queue depth/capacity, [_total] counters for
-    connection/request/rejection/cache/store events, and the store
-    probe and latency windows as [summary] families with
-    0.5/0.99/0.999 quantiles. Every series is emitted even at zero,
-    so scrapes see a stable set. *)
+    gauges for queue depth/capacity and session liveness, [_total]
+    counters for connection/request/rejection/cache/store/session
+    events, and the store probe, session epoch and latency windows as
+    [summary] families with 0.5/0.99/0.999 quantiles. Every series is
+    emitted even at zero, so scrapes see a stable set. *)

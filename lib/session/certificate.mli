@@ -1,0 +1,71 @@
+(** Replayable collusion certificates for multi-level release epochs.
+
+    Every epoch a session group releases is accompanied by a
+    certificate of the paper's collusion-resistance claims on the
+    {e realized} cascade, carried in the response the way serve-ladder
+    provenance is. The certificate is not a promise — it is a recipe:
+    it carries everything needed ([n], the level ladder, the realized
+    rung values, a digest of the exact posterior) for any holder to
+    re-run the math and check that
+
+    - each Lemma-3 stage factor [T_{αᵢ,αᵢ₊₁} = G(n,αᵢ)⁻¹·G(n,αᵢ₊₁)]
+      is row-stochastic and replays the product exactly
+      ({!Check.Invariants.lemma3_transition});
+    - each stage's marginal equals its own geometric mechanism
+      [G(n,αᵢ)] ({!Minimax.Multi_level.stage_marginal});
+    - Lemma 4 holds on the realized values: the exact posterior given
+      {e all} released rungs equals the posterior given the
+      least-private rung alone ({!Minimax.Multi_level.posterior}) —
+      colluders pooling their outputs learn nothing beyond the
+      least-private release.
+
+    All arithmetic is exact in ℚ, so "equals" means equals. *)
+
+type t = {
+  group : string;  (** canonical session group key, ["n=<n>;i=<input>"] *)
+  epoch : int;  (** 0-based epoch index within the group *)
+  n : int;
+  levels : Rat.t array;  (** the plan's ladder, strictly increasing α *)
+  values : int array;  (** realized rung per level, least-private first *)
+  checks : string list;  (** rules replayed green when the epoch was minted *)
+  posterior : string;
+      (** MD5 of the canonical exact-text rendering of the posterior
+          over the true result given all realized rungs (uniform
+          prior); {!replay} recomputes and compares it. *)
+}
+
+exception Unverifiable of { rule : string }
+(** Raised by {!mint} if the realized cascade fails a check —
+    mathematically impossible, so seeing this means an arithmetic
+    bug; the rule names the equality that broke. *)
+
+val plan_checks : Minimax.Multi_level.plan -> string list
+(** Run the plan-level (epoch-independent) checks — Lemma-3 stage
+    stochasticity and the stage-marginal equalities — and return their
+    rule names. Computed once per plan and folded into every epoch's
+    certificate. @raise Unverifiable on failure. *)
+
+val mint :
+  plan:Minimax.Multi_level.plan ->
+  plan_checks:string list ->
+  group:string ->
+  epoch:int ->
+  values:int array ->
+  t
+(** Certify one realized epoch: verify the Lemma-4 posterior equality
+    on [values] and digest the posterior. [plan_checks] is the cached
+    {!plan_checks} result for this plan. @raise Unverifiable if the
+    posterior equality fails or the observation has zero probability
+    (impossible for genuinely drawn values). *)
+
+val replay : t -> (unit, string) result
+(** Re-run {e every} check from the certificate's own data alone:
+    rebuild the plan from [(n, levels)], re-verify Lemma 3 on each
+    stage, the stage-marginal equalities, the Lemma-4 posterior
+    equality on [values], and the posterior digest. [Error rule] names
+    the first failing check; structurally invalid certificates (bad
+    levels, out-of-range values) fail with a parse rule. *)
+
+val to_json : t -> Obs.Json.t
+val of_json : Obs.Json.t -> (t, string) result
+(** Wire round trip, so clients can replay certificates they received. *)

@@ -44,6 +44,12 @@
     the engine's coordinator may probe while another domain (e.g. a
     SIGHUP handler) calls {!reopen}. *)
 
+module Frame = Frame
+(** The raw framing layer (magic, version, length, payload, MD5;
+    atomic temp-file writes), exposed so other durable state — the
+    session service's privacy-budget ledger checkpoints — shares the
+    store's crash-safety discipline without reimplementing it. *)
+
 type t
 
 (** Why an entry (or the directory) could not be used. Every load-path

@@ -1,0 +1,260 @@
+(* Session chaos harness (`dune build @session-chaos`, or `make
+   session-chaos`; @chaos depends on it).
+
+   The stateful-service contract under attack: whatever happens to the
+   session plane — tripped epoch draws, tripped checkpoint writes, a
+   torn checkpoint frame, a subscriber running out of budget — the
+   rungs served to surviving subscribers are byte-identical to the
+   undisturbed run's, because each epoch is the pure function
+   (seed, group key, epoch index) and a fault either refuses the whole
+   epoch cleanly or degrades durability without touching the draw.
+
+   Deterministic throughout: fixed seed, exact hit counts, a fixed
+   subscriber ladder. *)
+
+let q = Rat.of_ints
+
+module S = Session
+module ML = Minimax.Multi_level
+module F = Resilience.Fault
+
+let failures = ref 0
+
+let check label ok =
+  if not ok then begin
+    incr failures;
+    Printf.printf "FAIL %s\n" label
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let seed = 11
+let n = 5
+let input = 2
+let levels = [ q 1 4; q 1 2; q 3 4 ]
+let group = S.group_key ~n ~input
+let epochs = 6
+
+let fresh ?checkpoint () =
+  match S.create ~seed ?checkpoint () with
+  | Ok t -> t
+  | Error m -> failwith ("session-chaos create: " ^ m)
+
+let subscribe_ladder ?floor_for t =
+  List.iteri
+    (fun i level ->
+      let sub = Printf.sprintf "sub%d" i in
+      let budget = if floor_for = Some i then Some (q 1 4) else None in
+      match S.subscribe t ~sub ~n ~input ~level ?budget () with
+      | Ok _ -> ()
+      | Error m -> failwith ("session-chaos subscribe: " ^ m))
+    levels
+
+let release t =
+  match S.release t ~n ~input with
+  | Ok r -> Some r
+  | Error (S.Faulted _) -> None
+  | Error (S.Rejected m) -> failwith ("session-chaos release rejected: " ^ m)
+
+let with_file f =
+  let path = Filename.temp_file "dpsession-chaos" ".frame" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* The reference bytes: the epoch-e draw replayed straight from the
+   contract stream, outside any session instance. *)
+let contract_draw =
+  let plan = ML.make_plan ~n ~levels in
+  fun epoch -> ML.release plan ~true_result:input (S.epoch_stream ~seed ~group ~epoch)
+
+let baseline = Array.init epochs contract_draw
+
+(* ------------------------------------------------------------------ *)
+(* Scenarios                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* 1. No sabotage: every epoch a fresh session serves is the contract
+   draw, byte for byte. *)
+let clean_run () =
+  let t = fresh () in
+  subscribe_ladder t;
+  for e = 0 to epochs - 1 do
+    match release t with
+    | None -> check "clean run: release refused without a fault" false
+    | Some r ->
+      check
+        (Printf.sprintf "clean run: epoch %d byte-identical to the contract draw" e)
+        (r.S.r_values = baseline.(e))
+  done
+
+(* 2. session.epoch trips once mid-sequence: that release refuses
+   cleanly, nothing is charged, and every surviving epoch is
+   byte-identical to the undisturbed sequence — the chain did not
+   advance under the fault. *)
+let epoch_trip_once () =
+  let t = fresh () in
+  subscribe_ladder t;
+  let got = ref [] in
+  F.with_plan (F.plan [ { F.site = "session.epoch"; hits = 3; action = F.Trip } ])
+    (fun () ->
+      for _ = 0 to epochs do
+        match release t with None -> () | Some r -> got := r.S.r_values :: !got
+      done);
+  let got = Array.of_list (List.rev !got) in
+  check "epoch trip once: one epoch lost, the rest served"
+    (Array.length got = epochs);
+  check "epoch trip once: survivors byte-identical to the undisturbed run"
+    (got = baseline);
+  match S.ledger t ~sub:"sub1" ~n ~input with
+  | Error m -> failwith ("session-chaos ledger: " ^ m)
+  | Ok v ->
+    check "epoch trip once: the refused epoch charged nothing"
+      (Rat.equal v.S.v_spent (q 1 64))
+
+(* 3. session.epoch trips on every call, then the plan clears: the
+   blackout refuses everything without shifting the chain, and the
+   first release afterwards serves epoch 0's exact bytes. *)
+let epoch_blackout_then_recover () =
+  let t = fresh () in
+  subscribe_ladder t;
+  F.with_plan (F.plan [ { F.site = "session.epoch"; hits = 0; action = F.Trip } ])
+    (fun () ->
+      for _ = 1 to 4 do
+        match release t with
+        | None -> ()
+        | Some _ -> check "epoch blackout: released through the fault" false
+      done);
+  (match release t with
+  | None -> check "epoch blackout: recovery refused" false
+  | Some r ->
+    check "epoch blackout: epoch 0 served intact after recovery"
+      (r.S.r_epoch = 0 && r.S.r_values = baseline.(0)))
+
+(* 4. session.ledger trips on every checkpoint write: durability
+   degrades — no frame ever lands — but every served epoch is still
+   byte-identical to the undisturbed run. *)
+let ledger_blackout () =
+  with_file (fun path ->
+      let t = fresh ~checkpoint:path () in
+      F.with_plan (F.plan [ { F.site = "session.ledger"; hits = 0; action = F.Trip } ])
+        (fun () ->
+          subscribe_ladder t;
+          for e = 0 to epochs - 1 do
+            match release t with
+            | None -> check "ledger blackout: release refused" false
+            | Some r ->
+              check
+                (Printf.sprintf "ledger blackout: epoch %d byte-identical" e)
+                (r.S.r_values = baseline.(e))
+          done);
+      check "ledger blackout: no checkpoint frame landed" (not (Sys.file_exists path)))
+
+(* 5. session.ledger trips once, later checkpoints heal: a warm
+   restart from the healed frame resumes the ledgers exactly — zero
+   double-spend — and the next epoch continues the undisturbed
+   sequence byte for byte. *)
+let ledger_trip_then_heal () =
+  with_file (fun path ->
+      let t = fresh ~checkpoint:path () in
+      subscribe_ladder t;
+      F.with_plan (F.plan [ { F.site = "session.ledger"; hits = 1; action = F.Trip } ])
+        (fun () ->
+          for _ = 1 to 2 do
+            match release t with
+            | None -> check "ledger heal: release refused" false
+            | Some _ -> ()
+          done);
+      check "ledger heal: a later checkpoint landed" (Sys.file_exists path);
+      let t2 = fresh ~checkpoint:path () in
+      (match S.ledger t2 ~sub:"sub1" ~n ~input with
+      | Error m -> failwith ("session-chaos ledger: " ^ m)
+      | Ok v ->
+        check "ledger heal: restart resumes the exact spend" (Rat.equal v.S.v_spent (q 1 4));
+        check "ledger heal: restart resumes the epoch counter" (v.S.v_epoch = 2));
+      subscribe_ladder t2;
+      match release t2 with
+      | None -> check "ledger heal: post-restart release refused" false
+      | Some r ->
+        check "ledger heal: epoch 2 continues the undisturbed sequence"
+          (r.S.r_epoch = 2 && r.S.r_values = baseline.(2)))
+
+(* 6. Torn checkpoint: a frame truncated mid-write is a refusal to
+   start, never a silently reset ledger; deleting it starts fresh with
+   epoch 0's exact bytes. *)
+let torn_checkpoint () =
+  with_file (fun path ->
+      let t = fresh ~checkpoint:path () in
+      subscribe_ladder t;
+      ignore (release t);
+      let bytes = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (String.sub bytes 0 (String.length bytes / 2)));
+      (match S.create ~seed ~checkpoint:path () with
+      | Error _ -> ()
+      | Ok _ -> check "torn checkpoint: a torn frame must refuse to start" false);
+      Sys.remove path;
+      let t2 = fresh ~checkpoint:path () in
+      subscribe_ladder t2;
+      match release t2 with
+      | None -> check "torn checkpoint: fresh start refused" false
+      | Some r ->
+        check "torn checkpoint: fresh start serves epoch 0's exact bytes"
+          (r.S.r_values = baseline.(0)))
+
+(* 7. Budget exhaustion is not a fault: the refused subscriber stays
+   on the ladder, so the survivors' rungs remain byte-identical to the
+   undisturbed run while its own refusals are typed and charge
+   nothing. *)
+let budget_exhaustion_preserves_survivors () =
+  let t = fresh () in
+  subscribe_ladder ~floor_for:1 t;
+  for e = 0 to epochs - 1 do
+    match release t with
+    | None -> check "budget: release refused" false
+    | Some r ->
+      check
+        (Printf.sprintf "budget: epoch %d byte-identical for survivors" e)
+        (r.S.r_values = baseline.(e));
+      let refused =
+        List.exists
+          (fun (_, o) -> match o with S.Refused _ -> true | S.Served _ -> false)
+          r.S.r_outcomes
+      in
+      check
+        (Printf.sprintf "budget: epoch %d refusal exactly when over the floor" e)
+        (refused = (e >= 2))
+  done;
+  match S.ledger t ~sub:"sub1" ~n ~input with
+  | Error m -> failwith ("session-chaos ledger: " ^ m)
+  | Ok v ->
+    check "budget: refusals charged nothing" (Rat.equal v.S.v_spent (q 1 4));
+    check "budget: refusal count exact" (v.S.v_refusals = epochs - 2)
+
+(* ------------------------------------------------------------------ *)
+
+let scenarios =
+  [
+    ("clean-run", clean_run);
+    ("epoch-trip-once", epoch_trip_once);
+    ("epoch-blackout-then-recover", epoch_blackout_then_recover);
+    ("ledger-blackout", ledger_blackout);
+    ("ledger-trip-then-heal", ledger_trip_then_heal);
+    ("torn-checkpoint", torn_checkpoint);
+    ("budget-exhaustion", budget_exhaustion_preserves_survivors);
+  ]
+
+let () =
+  List.iter (fun (_, f) -> f ()) scenarios;
+  if !failures > 0 then begin
+    Printf.printf "session-chaos: %d failure(s) across %d scenarios\n" !failures
+      (List.length scenarios);
+    exit 1
+  end;
+  Printf.printf
+    "session-chaos: clean (%d scenarios, every surviving epoch byte-identical to the \
+     undisturbed sequence)\n"
+    (List.length scenarios)

@@ -281,6 +281,47 @@ let test_lexer () =
   Alcotest.(check bool) "floats inside strings don't tokenize" false
     (List.exists (fun (k, _) -> k = A.Lexer.Float) string_toks)
 
+(* Serve-root completeness over the real tree: every file a dpserved
+   byte can pass through must be reachable from the lib-side serve
+   roots alone, so wiring a new lib/ directory into the daemon without
+   adding it (or a root that reaches it) to
+   Analysis.default_config.serve_roots turns this red — the
+   determinism pass can never silently lose a subsystem. The build
+   context keeps the repo's sources next to the test binary, so the
+   graph here is the same one `dplint --analyze` sees. *)
+let test_serve_roots_cover_dpserved () =
+  let anchor p = "../" ^ p in
+  let g = A.Modgraph.build ~roots:[ "../lib"; "../bin" ] in
+  Alcotest.(check bool) "lib/session is a serve root" true
+    (List.mem "lib/session" A.default_config.serve_roots);
+  let lib_roots =
+    List.filter (fun r -> r <> "bin/dpserved.ml") A.default_config.serve_roots
+  in
+  let root_files =
+    List.filter
+      (fun p -> A.Modgraph.under ~dirs_or_files:(List.map anchor lib_roots) p)
+      (A.Modgraph.paths g)
+  in
+  Alcotest.(check bool) "serve roots resolve to files" true (root_files <> []);
+  let covered = List.map fst (A.Modgraph.closure g ~roots:root_files) in
+  let daemon = A.Modgraph.closure g ~roots:[ anchor "bin/dpserved.ml" ] in
+  (* Vacuity guard: the daemon's closure must actually resolve through
+     the facade into the session subsystem, or the subset check below
+     proves nothing. *)
+  Alcotest.(check bool) "dpserved's closure reaches lib/session" true
+    (List.exists
+       (fun (file, _) -> A.Modgraph.under ~dirs_or_files:[ anchor "lib/session" ] file)
+       daemon);
+  List.iter
+    (fun (file, chain) ->
+      if file <> anchor "bin/dpserved.ml" && not (List.mem file covered) then
+        Alcotest.failf
+          "%s feeds dpserved (via %s) but no serve root reaches it; add its lib/ \
+           directory to Analysis.default_config.serve_roots"
+          file
+          (String.concat " -> " chain))
+    daemon
+
 let () =
   Alcotest.run "analysis"
     [
@@ -289,6 +330,11 @@ let () =
           Alcotest.test_case "golden diagnostics" `Quick test_golden_tree;
           Alcotest.test_case "negatives stay silent" `Quick test_negatives;
           Alcotest.test_case "outcome counts" `Quick test_outcome_counts;
+        ] );
+      ( "serve-roots",
+        [
+          Alcotest.test_case "roots cover dpserved's closure" `Quick
+            test_serve_roots_cover_dpserved;
         ] );
       ( "baseline",
         [

@@ -47,7 +47,7 @@ let test_line_round_trip () =
   let line = "v=1 id=q-7 seed=9 n=6 alpha=1/2 loss=deadzone:1 side=2-5 input=3 count=12" in
   match Rq.of_line line with
   | Error e -> Alcotest.fail (Rq.wire_error_to_string e)
-  | Ok (Rq.Stats _) -> Alcotest.fail "parsed a query line as op=stats"
+  | Ok (Rq.Stats _ | Rq.Session _) -> Alcotest.fail "parsed a query line as an op verb"
   | Ok (Rq.Query w) ->
     let r = w.Rq.request in
     Alcotest.(check string) "to_line inverts of_line" line
@@ -61,7 +61,7 @@ let test_line_round_trip () =
 let test_line_defaults_and_errors () =
   (match Rq.of_line "v=1 n=4 alpha=1/3 loss=squared side=>=1" with
   | Error e -> Alcotest.fail (Rq.wire_error_to_string e)
-  | Ok (Rq.Stats _) -> Alcotest.fail "parsed a query line as op=stats"
+  | Ok (Rq.Stats _ | Rq.Session _) -> Alcotest.fail "parsed a query line as an op verb"
   | Ok (Rq.Query w) ->
     Alcotest.(check (option string)) "default id" None w.Rq.id;
     Alcotest.(check (option int)) "default seed" None w.Rq.seed;
@@ -301,6 +301,92 @@ let test_engine_shutdown () =
     (Invalid_argument "Engine.run_batch: engine is shut down") (fun () ->
       ignore (En.run_batch e [| req () |]))
 
+(* --------------------------------------------------------------- *)
+(* Canonical-key properties                                          *)
+(* --------------------------------------------------------------- *)
+
+(* A random well-formed request: every loss family, every side-info
+   shape, alpha strictly inside (0,1). *)
+let arb_request =
+  let gen =
+    QCheck.Gen.(
+      int_range 2 6 >>= fun n ->
+      int_range 1 9 >>= fun num ->
+      int_range 1 5 >>= fun dd ->
+      let alpha = q num (num + dd) in
+      oneof
+        [
+          return Rq.Absolute;
+          return Rq.Squared;
+          return Rq.Zero_one;
+          map (fun w -> Rq.Deadzone w) (int_range 0 3);
+          map (fun c -> Rq.Capped c) (int_range 1 7);
+          map2 (fun o u -> Rq.Asymmetric (q o 2, q u 3)) (int_range 1 4) (int_range 1 4);
+        ]
+      >>= fun loss ->
+      oneof
+        [
+          return Rq.Full;
+          map (fun k -> Rq.At_least k) (int_range 0 n);
+          map (fun k -> Rq.At_most k) (int_range 0 n);
+          map2
+            (fun lo d -> Rq.Interval (lo, min n (lo + d)))
+            (int_range 0 n) (int_range 0 n);
+          map (fun ms -> Rq.Members ms) (list_size (int_range 1 (n + 1)) (int_range 0 n));
+        ]
+      >>= fun side ->
+      int_range 0 n >>= fun input ->
+      int_range 1 4 >>= fun count ->
+      match Rq.make ~input ~count ~n ~alpha ~loss ~side () with
+      | Ok r -> return r
+      | Error m -> failwith ("generator built an invalid request: " ^ m))
+  in
+  QCheck.make ~print:(fun r -> Rq.to_line r) gen
+
+(* Rebuild a request from the canonical key's own rendering — the
+   key grammar is parseable by the same wire-facing spec parsers. *)
+let request_of_key key =
+  let strip p s = String.sub s (String.length p) (String.length s - String.length p) in
+  match String.split_on_char ';' key with
+  | [ nf; af; lf; sf ] -> (
+    let n = int_of_string (strip "n=" nf) in
+    let alpha =
+      match Rat.of_string_opt (strip "a=" af) with
+      | Some a -> a
+      | None -> Alcotest.failf "key %S has an unparseable alpha" key
+    in
+    let spec name = function
+      | Ok v -> v
+      | Error m -> Alcotest.failf "key %S has an unparseable %s: %s" key name m
+    in
+    let loss = spec "loss" (Rq.loss_spec_of_string (strip "l=" lf)) in
+    let side = spec "side" (Rq.side_spec_of_string (strip "s=" sf)) in
+    match Rq.make ~n ~alpha ~loss ~side () with
+    | Ok r -> r
+    | Error m -> Alcotest.failf "key %S does not rebuild: %s" key m)
+  | _ -> Alcotest.failf "key %S is not n=..;a=..;l=..;s=.." key
+
+let prop name count arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let key_properties =
+  [
+    (* parse → canonicalize → reparse is a fixpoint: rebuilding a
+       request from its canonical key yields the same key, so
+       canonicalization is idempotent and the key grammar round-trips
+       through the wire-facing spec parsers. *)
+    prop "canonical key is a reparse fixpoint" 200 arb_request (fun r ->
+        let k = key r in
+        String.equal k (key (request_of_key k)));
+    (* The wire line round trip also preserves the key: serving a
+       request through to_line/of_line can never split a cache
+       entry. *)
+    prop "to_line/of_line preserves the canonical key" 200 arb_request (fun r ->
+        match Rq.of_line (Rq.to_line r) with
+        | Ok (Rq.Query w) -> String.equal (key r) (key w.Rq.request)
+        | Ok (Rq.Stats _ | Rq.Session _) | Error _ -> false);
+  ]
+
 let () =
   Alcotest.run "engine"
     [
@@ -310,6 +396,7 @@ let () =
           Alcotest.test_case "line round trip" `Quick test_line_round_trip;
           Alcotest.test_case "line defaults and errors" `Quick test_line_defaults_and_errors;
         ] );
+      ("properties", key_properties);
       ( "cache",
         [
           Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;

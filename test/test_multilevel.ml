@@ -202,8 +202,52 @@ let arb_two_levels =
 
 let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
 
+(* Random instance of the Lemma-4 setting: a strictly increasing level
+   ladder (numerators over 10), a random colluding subset of stages,
+   and a random value per colluded stage. *)
+let arb_lemma4 =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 2 5) (int_range 1 9) >>= fun nums ->
+      let nums = List.sort_uniq compare nums in
+      let k = List.length nums in
+      list_size (return k) bool >>= fun mask ->
+      list_size (return k) (int_range 0 3) >>= fun vals ->
+      return (nums, mask, vals))
+  in
+  QCheck.make
+    ~print:(fun (nums, mask, vals) ->
+      Printf.sprintf "levels=%s mask=%s vals=%s"
+        (String.concat "," (List.map string_of_int nums))
+        (String.concat "," (List.map (fun b -> if b then "1" else "0") mask))
+        (String.concat "," (List.map string_of_int vals)))
+    gen
+
 let properties =
   [
+    (* Lemma 4 as a property: for any ladder and any colluding subset
+       of observations, the joint posterior equals the posterior of
+       the subset's least-private element (its smallest α) alone —
+       the extra, more-private rungs add nothing. *)
+    prop "lemma 4 on random ladders and colluding subsets" 60 arb_lemma4
+      (fun (nums, mask, vals) ->
+        QCheck.assume (List.length nums >= 2);
+        let levels = List.map (fun k -> Rat.of_ints k 10) nums in
+        let plan = Ml.make_plan ~n:3 ~levels in
+        let observed =
+          List.concat
+            (List.mapi
+               (fun i (keep, v) -> if keep then [ (i, v) ] else [])
+               (List.combine mask vals))
+        in
+        QCheck.assume (observed <> []);
+        let least = List.hd observed in
+        match (Ml.posterior plan ~observed, Ml.posterior plan ~observed:[ least ]) with
+        | Some joint, Some single -> Array.for_all2 Rat.equal joint single
+        | None, _ ->
+          (* The joint observation has measure zero — nothing to learn. *)
+          true
+        | Some _, None -> false);
     prop "transition stochastic for random level pairs" 30 arb_two_levels (fun (a, b) ->
         Qm.is_row_stochastic (Ml.transition ~n:3 ~alpha:a ~beta:b));
     prop "transition factors exactly" 20 arb_two_levels (fun (a, b) ->

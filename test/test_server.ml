@@ -90,7 +90,7 @@ let reference_lines ?(default_seed = 42) raw_lines =
           (fun l ->
             match Rq.of_line l with
             | Stdlib.Ok (Rq.Query w) -> w
-            | Stdlib.Ok (Rq.Stats _) -> Alcotest.failf "reference line %S is op=stats" l
+            | Stdlib.Ok (Rq.Stats _ | Rq.Session _) -> Alcotest.failf "reference line %S is an op verb" l
             | Stdlib.Error e ->
               Alcotest.failf "bad reference line %S: %s" l (Rq.wire_error_to_string e))
           raw_lines
@@ -156,7 +156,7 @@ let test_golden_rejections () =
         [
           {|{"v":1,"status":"error","error":{"kind":"unsupported_version","got":"2","msg":"unsupported protocol version \"2\" (this server speaks v=1)"}}|};
           {|{"v":1,"status":"error","error":{"kind":"unsupported_version","msg":"missing protocol version (every request line starts with v=1)"}}|};
-          {|{"v":1,"status":"error","error":{"kind":"unknown_key","key":"color","msg":"unknown key \"color\" (v=1 knows v, op, id, seed, n, alpha, loss, side, input, count)"}}|};
+          {|{"v":1,"status":"error","error":{"kind":"unknown_key","key":"color","msg":"unknown key \"color\" (v=1 knows v, op, id, seed, n, alpha, loss, side, input, count, sub, budget)"}}|};
           {|{"v":1,"status":"error","error":{"kind":"invalid","msg":"missing field alpha="}}|};
           {|{"v":1,"status":"error","error":{"kind":"malformed","msg":"expected key=value, got \"junk\""}}|};
           {|{"v":1,"status":"error","error":{"kind":"malformed","msg":"duplicate key \"n\""}}|};
@@ -283,7 +283,7 @@ let test_golden_stats () =
   in
   let expect =
     [
-      {|{"v":1,"status":"stats","id":"s1","stats":{"queue":{"depth":0,"capacity":64},"conns":{"accepted":2,"aborted":0},"requests":{"admitted":2,"responses":2,"degraded":0,"errors":0,"stats":1},"rejected":{"protocol":0,"overloaded":0,"deadline":0},"engine":{"requests":2,"samples":5},"cache":{"hits":1,"misses":1,"evictions":0,"insertions":1,"bypassed":0},"store":{"hits":0,"misses":0,"corrupt":0,"writes":0,"probe_latency_us":null},"latency_us":{"window_ns":10000000000,"count":2,"p50_us":0,"p99_us":0,"p999_us":0,"max_us":0,"sum_us":0}},"prometheus":"# TYPE dpserved_queue_depth gauge\ndpserved_queue_depth 0\n# TYPE dpserved_queue_capacity gauge\ndpserved_queue_capacity 64\n# TYPE dpserved_connections_total counter\ndpserved_connections_total{event=\"accepted\"} 2\ndpserved_connections_total{event=\"aborted\"} 0\n# TYPE dpserved_requests_total counter\ndpserved_requests_total{outcome=\"admitted\"} 2\ndpserved_requests_total{outcome=\"responses\"} 2\ndpserved_requests_total{outcome=\"degraded\"} 0\ndpserved_requests_total{outcome=\"errors\"} 0\ndpserved_requests_total{outcome=\"stats\"} 1\n# TYPE dpserved_rejected_total counter\ndpserved_rejected_total{reason=\"protocol\"} 0\ndpserved_rejected_total{reason=\"overloaded\"} 0\ndpserved_rejected_total{reason=\"deadline\"} 0\n# TYPE dpserved_engine_requests_total counter\ndpserved_engine_requests_total 2\n# TYPE dpserved_engine_samples_total counter\ndpserved_engine_samples_total 5\n# TYPE dpserved_cache_events_total counter\ndpserved_cache_events_total{event=\"hits\"} 1\ndpserved_cache_events_total{event=\"misses\"} 1\ndpserved_cache_events_total{event=\"evictions\"} 0\ndpserved_cache_events_total{event=\"insertions\"} 1\ndpserved_cache_events_total{event=\"bypassed\"} 0\n# TYPE dpserved_store_events_total counter\ndpserved_store_events_total{event=\"hits\"} 0\ndpserved_store_events_total{event=\"misses\"} 0\ndpserved_store_events_total{event=\"corrupt\"} 0\ndpserved_store_events_total{event=\"writes\"} 0\n# TYPE dpserved_store_probe_microseconds summary\ndpserved_store_probe_microseconds{quantile=\"0.5\"} 0\ndpserved_store_probe_microseconds{quantile=\"0.99\"} 0\ndpserved_store_probe_microseconds{quantile=\"0.999\"} 0\ndpserved_store_probe_microseconds_sum 0\ndpserved_store_probe_microseconds_count 0\n# TYPE dpserved_latency_microseconds summary\ndpserved_latency_microseconds{quantile=\"0.5\"} 0\ndpserved_latency_microseconds{quantile=\"0.99\"} 0\ndpserved_latency_microseconds{quantile=\"0.999\"} 0\ndpserved_latency_microseconds_sum 0\ndpserved_latency_microseconds_count 2\n"}|};
+      {|{"v":1,"status":"stats","id":"s1","stats":{"queue":{"depth":0,"capacity":64},"conns":{"accepted":2,"aborted":0},"requests":{"admitted":2,"responses":2,"degraded":0,"errors":0,"stats":1},"rejected":{"protocol":0,"overloaded":0,"deadline":0},"engine":{"requests":2,"samples":5},"cache":{"hits":1,"misses":1,"evictions":0,"insertions":1,"bypassed":0},"store":{"hits":0,"misses":0,"corrupt":0,"writes":0,"probe_latency_us":null},"session":{"groups":0,"subscribers":0,"subscribes":0,"unsubscribes":0,"detached":0,"epochs":0,"served":0,"refused_budget":0,"checkpoints":0,"checkpoint_failed":0,"epoch_latency_us":null},"latency_us":{"window_ns":10000000000,"count":2,"p50_us":0,"p99_us":0,"p999_us":0,"max_us":0,"sum_us":0}},"prometheus":"# TYPE dpserved_queue_depth gauge\ndpserved_queue_depth 0\n# TYPE dpserved_queue_capacity gauge\ndpserved_queue_capacity 64\n# TYPE dpserved_connections_total counter\ndpserved_connections_total{event=\"accepted\"} 2\ndpserved_connections_total{event=\"aborted\"} 0\n# TYPE dpserved_requests_total counter\ndpserved_requests_total{outcome=\"admitted\"} 2\ndpserved_requests_total{outcome=\"responses\"} 2\ndpserved_requests_total{outcome=\"degraded\"} 0\ndpserved_requests_total{outcome=\"errors\"} 0\ndpserved_requests_total{outcome=\"stats\"} 1\n# TYPE dpserved_rejected_total counter\ndpserved_rejected_total{reason=\"protocol\"} 0\ndpserved_rejected_total{reason=\"overloaded\"} 0\ndpserved_rejected_total{reason=\"deadline\"} 0\n# TYPE dpserved_engine_requests_total counter\ndpserved_engine_requests_total 2\n# TYPE dpserved_engine_samples_total counter\ndpserved_engine_samples_total 5\n# TYPE dpserved_cache_events_total counter\ndpserved_cache_events_total{event=\"hits\"} 1\ndpserved_cache_events_total{event=\"misses\"} 1\ndpserved_cache_events_total{event=\"evictions\"} 0\ndpserved_cache_events_total{event=\"insertions\"} 1\ndpserved_cache_events_total{event=\"bypassed\"} 0\n# TYPE dpserved_store_events_total counter\ndpserved_store_events_total{event=\"hits\"} 0\ndpserved_store_events_total{event=\"misses\"} 0\ndpserved_store_events_total{event=\"corrupt\"} 0\ndpserved_store_events_total{event=\"writes\"} 0\n# TYPE dpserved_session_groups gauge\ndpserved_session_groups 0\n# TYPE dpserved_session_subscribers gauge\ndpserved_session_subscribers 0\n# TYPE dpserved_session_events_total counter\ndpserved_session_events_total{event=\"subscribes\"} 0\ndpserved_session_events_total{event=\"unsubscribes\"} 0\ndpserved_session_events_total{event=\"detached\"} 0\ndpserved_session_events_total{event=\"epochs\"} 0\ndpserved_session_events_total{event=\"served\"} 0\ndpserved_session_events_total{event=\"refused_budget\"} 0\ndpserved_session_events_total{event=\"checkpoints\"} 0\ndpserved_session_events_total{event=\"checkpoint_failed\"} 0\n# TYPE dpserved_store_probe_microseconds summary\ndpserved_store_probe_microseconds{quantile=\"0.5\"} 0\ndpserved_store_probe_microseconds{quantile=\"0.99\"} 0\ndpserved_store_probe_microseconds{quantile=\"0.999\"} 0\ndpserved_store_probe_microseconds_sum 0\ndpserved_store_probe_microseconds_count 0\n# TYPE dpserved_session_epoch_microseconds summary\ndpserved_session_epoch_microseconds{quantile=\"0.5\"} 0\ndpserved_session_epoch_microseconds{quantile=\"0.99\"} 0\ndpserved_session_epoch_microseconds{quantile=\"0.999\"} 0\ndpserved_session_epoch_microseconds_sum 0\ndpserved_session_epoch_microseconds_count 0\n# TYPE dpserved_latency_microseconds summary\ndpserved_latency_microseconds{quantile=\"0.5\"} 0\ndpserved_latency_microseconds{quantile=\"0.99\"} 0\ndpserved_latency_microseconds{quantile=\"0.999\"} 0\ndpserved_latency_microseconds_sum 0\ndpserved_latency_microseconds_count 2\n"}|};
     ]
   in
   Alcotest.(check (list string)) "golden stats transcript" expect got
@@ -298,7 +298,7 @@ let test_stats_grammar_rejections () =
       let expect =
         [
           {|{"v":1,"status":"error","error":{"kind":"invalid","msg":"op=stats takes no n= (only id=)"}}|};
-          {|{"v":1,"status":"error","error":{"kind":"invalid","msg":"unknown op \"flush\" (this server knows op=stats)"}}|};
+          {|{"v":1,"status":"error","error":{"kind":"invalid","msg":"unknown op \"flush\" (this server knows op=stats, subscribe, release, unsubscribe, ledger)"}}|};
         ]
       in
       Alcotest.(check (list string)) "stats grammar rejections" expect got)
@@ -452,6 +452,260 @@ let test_framing_overflow () =
   Unix.close b;
   Alcotest.(check bool) "oversized unterminated line flagged" true !overflowed
 
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Sess = Minimax_dp.Session
+module Cert = Minimax_dp.Session.Certificate
+module ML = Minimax.Multi_level
+
+let q = Rat.of_ints
+
+let json_of line =
+  match J.of_string line with
+  | Stdlib.Ok j -> j
+  | Stdlib.Error m -> Alcotest.failf "unparseable response %S: %s" line m
+
+let json_at line path =
+  let rec walk j = function
+    | [] -> j
+    | k :: rest -> (
+      match J.member k j with
+      | Some v -> walk v rest
+      | None -> Alcotest.failf "response %S lacks %s" line (String.concat "." path))
+  in
+  walk (json_of line) path
+
+let int_at line path =
+  match J.to_int_opt (json_at line path) with
+  | Some i -> i
+  | None -> Alcotest.failf "field %s of %S is not an int" (String.concat "." path) line
+
+let check_rat_field label expect line path =
+  Alcotest.(check string)
+    label
+    (J.to_string (J.rat expect))
+    (J.to_string (json_at line path))
+
+let values_json a = J.to_string (J.List (Array.to_list (Array.map (fun v -> J.Int v) a)))
+
+(* The full wire lifecycle across two connections: three subscribers at
+   three privacy levels share one group, every op=release serves all
+   rungs from a single correlated draw — the pure function of
+   (seed, group, epoch) — pushes land with subscribe-time ids, the
+   ledger refuses an over-budget subscriber with a typed
+   budget_exhausted line, and the certificate that crossed the wire
+   replays green. *)
+let test_session_lifecycle () =
+  let group = Sess.group_key ~n:6 ~input:3 in
+  let levels = [ q 1 3; q 1 2; q 2 3 ] in
+  let plan = ML.make_plan ~n:6 ~levels in
+  let draw epoch =
+    ML.release plan ~true_result:3 (Sess.epoch_stream ~seed:42 ~group ~epoch)
+  in
+  with_server (config ~domains:2 ()) (fun _ port ->
+      let fa = connect port and fb = connect port in
+      let ra = F.reader fa and rb = F.reader fb in
+      send fa
+        [
+          "v=1 op=subscribe id=sa sub=alice n=6 input=3 alpha=1/3";
+          "v=1 op=subscribe id=sc sub=carol n=6 input=3 alpha=2/3";
+        ];
+      (match recv_n ra 2 with
+      | [ la; lc ] ->
+        Alcotest.(check string) "alice subscribed" "subscribed" (status_of la);
+        check_rat_field "ledger opens at 1" Rat.one la [ "session"; "spent" ];
+        Alcotest.(check string) "carol subscribed" "subscribed" (status_of lc)
+      | _ -> Alcotest.fail "expected two subscribe acks");
+      send fb [ "v=1 op=subscribe id=sb sub=bob n=6 input=3 alpha=1/2 budget=1/4" ];
+      ignore (recv_n rb 1);
+      (* Epoch 0, called from connection B: B gets the summary first,
+         then its own push; A gets alice's and carol's pushes. *)
+      send fb [ "v=1 op=release id=e0 n=6 input=3" ];
+      let b_lines = recv_n rb 2 and a_lines = recv_n ra 2 in
+      let summary = List.nth b_lines 0 in
+      Alcotest.(check string) "summary status" "released" (status_of summary);
+      let expect0 = draw 0 in
+      Alcotest.(check string)
+        "wire values = the epoch-0 draw" (values_json expect0)
+        (J.to_string (json_at summary [ "release"; "values" ]));
+      (match Cert.of_json (json_at summary [ "release"; "certificate" ]) with
+      | Stdlib.Error m -> Alcotest.failf "wire certificate unparseable: %s" m
+      | Stdlib.Ok cert -> (
+        match Cert.replay cert with
+        | Stdlib.Ok () -> ()
+        | Stdlib.Error rule -> Alcotest.failf "wire certificate replays red: %s" rule));
+      let check_push line ~id ~sub ~idx =
+        Alcotest.(check string) (sub ^ " push status") "release" (status_of line);
+        Alcotest.(check (option string))
+          (sub ^ " push carries its subscribe-time id")
+          (Some id) (json_field line [ "id" ]);
+        Alcotest.(check (option string)) (sub ^ " push sub") (Some sub)
+          (json_field line [ "sub" ]);
+        Alcotest.(check int)
+          (sub ^ " rung served off the shared draw")
+          expect0.(idx)
+          (int_at line [ "value" ])
+      in
+      check_push (List.nth b_lines 1) ~id:"sb" ~sub:"bob" ~idx:1;
+      check_push (List.nth a_lines 0) ~id:"sa" ~sub:"alice" ~idx:0;
+      check_push (List.nth a_lines 1) ~id:"sc" ~sub:"carol" ~idx:2;
+      (* Epoch 1, called from A: bob's spend hits the floor exactly
+         (1/2 · 1/2 = 1/4, not below it), so he is still served. *)
+      send fa [ "v=1 op=release id=e1 n=6 input=3" ];
+      let a1 = recv_n ra 3 and b1 = recv_n rb 1 in
+      Alcotest.(check string) "epoch 1 summary" "released" (status_of (List.nth a1 0));
+      Alcotest.(check string)
+        "epoch 1 values = the epoch-1 draw" (values_json (draw 1))
+        (J.to_string (json_at (List.nth a1 0) [ "release"; "values" ]));
+      Alcotest.(check string) "bob still served at the floor" "release"
+        (status_of (List.nth b1 0));
+      (* Epoch 2: 1/4 · 1/2 < 1/4 — bob's line is the typed
+         budget_exhausted refusal, byte-exact, and his ledger is not
+         charged. *)
+      send fa [ "v=1 op=release id=e2 n=6 input=3" ];
+      let a2 = recv_n ra 3 and b2 = recv_n rb 1 in
+      Alcotest.(check string) "epoch 2 summary" "released" (status_of (List.nth a2 0));
+      let expect_refusal =
+        Resp.to_line
+          (Resp.error ~id:"sb"
+             (Resp.Budget_exhausted { sub = "bob"; group; spent = q 1 4; floor = q 1 4 }))
+      in
+      Alcotest.(check string) "typed budget_exhausted push" expect_refusal (List.nth b2 0);
+      send fb [ "v=1 op=ledger id=lb sub=bob n=6 input=3" ];
+      let lb = List.nth (recv_n rb 1) 0 in
+      check_rat_field "refusal charged nothing" (q 1 4) lb [ "session"; "spent" ];
+      Alcotest.(check int) "bob served twice" 2 (int_at lb [ "session"; "served" ]);
+      Alcotest.(check int) "bob refused once" 1 (int_at lb [ "session"; "refusals" ]);
+      send fa [ "v=1 op=ledger id=la sub=alice n=6 input=3" ];
+      let la = List.nth (recv_n ra 1) 0 in
+      check_rat_field "alice spent (1/3)^3" (q 1 27) la [ "session"; "spent" ];
+      Alcotest.(check int) "three epochs on the ledger" 3 (int_at la [ "session"; "epoch" ]);
+      send fa [ "v=1 op=unsubscribe id=ua sub=alice n=6 input=3" ];
+      let ua = List.nth (recv_n ra 1) 0 in
+      Alcotest.(check string) "unsubscribed" "unsubscribed" (status_of ua);
+      Alcotest.(check string) "inactive after unsubscribe" "false"
+        (J.to_string (json_at ua [ "session"; "active" ]));
+      half_close fa;
+      half_close fb;
+      ignore (recv_until_eof ra);
+      ignore (recv_until_eof rb);
+      Unix.close fa;
+      Unix.close fb)
+
+(* The whole session transcript — subscribes, two epochs, a ledger
+   probe, an unsubscribe — is byte-identical for every worker count:
+   session verbs are answered inline on the event loop and the epoch
+   draw is a pure function, so the pool size can never show through. *)
+let test_session_bytes_across_workers () =
+  let lines =
+    [
+      "v=1 op=subscribe id=s1 sub=ada n=5 input=2 alpha=1/3";
+      "v=1 op=subscribe id=s2 sub=bea n=5 input=2 alpha=1/2";
+      "v=1 op=release id=e0 n=5 input=2";
+      "v=1 op=release id=e1 n=5 input=2";
+      "v=1 op=ledger id=l1 sub=ada n=5 input=2";
+      "v=1 op=unsubscribe id=u1 sub=ada n=5 input=2";
+    ]
+  in
+  let serve domains =
+    with_server (config ~domains ()) (fun _ port -> round_trip port lines)
+  in
+  let one = serve 1 in
+  Alcotest.(check int) "2 acks + 2x(summary+2 pushes) + ledger + unsub" 10
+    (List.length one);
+  Alcotest.(check (list string)) "1 worker = 3 workers, byte for byte" one (serve 3)
+
+(* Warm restart against --session-store: ledgers and epoch counters
+   survive the drain as a verified checkpoint frame, a returning
+   subscriber resumes its spend (zero double-spend), and the epoch
+   chain continues byte-identically with an uninterrupted run. *)
+let test_session_warm_restart () =
+  let store = Filename.temp_file "dpsession" ".frame" in
+  Sys.remove store;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists store then Sys.remove store)
+  @@ fun () ->
+  let cfg = { (config ~domains:1 ()) with Server.session_store = Some store } in
+  let phase lines = with_server cfg (fun _ port -> round_trip port lines) in
+  let sub = "v=1 op=subscribe id=s sub=ada n=5 input=2 alpha=1/2" in
+  let rel id = Printf.sprintf "v=1 op=release id=%s n=5 input=2" id in
+  let first = phase [ sub; rel "e0" ] in
+  Alcotest.(check int) "first run answers ack + summary + push" 3 (List.length first);
+  let second =
+    phase [ "v=1 op=ledger id=l sub=ada n=5 input=2"; sub; rel "e1";
+            "v=1 op=ledger id=l2 sub=ada n=5 input=2" ]
+  in
+  let led = List.nth second 0 in
+  check_rat_field "spend survives the restart" (q 1 2) led [ "session"; "spent" ];
+  Alcotest.(check int) "epoch counter survives" 1 (int_at led [ "session"; "epoch" ]);
+  Alcotest.(check string) "inactive until re-subscribed" "false"
+    (J.to_string (json_at led [ "session"; "active" ]));
+  check_rat_field "re-subscribe keeps the spend — zero double-spend" (q 1 2)
+    (List.nth second 1) [ "session"; "spent" ];
+  let summary = List.nth second 2 in
+  Alcotest.(check int) "epochs continue where they left off" 1
+    (int_at summary [ "release"; "epoch" ]);
+  let plan = ML.make_plan ~n:5 ~levels:[ q 1 2 ] in
+  let expect1 =
+    ML.release plan ~true_result:2
+      (Sess.epoch_stream ~seed:42 ~group:(Sess.group_key ~n:5 ~input:2) ~epoch:1)
+  in
+  Alcotest.(check string) "epoch 1 byte-derived from the resumed chain"
+    (values_json expect1)
+    (J.to_string (json_at summary [ "release"; "values" ]));
+  check_rat_field "spend composes across the restart" (q 1 4) (List.nth second 4)
+    [ "session"; "spent" ];
+  (* And the restarted epoch-1 lines are byte-identical to an
+     uninterrupted run's. *)
+  let uninterrupted =
+    with_server (config ~domains:1 ()) (fun _ port ->
+        round_trip port [ sub; rel "e0"; rel "e1" ])
+  in
+  Alcotest.(check (list string)) "restart = uninterrupted, byte for byte"
+    [ List.nth uninterrupted 3; List.nth uninterrupted 4 ]
+    [ List.nth second 2; List.nth second 3 ]
+
+(* Session grammar refusals are the unified Response rendering of
+   of_line's wire errors — and semantic refusals from the service
+   itself come back as typed invalids. *)
+let test_session_grammar_rejections () =
+  let parse_lines =
+    [
+      "v=1 sub=alice n=4 alpha=1/2";
+      "v=1 op=release n=4 input=2 alpha=1/2";
+      "v=1 op=subscribe id=x sub=bad! n=4 input=2 alpha=1/2";
+      "v=1 op=subscribe sub=alice n=4 input=2";
+      "v=1 op=ledger sub=alice input=2";
+    ]
+  in
+  let expect =
+    List.map
+      (fun l ->
+        match Rq.of_line l with
+        | Stdlib.Ok _ -> Alcotest.failf "line unexpectedly parsed: %S" l
+        | Stdlib.Error e -> Resp.to_line (Resp.of_wire_error e))
+      parse_lines
+  in
+  with_server (config ~domains:1 ()) (fun _ port ->
+      Alcotest.(check (list string))
+        "session grammar = Response surface" expect (round_trip port parse_lines);
+      let got =
+        round_trip port
+          [
+            "v=1 op=subscribe id=z sub=zoe n=4 input=9 alpha=1/2";
+            "v=1 op=release n=4 input=2";
+            "v=1 op=ledger sub=ghost n=4 input=2";
+          ]
+      in
+      List.iter
+        (fun l ->
+          Alcotest.(check string) "refused" "error" (status_of l);
+          Alcotest.(check (option string))
+            "semantic refusals are typed invalids" (Some "invalid")
+            (json_field l [ "error"; "kind" ]))
+        got)
+
 let () =
   Alcotest.run "server"
     [
@@ -479,6 +733,16 @@ let () =
         [
           Alcotest.test_case "golden op=stats transcript" `Quick test_golden_stats;
           Alcotest.test_case "stats grammar rejections" `Quick test_stats_grammar_rejections;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "wire lifecycle" `Quick test_session_lifecycle;
+          Alcotest.test_case "bytes identical across worker counts" `Quick
+            test_session_bytes_across_workers;
+          Alcotest.test_case "warm restart, zero double-spend" `Quick
+            test_session_warm_restart;
+          Alcotest.test_case "session grammar rejections" `Quick
+            test_session_grammar_rejections;
         ] );
       ("shutdown", [ Alcotest.test_case "drain on stop" `Quick test_drain_on_stop ]);
       ( "framing",
