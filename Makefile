@@ -1,4 +1,4 @@
-.PHONY: all build test lint analyze analyze-baseline chaos store-chaos session-chaos serve-smoke bench bench-json engine-bench clean
+.PHONY: all build test lint analyze analyze-baseline chaos store-chaos session-chaos serve-smoke lp-bench bench bench-json engine-bench clean
 
 all: build
 
@@ -55,6 +55,13 @@ session-chaos:
 serve-smoke:
 	dune build @serve-smoke
 
+# LP engine gate: trimmed THM1 through both the revised-simplex
+# session and the full-tableau oracle — certified outputs must be
+# byte-identical and the revised engine must hold a hard wall-clock
+# speedup floor (DESIGN.md 4k).
+lp-bench:
+	dune build @lp-bench --force
+
 bench:
 	dune exec bench/main.exe
 
@@ -63,7 +70,7 @@ bench:
 # number in the file name is the PR sequence number, so successive
 # PRs leave comparable snapshots behind.
 bench-json:
-	dune exec bench/main.exe -- --bench-json BENCH_8.json
+	dune exec bench/main.exe -- --bench-json BENCH_9.json
 
 # Just the serving-engine experiment (E1): cache + compiled samplers +
 # Domain pool, checking byte-identical output across worker counts.

@@ -1,0 +1,110 @@
+(* LP engine gate: a trimmed THM1 sweep run twice — once through a
+   revised-simplex [Lp.Solver] session (warm starts enabled), once
+   through the retained full-tableau oracle — requiring
+
+   1. byte-identical certified outputs: every consumer's tailored,
+      universal, and naive losses, and the universality verdict,
+      rendered identically by both engines;
+   2. a hard wall-clock ratio: the revised session must beat the
+      oracle by at least [min_speedup] on the same grid.
+
+   `dune build @lp-bench` (or `make lp-bench`) runs it. The full
+   420-consumer sweep lives in THM1 (bench/main.exe); this trimmed
+   grid keeps the gate cheap enough to run on every bench pass. *)
+
+module U = Minimax.Universal
+module C = Minimax.Consumer
+module L = Minimax.Loss
+
+let q = Rat.of_ints
+
+(* Trimmed grid: n = 7 dominates the wall clock and is where the
+   revised engine's advantage is unambiguous; the α-sweep (innermost)
+   is what exercises warm starts, so it is kept whole. *)
+let ns = [ 5; 7 ]
+let losses = [ L.absolute; L.capped ~cap:2 ]
+let alphas = [ q 1 4; q 1 2; q 3 4 ]
+
+(* Conservative floor: the measured engine-vs-engine ratio on this
+   grid is a stable 3.0x (the 13.7x THM1 headline additionally counts
+   the Rat fast paths, which speed up both engines); gate at 2.0x so
+   machine noise cannot flip the verdict while a real regression —
+   losing warm starts, or the eta chain degenerating to dense work —
+   still trips. *)
+let min_speedup = 2.0
+
+type row = { label : string; tailored : string; universal : string; naive : string; holds : bool }
+
+let sweep solver =
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun loss ->
+          List.iter
+            (fun side_info ->
+              List.iter
+                (fun alpha ->
+                  let cmp = U.compare_for ?solver ~alpha (C.make ~loss ~side_info ()) in
+                  rows :=
+                    {
+                      label = Printf.sprintf "n=%d a=%s %s" n (Rat.to_string alpha)
+                          (C.label cmp.U.consumer);
+                      tailored = Rat.to_string cmp.U.tailored_loss;
+                      universal = Rat.to_string cmp.U.universal_loss;
+                      naive = Rat.to_string cmp.U.naive_loss;
+                      holds = U.universality_holds cmp;
+                    }
+                    :: !rows)
+                alphas)
+            (U.default_side_infos n))
+        losses)
+    ns;
+  List.rev !rows
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  let revised, t_revised =
+    timed (fun () -> sweep (Some (Lp.Solver.create ())))
+  in
+  let oracle, t_oracle =
+    timed (fun () -> sweep (Some (Lp.Solver.create ~engine:Lp.Solver.Tableau ())))
+  in
+  let failures = ref 0 in
+  List.iter2
+    (fun r o ->
+      let mismatches =
+        (if String.equal r.tailored o.tailored then [] else [ "tailored" ])
+        @ (if String.equal r.universal o.universal then [] else [ "universal" ])
+        @ (if String.equal r.naive o.naive then [] else [ "naive" ])
+        @ if r.holds = o.holds then [] else [ "verdict" ]
+      in
+      if mismatches <> [] then begin
+        incr failures;
+        Printf.printf "MISMATCH %s: %s differ (revised %s/%s/%s vs oracle %s/%s/%s)\n"
+          r.label
+          (String.concat "," mismatches)
+          r.tailored r.universal r.naive o.tailored o.universal o.naive
+      end;
+      if not r.holds then begin
+        incr failures;
+        Printf.printf "UNIVERSALITY FAIL %s: tailored %s <> universal %s\n" r.label
+          r.tailored r.universal
+      end)
+    revised oracle;
+  let ratio = t_oracle /. t_revised in
+  Printf.printf "lp-bench: %d consumers, revised %.2fs, oracle %.2fs, speedup %.1fx (floor %.1fx)\n"
+    (List.length revised) t_revised t_oracle ratio min_speedup;
+  if ratio < min_speedup then begin
+    incr failures;
+    Printf.printf "SPEEDUP GATE FAIL: %.2fx < %.2fx\n" ratio min_speedup
+  end;
+  if !failures > 0 then begin
+    Printf.printf "lp-bench: FAIL (%d problems)\n" !failures;
+    exit 1
+  end;
+  print_endline "lp-bench: PASS"

@@ -337,27 +337,38 @@ let universality =
       let ns = [ 3; 5; 7 ] in
       let total = ref 0 and equal = ref 0 in
       let rows = ref [] in
+      (* One solver session across the whole grid, α innermost: the LP
+         shape depends on (n, side info) only, so consecutive solves
+         share a cached basis and warm-start. The checked equality is a
+         value equality, insensitive to which optimal vertex a warm
+         solve reports. *)
+      let solver = Lp.Solver.create () in
       List.iter
         (fun n ->
           List.iter
-            (fun alpha ->
-              let comparisons = U.sweep ~alpha ~losses ~side_infos:(U.default_side_infos n) in
+            (fun loss ->
               List.iter
-                (fun cmp ->
-                  incr total;
-                  if U.universality_holds cmp then incr equal
-                  else
-                    rows :=
-                      [
-                        string_of_int n;
-                        Rat.to_string alpha;
-                        C.label cmp.U.consumer;
-                        Rat.to_string cmp.U.tailored_loss;
-                        Rat.to_string cmp.U.universal_loss;
-                      ]
-                      :: !rows)
-                comparisons)
-            alphas)
+                (fun side_info ->
+                  List.iter
+                    (fun alpha ->
+                      let cmp =
+                        U.compare_for ~solver ~alpha (C.make ~loss ~side_info ())
+                      in
+                      incr total;
+                      if U.universality_holds cmp then incr equal
+                      else
+                        rows :=
+                          [
+                            string_of_int n;
+                            Rat.to_string alpha;
+                            C.label cmp.U.consumer;
+                            Rat.to_string cmp.U.tailored_loss;
+                            Rat.to_string cmp.U.universal_loss;
+                          ]
+                          :: !rows)
+                    alphas)
+                (U.default_side_infos n))
+            losses)
         ns;
       let detail =
         Printf.sprintf "  consumers checked: %d; exact equality: %d\n" !total !equal
@@ -805,12 +816,23 @@ let ablation_numeric =
            | Lp.Foptimal f ->
              let dt = now_s () -. t0 in
              let exact_f = Rat.to_float exact.Om.loss in
+             (* The float mirror honors the pricing knob. In exact ℚ
+                the pricing rule cannot change the optimum; in floating
+                point it changes the pivot path and hence the rounding
+                — the spread between the two float answers is itself an
+                ablation data point. *)
+             let bland_spread =
+               match Lp.solve_float ~pricing:Lp.Simplex.Exact.Bland p with
+               | Lp.Foptimal fb -> Float.abs (fb.Lp.fobjective -. f.Lp.fobjective)
+               | Lp.Finfeasible | Lp.Funbounded -> Float.nan
+             in
              Buffer.add_string buf
                (Printf.sprintf
-                  "    n=%d α=%s: exact %s; float %.12f (Δ=%.2e, %.3fs float)\n" n
-                  (Rat.to_string alpha) (Rat.to_string exact.Om.loss) f.Lp.fobjective
+                  "    n=%d α=%s: exact %s; float %.12f (Δ=%.2e, %.3fs float; \
+                   Dantzig-vs-Bland float spread %.2e)\n"
+                  n (Rat.to_string alpha) (Rat.to_string exact.Om.loss) f.Lp.fobjective
                   (Float.abs (f.Lp.fobjective -. exact_f))
-                  dt)
+                  dt bland_spread)
            | Lp.Finfeasible | Lp.Funbounded ->
              ok := false;
              Buffer.add_string buf "    float solver misclassified a feasible LP\n"))

@@ -1,9 +1,24 @@
-(* Arbitrary-precision signed integers, sign-magnitude over base-2^30
-   limbs stored little-endian in int arrays.
+(* Arbitrary-precision signed integers with a small-integer fast path.
 
-   Invariants:
+   Representation:
+   - [Small n]: any value whose magnitude fits in 62 bits, held as a
+     native OCaml int ([n <> min_int], so [abs]/[neg] never overflow).
+   - [Big { sign; mag }]: sign-magnitude over base-2^30 limbs stored
+     little-endian in int arrays.
+
+   Canonical-form invariant (relied on by [equal]/[compare]/[hash]):
+   a value is [Small] iff its magnitude needs at most 62 bits; [Big]
+   values always need 63 bits or more. Every constructor normalizes
+   through {!make_sm}.
+
+   The fast path matters: LP pivoting over exact rationals spends
+   almost all its time on coefficients of a few dozen bits (the bench
+   histograms put the mass under 16 bits), so add/mul/divmod/gcd run
+   on native ints and only promote to limb arithmetic on overflow —
+   the boundary is exactly 63 bits of magnitude (|v| >= 2^62).
+
+   Invariants of the limb layer:
    - [mag] has no leading (high-order) zero limbs;
-   - [sign = 0] iff [mag] is empty;
    - every limb is in [0, base).
 
    Base 2^30 keeps every intermediate of schoolbook multiplication and
@@ -14,9 +29,9 @@ let base_bits = 30
 let base = 1 lsl base_bits
 let base_mask = base - 1
 
-type t = { sign : int; mag : int array }
+type t = Small of int | Big of { sign : int; mag : int array }
 
-let zero = { sign = 0; mag = [||] }
+let zero = Small 0
 
 (* ------------------------------------------------------------------ *)
 (* Magnitude helpers (int arrays, little-endian, may need trimming).  *)
@@ -201,6 +216,10 @@ let bits_of_limb l =
   let rec go l acc = if l = 0 then acc else go (l lsr 1) (acc + 1) in
   go l 0
 
+let mag_num_bits a =
+  let n = Array.length a in
+  if n = 0 then 0 else ((n - 1) * base_bits) + bits_of_limb a.(n - 1)
+
 (* Knuth algorithm D. Requires [Array.length b >= 2], [a >= b]. *)
 let mag_divmod_knuth a b =
   let n = Array.length b in
@@ -272,95 +291,169 @@ let mag_divmod a b =
   else mag_divmod_knuth a b
 
 (* ------------------------------------------------------------------ *)
-(* Signed layer.                                                      *)
+(* Small/Big boundary.                                                *)
 (* ------------------------------------------------------------------ *)
 
-let make sign mag =
+(* Magnitudes of up to [small_bits] bits live in the [Small]
+   constructor; 2^62 (63 bits) is the first promoted value, keeping
+   [min_int] — whose magnitude cannot be negated natively — out of the
+   fast path entirely. *)
+let small_bits = 62
+
+let bits_of_pos_int n =
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+(* [v > 0]. *)
+let mag_of_pos_int v =
+  let rec limbs v acc =
+    if v = 0 then List.rev acc else limbs (v lsr base_bits) ((v land base_mask) :: acc)
+  in
+  Array.of_list (limbs v [])
+
+(* Requires [mag_num_bits mag <= 62]: the magnitude fits a native int. *)
+let int_of_mag mag =
+  let v = ref 0 in
+  for i = Array.length mag - 1 downto 0 do
+    v := (!v lsl base_bits) lor mag.(i)
+  done;
+  !v
+
+(* The one canonicalizing constructor: every limb-layer result funnels
+   through here so the [Small]-iff-fits invariant holds everywhere. *)
+let make_sm sign mag =
   let mag = mag_trim mag in
-  if mag_is_zero mag then zero else { sign; mag }
+  if mag_is_zero mag then zero
+  else if mag_num_bits mag <= small_bits then Small (sign * int_of_mag mag)
+  else Big { sign; mag }
 
-let of_int n =
-  if n = 0 then zero
-  else if n = min_int then
-    (* |min_int| = 2^62 overflows [abs]; build its limbs directly:
-       4·(2^30)² = 2^62. *)
-    { sign = -1; mag = [| 0; 0; 4 |] }
-  else begin
-    let sign = if n > 0 then 1 else -1 in
-    let rec limbs v acc =
-      if v = 0 then List.rev acc else limbs (v lsr base_bits) ((v land base_mask) :: acc)
-    in
-    { sign; mag = Array.of_list (limbs (abs n) []) }
-  end
+(* Sign and magnitude of any value; allocates for [Small] — only the
+   promoted slow paths call this. *)
+let parts t =
+  match t with
+  | Small 0 -> (0, [||])
+  | Small n -> ((if n > 0 then 1 else -1), mag_of_pos_int (abs n))
+  | Big { sign; mag } -> (sign, mag)
 
-let sign t = t.sign
-let is_zero t = t.sign = 0
-let is_negative t = t.sign < 0
+let of_int n = if n = min_int then Big { sign = -1; mag = [| 0; 0; 4 |] } else Small n
 
-let one = of_int 1
-let two = of_int 2
-let minus_one = of_int (-1)
+let sign t = match t with Small n -> Stdlib.compare n 0 | Big b -> b.sign
+let is_zero t = match t with Small 0 -> true | _ -> false
+let is_negative t = match t with Small n -> n < 0 | Big b -> b.sign < 0
 
-let is_one t = t.sign = 1 && Array.length t.mag = 1 && t.mag.(0) = 1
+let one = Small 1
+let two = Small 2
+let minus_one = Small (-1)
 
-let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
-let abs t = if t.sign < 0 then neg t else t
+let is_one t = match t with Small 1 -> true | _ -> false
+
+let neg t =
+  match t with
+  | Small n -> Small (-n) (* never [min_int] by the invariant *)
+  | Big b -> Big { b with sign = -b.sign }
+
+let abs t = match t with Small n -> Small (abs n) | Big b -> Big { b with sign = 1 }
 
 let compare a b =
-  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
-  else if a.sign >= 0 then mag_compare a.mag b.mag
-  else mag_compare b.mag a.mag
+  match (a, b) with
+  | Small x, Small y -> Stdlib.compare x y
+  | Small _, Big b -> if b.sign > 0 then -1 else 1
+  | Big a, Small _ -> if a.sign > 0 then 1 else -1
+  | Big a, Big b ->
+    if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+    else if a.sign >= 0 then mag_compare a.mag b.mag
+    else mag_compare b.mag a.mag
 
 let equal a b = compare a b = 0
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
 
-let hash t = Hashtbl.hash (t.sign, t.mag)
+let hash t = match t with Small n -> Hashtbl.hash n | Big b -> Hashtbl.hash (b.sign, b.mag)
+
+let num_bits t =
+  match t with
+  | Small 0 -> 0
+  | Small n -> bits_of_pos_int (Stdlib.abs n)
+  | Big b -> mag_num_bits b.mag
+
+(* Slow path: exact addition through the limb layer. *)
+let add_via_mag a b =
+  let sa, ma = parts a and sb, mb = parts b in
+  if sa = 0 then b
+  else if sb = 0 then a
+  else if sa = sb then make_sm sa (mag_add ma mb)
+  else begin
+    let c = mag_compare ma mb in
+    if c = 0 then zero
+    else if c > 0 then make_sm sa (mag_sub ma mb)
+    else make_sm sb (mag_sub mb ma)
+  end
 
 let add a b =
-  if a.sign = 0 then b
-  else if b.sign = 0 then a
-  else if a.sign = b.sign then make a.sign (mag_add a.mag b.mag)
-  else begin
-    let c = mag_compare a.mag b.mag in
-    if c = 0 then zero
-    else if c > 0 then make a.sign (mag_sub a.mag b.mag)
-    else make b.sign (mag_sub b.mag a.mag)
-  end
+  match (a, b) with
+  | Small x, Small y ->
+    let s = x + y in
+    (* Native overflow iff the operands agree in sign and the wrapped
+       sum does not; [min_int] is representable but not [Small]. *)
+    if ((x >= 0) = (y >= 0) && (s >= 0) <> (x >= 0)) || s = min_int then add_via_mag a b
+    else Small s
+  | _ -> add_via_mag a b
 
 let sub a b = add a (neg b)
 let succ a = add a one
 let pred a = sub a one
 
 let mul a b =
-  if a.sign = 0 || b.sign = 0 then zero
-  else make (a.sign * b.sign) (mag_mul a.mag b.mag)
+  match (a, b) with
+  | Small 0, _ | _, Small 0 -> zero
+  | Small x, Small y ->
+    (* |x·y| < 2^(bits x + bits y) <= 2^62, so the native product is
+       exact and [Small]-safe whenever the bit budget fits. *)
+    if bits_of_pos_int (Stdlib.abs x) + bits_of_pos_int (Stdlib.abs y) <= small_bits
+    then Small (x * y)
+    else
+      let sa, ma = parts a and sb, mb = parts b in
+      make_sm (sa * sb) (mag_mul ma mb)
+  | _ ->
+    let sa, ma = parts a and sb, mb = parts b in
+    if sa = 0 || sb = 0 then zero else make_sm (sa * sb) (mag_mul ma mb)
 
 let mul_int a n = mul a (of_int n)
 let add_int a n = add a (of_int n)
 
 let divmod a b =
-  if b.sign = 0 then raise Division_by_zero;
-  if a.sign = 0 then (zero, zero)
-  else begin
-    let qm, rm = mag_divmod a.mag b.mag in
-    let q = make (a.sign * b.sign) qm in
-    let r = make a.sign rm in
-    (q, r)
-  end
+  match (a, b) with
+  | _, Small 0 -> raise Division_by_zero
+  | Small x, Small y ->
+    (* OCaml's (/) and (mod) are truncated division, the documented
+       contract; magnitudes only shrink, so results stay [Small]. *)
+    (Small (x / y), Small (x mod y))
+  | _ ->
+    let sa, ma = parts a and sb, mb = parts b in
+    if sb = 0 then raise Division_by_zero;
+    if sa = 0 then (zero, zero)
+    else begin
+      let qm, rm = mag_divmod ma mb in
+      (make_sm (sa * sb) qm, make_sm sa rm)
+    end
 
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
 
 let ediv a b =
   let q, r = divmod a b in
-  if r.sign >= 0 then (q, r)
-  else if b.sign > 0 then (pred q, add r b)
+  if sign r >= 0 then (q, r)
+  else if sign b > 0 then (pred q, add r b)
   else (succ q, sub r b)
 
-let rec gcd a b =
-  let a = abs a and b = abs b in
-  if is_zero b then a else gcd b (rem a b)
+let gcd a b =
+  match (a, b) with
+  | Small x, Small y ->
+    let rec go a b = if b = 0 then a else go b (a mod b) in
+    Small (go (Stdlib.abs x) (Stdlib.abs y))
+  | _ ->
+    let rec go a b = if is_zero b then a else go b (rem a b) in
+    go (abs a) (abs b)
 
 let pow b e =
   if e < 0 then invalid_arg "Bigint.pow: negative exponent";
@@ -373,35 +466,41 @@ let pow b e =
 
 let shift_left a k =
   if k < 0 then invalid_arg "Bigint.shift_left";
-  if a.sign = 0 then zero else make a.sign (mag_shift_left a.mag k)
+  match a with
+  | Small 0 -> zero
+  | Small n when bits_of_pos_int (Stdlib.abs n) + k <= small_bits -> Small (n lsl k)
+  | _ ->
+    let sa, ma = parts a in
+    make_sm sa (mag_shift_left ma k)
 
 let shift_right a k =
   if k < 0 then invalid_arg "Bigint.shift_right";
-  if a.sign = 0 then zero
-  else if a.sign > 0 then make 1 (mag_shift_right a.mag k)
-  else begin
-    (* Arithmetic shift: floor division by 2^k. *)
-    let q, r = ediv a (shift_left one k) in
-    ignore r;
-    q
-  end
-
-let num_bits t =
-  let n = Array.length t.mag in
-  if n = 0 then 0 else ((n - 1) * base_bits) + bits_of_limb t.mag.(n - 1)
+  match a with
+  | Small n -> Small (n asr k) (* asr is floor division by 2^k *)
+  | Big { sign; mag } ->
+    if sign > 0 then make_sm 1 (mag_shift_right mag k)
+    else begin
+      (* Arithmetic shift: floor division by 2^k — truncate the
+         magnitude, then correct down when bits were dropped. *)
+      let dropped =
+        let limbs = Stdlib.min (Array.length mag) ((k / base_bits) + 1) in
+        let rec any i =
+          if i >= limbs then false
+          else if k >= base_bits * (i + 1) then mag.(i) <> 0 || any (i + 1)
+          else mag.(i) land ((1 lsl (k - (base_bits * i))) - 1) <> 0
+        in
+        k > 0 && any 0
+      in
+      let q = make_sm (-1) (mag_shift_right mag k) in
+      if dropped then pred q else q
+    end
 
 let to_int t =
-  (* Values up to 62 bits fit; [min_int] itself also fits. *)
-  if t.sign = 0 then Some 0
-  else if num_bits t <= 62 then begin
-    let v = ref 0 in
-    for i = Array.length t.mag - 1 downto 0 do
-      v := (!v lsl base_bits) lor t.mag.(i)
-    done;
-    Some (t.sign * !v)
-  end
-  else if t.sign < 0 && equal t (of_int Stdlib.min_int) then Some Stdlib.min_int
-  else None
+  match t with
+  | Small n -> Some n
+  | Big _ -> if equal t (of_int Stdlib.min_int) then Some Stdlib.min_int else None
+
+let to_small t = match t with Small n -> Some n | Big _ -> None
 
 let to_int_exn t =
   match to_int t with
@@ -411,18 +510,22 @@ let to_int_exn t =
 (* analysis: float-ok — audited exit boundary: limb-wise Horner
    conversion out of exact integers, used only by Rat.to_float. *)
 let to_float t =
-  let acc = ref 0.0 in
-  for i = Array.length t.mag - 1 downto 0 do
-    acc := (!acc *. float_of_int base) +. float_of_int t.mag.(i)
-  done;
-  float_of_int t.sign *. !acc
+  match t with
+  | Small n -> float_of_int n
+  | Big { sign; mag } ->
+    let acc = ref 0.0 in
+    for i = Array.length mag - 1 downto 0 do
+      acc := (!acc *. float_of_int base) +. float_of_int mag.(i)
+    done;
+    float_of_int sign *. !acc
 
 (* Decimal I/O goes through base 10^9 chunks (10^9 < 2^30). *)
 let decimal_chunk = 1_000_000_000
 
 let to_string t =
-  if t.sign = 0 then "0"
-  else begin
+  match t with
+  | Small n -> string_of_int n
+  | Big { sign; mag } ->
     let buf = Buffer.create 32 in
     let rec chunks mag acc =
       if mag_is_zero mag then acc
@@ -430,14 +533,13 @@ let to_string t =
         let q, r = mag_divmod_small mag decimal_chunk in
         chunks q (r :: acc)
     in
-    match chunks t.mag [] with
-    | [] -> "0"
-    | first :: rest ->
-      if t.sign < 0 then Buffer.add_char buf '-';
-      Buffer.add_string buf (string_of_int first);
-      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest;
-      Buffer.contents buf
-  end
+    (match chunks mag [] with
+     | [] -> "0"
+     | first :: rest ->
+       if sign < 0 then Buffer.add_char buf '-';
+       Buffer.add_string buf (string_of_int first);
+       List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest;
+       Buffer.contents buf)
 
 let of_string s =
   let len = String.length s in
@@ -478,7 +580,7 @@ let of_string s =
 
 let of_string_opt s = try Some (of_string s) with Invalid_argument _ -> None
 
-let num_digits t = if t.sign = 0 then 1 else String.length (to_string (abs t))
+let num_digits t = if is_zero t then 1 else String.length (to_string (abs t))
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 
@@ -524,11 +626,13 @@ let sqrt_exact x =
 let of_int64 v = of_string (Int64.to_string v)
 
 let to_int64 t =
-  (* int64 range is wider than num_bits 62; go through strings only
-     when bits are near the boundary. *)
-  if num_bits t <= 62 then Option.map Int64.of_int (to_int t)
-  else if num_bits t > 64 then None
-  else
-    match Int64.of_string_opt (to_string t) with
-    | Some v when to_string t = Int64.to_string v -> Some v
-    | _ -> None
+  (* int64 range is wider than the [Small] range; go through strings
+     only when the bit count is near the boundary. *)
+  match to_int t with
+  | Some n -> Some (Int64.of_int n)
+  | None ->
+    if num_bits t > 64 then None
+    else
+      match Int64.of_string_opt (to_string t) with
+      | Some v when to_string t = Int64.to_string v -> Some v
+      | _ -> None

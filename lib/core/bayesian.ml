@@ -89,7 +89,7 @@ let post_process t deployed =
 (** The Bayesian-optimal α-DP mechanism for this consumer (the §2.5
     analogue; linear objective, so a plain LP without the minimax
     linearization). *)
-let optimal_mechanism ~alpha t ~n =
+let optimal_mechanism ?solver ~alpha t ~n =
   Mech.Geometric.check_alpha alpha;
   let p = Lp.make () in
   let x = Array.init (n + 1) (fun i -> Array.init (n + 1) (fun r -> Lp.fresh_var ~name:(Printf.sprintf "x_%d_%d" i r) p)) in
@@ -114,7 +114,12 @@ let optimal_mechanism ~alpha t ~n =
          (List.init (n + 1) Fun.id))
   in
   Lp.set_objective p Lp.Minimize objective;
-  match Lp.solve p with
+  let outcome =
+    match solver with
+    | Some s -> (Lp.Solver.solve s p).Lp.Solver.outcome
+    | None -> Lp.solve p
+  in
+  match outcome with
   | Lp.Optimal sol ->
     let mech =
       Mech.Mechanism.make

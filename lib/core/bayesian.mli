@@ -41,9 +41,13 @@ val post_process : t -> Mech.Mechanism.t -> Mech.Mechanism.t * Rat.t
 (** Deployed mechanism composed with the optimal remap, and its
     Bayesian expected loss. *)
 
-val optimal_mechanism : alpha:Rat.t -> t -> n:int -> Mech.Mechanism.t * Rat.t
+val optimal_mechanism :
+  ?solver:Lp.Solver.t -> alpha:Rat.t -> t -> n:int -> Mech.Mechanism.t * Rat.t
 (** The Bayesian-optimal α-DP mechanism (the §2.5 analogue with a
-    linear objective). *)
+    linear objective). [solver] routes the LP through a session whose
+    basis cache warm-starts repeated same-shaped solves; the expected
+    loss is exact either way, though the optimal mechanism reported may
+    differ between warm and cold solves. *)
 
 val is_deterministic : Rat.t array array -> bool
 (** Is a post-processing matrix a deterministic remap (every row a

@@ -20,7 +20,7 @@ type result = {
   loss : Rat.t;  (** minimax loss of the induced mechanism *)
 }
 
-let solve_budgeted ?budget ~(deployed : Mech.Mechanism.t) (consumer : Consumer.t) =
+let solve_budgeted ?budget ?solver ~(deployed : Mech.Mechanism.t) (consumer : Consumer.t) =
   let n = Mech.Mechanism.n deployed in
   if Consumer.n consumer <> n then
     invalid_arg "Optimal_interaction.solve: consumer range does not match mechanism";
@@ -53,7 +53,12 @@ let solve_budgeted ?budget ~(deployed : Mech.Mechanism.t) (consumer : Consumer.t
       Lp.add_le p (Lp.Expr.sub (Lp.Expr.sum terms) (Lp.Expr.var d)) Rat.zero)
     (Side_info.members (Consumer.side_info consumer));
   Lp.set_objective p Lp.Minimize (Lp.Expr.var d);
-  match Lp.solve ?budget p with
+  let outcome =
+    match solver with
+    | Some s -> (Lp.Solver.solve ?budget s p).Lp.Solver.outcome
+    | None -> Lp.solve ?budget p
+  in
+  match outcome with
   | Lp.Optimal sol ->
     let interaction =
       Array.init (n + 1) (fun r -> Array.init (n + 1) (fun r' -> sol.values.(t_var.(r).(r'))))
@@ -62,8 +67,8 @@ let solve_budgeted ?budget ~(deployed : Mech.Mechanism.t) (consumer : Consumer.t
     Ok { interaction; induced; loss = sol.objective }
   | Lp.Failed e -> Error e
 
-let solve ~deployed consumer =
-  match solve_budgeted ~deployed consumer with
+let solve ?solver ~deployed consumer =
+  match solve_budgeted ?solver ~deployed consumer with
   | Ok r -> r
   | Error e ->
     (* The identity interaction is always feasible and the loss is

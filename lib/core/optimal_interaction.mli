@@ -11,16 +11,20 @@ type result = {
 
 val solve_budgeted :
   ?budget:Lp.Budget.t ->
+  ?solver:Lp.Solver.t ->
   deployed:Mech.Mechanism.t ->
   Consumer.t ->
   (result, Lp.Solver_error.t) Stdlib.result
 (** The optimal interaction, or the typed reason the budgeted solve
     stopped. Rung 2 of the degradation ladder ({!Serve}) runs this
-    against [G(n,α)].
+    against [G(n,α)]. When [solver] is given the solve runs through
+    that session and may warm-start from a cached same-shaped basis;
+    warm optima share the exact loss but may be a different optimal
+    interaction.
     @raise Invalid_argument when consumer and mechanism ranges
     mismatch. *)
 
-val solve : deployed:Mech.Mechanism.t -> Consumer.t -> result
+val solve : ?solver:Lp.Solver.t -> deployed:Mech.Mechanism.t -> Consumer.t -> result
 (** @raise Invalid_argument when consumer and mechanism ranges
     mismatch. Always succeeds otherwise (the identity interaction is
     feasible); a solver bug falsifying that surfaces as

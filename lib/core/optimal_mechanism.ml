@@ -58,18 +58,23 @@ let extract x (sol : Lp.solution) n =
   Mech.Mechanism.make
     (Array.init (n + 1) (fun i -> Array.init (n + 1) (fun r -> sol.values.(x.(i).(r)))))
 
-let solve_budgeted ?pricing ?crash ?budget ~alpha (consumer : Consumer.t) =
+let solve_budgeted ?pricing ?crash ?budget ?solver ~alpha (consumer : Consumer.t) =
   let n = Consumer.n consumer in
   Obs.span ~attrs:[ ("n", Obs.Int n); ("alpha", Obs.Rat alpha) ] "core.optimal_mechanism"
   @@ fun () ->
   let p, x, d = build_problem ~alpha ~n consumer in
   Lp.set_objective p Lp.Minimize (Lp.Expr.var d);
-  match Lp.solve ?pricing ?crash ?budget p with
+  let outcome =
+    match solver with
+    | Some s -> (Lp.Solver.solve ?budget s p).Lp.Solver.outcome
+    | None -> Lp.solve ?pricing ?crash ?budget p
+  in
+  match outcome with
   | Lp.Optimal sol -> Ok { mechanism = extract x sol n; loss = sol.objective }
   | Lp.Failed e -> Error e
 
-let solve ?pricing ?crash ~alpha (consumer : Consumer.t) =
-  match solve_budgeted ?pricing ?crash ~alpha consumer with
+let solve ?pricing ?crash ?solver ~alpha (consumer : Consumer.t) =
+  match solve_budgeted ?pricing ?crash ?solver ~alpha consumer with
   | Ok r -> r
   | Error e ->
     (* The geometric mechanism is always feasible and loss >= 0, so
@@ -163,7 +168,8 @@ let least_favorable_prior ~alpha (consumer : Consumer.t) =
   Obs.span ~attrs:[ ("n", Obs.Int n) ] "core.least_favorable_prior" @@ fun () ->
   let p, _, d = build_problem ~alpha ~n consumer in
   Lp.set_objective p Lp.Minimize (Lp.Expr.var d);
-  match Lp.solve_with_duals p with
+  let r = Lp.Solver.solve (Lp.Solver.create ()) p in
+  match (r.Lp.Solver.outcome, r.Lp.Solver.duals) with
   | Lp.Optimal sol, Some duals ->
     let members = Side_info.members (Consumer.side_info consumer) in
     let n_loss_rows = List.length members in

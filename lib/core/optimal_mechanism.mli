@@ -13,15 +13,26 @@ val solve_budgeted :
   ?pricing:Lp.Simplex.Exact.pricing ->
   ?crash:bool ->
   ?budget:Lp.Budget.t ->
+  ?solver:Lp.Solver.t ->
   alpha:Rat.t ->
   Consumer.t ->
   (result, Lp.Solver_error.t) Stdlib.result
 (** Some optimal vertex, or the typed reason the solve stopped —
     [Exhausted] when the budget (or an injected fault) ran out. The
-    degradation ladder in {!Serve} consumes the [Error] side.
+    degradation ladder in {!Serve} consumes the [Error] side. When
+    [solver] is given the solve runs through that session (its basis
+    cache warm-starts repeated same-shaped solves; [pricing]/[crash]
+    are then session-owned and ignored here); warm optima share the
+    exact loss but may be a different optimal mechanism.
     @raise Invalid_argument on a bad [alpha]. *)
 
-val solve : ?pricing:Lp.Simplex.Exact.pricing -> ?crash:bool -> alpha:Rat.t -> Consumer.t -> result
+val solve :
+  ?pricing:Lp.Simplex.Exact.pricing ->
+  ?crash:bool ->
+  ?solver:Lp.Solver.t ->
+  alpha:Rat.t ->
+  Consumer.t ->
+  result
 (** Some optimal vertex. The optional solver knobs exist for the
     ablation bench; defaults are right for every other caller. Runs
     unbudgeted, so failure is impossible by Theorem 1 (the geometric

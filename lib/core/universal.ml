@@ -17,12 +17,15 @@ type comparison = {
   induced : Mech.Mechanism.t;
 }
 
-(** Run both sides for one consumer. *)
-let compare_for ~alpha (consumer : Consumer.t) =
+(** Run both sides for one consumer. A shared [solver] session lets
+    the two LPs warm-start from cached bases of earlier same-shaped
+    solves; the losses are exact either way (warm optima differ only in
+    which optimal vertex they report). *)
+let compare_for ?solver ~alpha (consumer : Consumer.t) =
   let n = Consumer.n consumer in
   let geometric = Mech.Geometric.matrix ~n ~alpha in
-  let tailored = Optimal_mechanism.solve ~alpha consumer in
-  let inter = Optimal_interaction.solve ~deployed:geometric consumer in
+  let tailored = Optimal_mechanism.solve ?solver ~alpha consumer in
+  let inter = Optimal_interaction.solve ?solver ~deployed:geometric consumer in
   {
     consumer;
     alpha;
@@ -43,11 +46,11 @@ let induced_is_private c = Mech.Mechanism.is_dp ~alpha:c.alpha c.induced
 
 (** Sweep a grid of consumers; returns all comparisons. Used by the
     THM1 bench and the property tests. *)
-let sweep ~alpha ~losses ~side_infos =
+let sweep ?solver ~alpha ~losses ~side_infos () =
   List.concat_map
     (fun loss ->
       List.map
-        (fun side_info -> compare_for ~alpha (Consumer.make ~loss ~side_info ()))
+        (fun side_info -> compare_for ?solver ~alpha (Consumer.make ~loss ~side_info ()))
         side_infos)
     losses
 

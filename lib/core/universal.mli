@@ -12,8 +12,11 @@ type comparison = {
   induced : Mech.Mechanism.t;
 }
 
-val compare_for : alpha:Rat.t -> Consumer.t -> comparison
-(** Solve both sides for one consumer. *)
+val compare_for : ?solver:Lp.Solver.t -> alpha:Rat.t -> Consumer.t -> comparison
+(** Solve both sides for one consumer. A shared [solver] session
+    warm-starts each LP from the cached basis of an earlier same-shaped
+    solve — the loss equality being checked is a value equality, so it
+    is insensitive to which optimal vertex a warm solve reports. *)
 
 val universality_holds : comparison -> bool
 (** Exact rational equality of the tailored and universal losses. *)
@@ -22,9 +25,14 @@ val induced_is_private : comparison -> bool
 (** The induced mechanism is itself α-DP (post-processing cannot leak). *)
 
 val sweep :
-  alpha:Rat.t -> losses:Loss.t list -> side_infos:Side_info.t list -> comparison list
+  ?solver:Lp.Solver.t ->
+  alpha:Rat.t ->
+  losses:Loss.t list ->
+  side_infos:Side_info.t list ->
+  unit ->
+  comparison list
 (** Cartesian grid of consumers; used by the THM1 bench and property
-    tests. *)
+    tests. [solver] is shared across the whole grid. *)
 
 val default_side_infos : int -> Side_info.t list
 (** A representative side-information grid for range [n]: full,

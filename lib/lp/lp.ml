@@ -6,6 +6,7 @@
     rationals; see DESIGN.md for why exactness matters here. *)
 
 module Simplex = Simplex
+module Revised = Revised
 module Budget = Resilience.Budget
 module Solver_error = Resilience.Solver_error
 
@@ -205,55 +206,264 @@ let compile p =
     c_obj_shift = !obj_shift;
   }
 
-let solve_internal ?pricing ?crash ?budget ~want_duals p =
+(* Sparse compile: the same standard form as [compile] — identical
+   column layout, rhs, and objective — built column-wise (CSC) without
+   materializing the dense matrix. This is what the revised-simplex
+   engine consumes; the dense [compile] remains for the tableau oracle
+   and the float mirror. *)
+let compile_sparse p =
   Obs.span
     ~attrs:[ ("nvars", Obs.Int p.nvars); ("nconstraints", Obs.Int (n_constraints p)) ]
-    "lp.solve"
+    "lp.compile"
   @@ fun () ->
-  Obs.incr "lp.solves";
   let nv = p.nvars in
-  let { ca; cb; cc; c_col_of_var; c_neg_col_of_var; c_lower; c_flip; c_obj_shift } = compile p in
-  let result, duals =
-    if want_duals then
-      Simplex.Exact.solve_standard_with_duals ?pricing ?crash ?budget ~a:ca ~b:cb ~c:cc ()
-    else (Simplex.Exact.solve_standard ?pricing ?crash ?budget ~a:ca ~b:cb ~c:cc (), None)
+  let lower = Array.of_list (List.rev p.lower) in
+  let constraints = List.rev p.constraints in
+  let m = List.length constraints in
+  let col_of_var = Array.make nv (-1) in
+  let neg_col_of_var = Array.make nv (-1) in
+  let next = ref 0 in
+  Array.iteri
+    (fun v lb ->
+      col_of_var.(v) <- !next;
+      incr next;
+      if lb = None then begin
+        neg_col_of_var.(v) <- !next;
+        incr next
+      end)
+    lower;
+  let n_ineq = List.length (List.filter (fun c -> c.rel <> Eq) constraints) in
+  let total = !next + n_ineq in
+  (* Per-column entry lists, reversed (constraints visited in row
+     order, so each reversed list is descending — re-reversed below). *)
+  let cols : (int * Rat.t) list array = Array.make total [] in
+  let nnz = ref 0 in
+  let add_entry i j v =
+    cols.(j) <- (i, v) :: cols.(j);
+    incr nnz
   in
+  let b = Array.make m Rat.zero in
+  let slack = ref !next in
+  List.iteri
+    (fun i c ->
+      let shift = ref Rat.zero in
+      List.iter
+        (fun (v, coef) ->
+          add_entry i col_of_var.(v) coef;
+          if neg_col_of_var.(v) >= 0 then add_entry i neg_col_of_var.(v) (Rat.neg coef);
+          match lower.(v) with
+          | Some l when not (Rat.is_zero l) -> shift := Rat.add !shift (Rat.mul coef l)
+          | _ -> ())
+        c.cexpr.terms;
+      b.(i) <- Rat.sub (Rat.sub c.rhs c.cexpr.const) !shift;
+      (match c.rel with
+       | Le ->
+         add_entry i !slack Rat.one;
+         incr slack
+       | Ge ->
+         add_entry i !slack Rat.minus_one;
+         incr slack
+       | Eq -> ()))
+    constraints;
+  let colp = Array.make (total + 1) 0 in
+  let rowi = Array.make !nnz 0 and vals = Array.make !nnz Rat.zero in
+  let t = ref 0 in
+  Array.iteri
+    (fun j l ->
+      colp.(j) <- !t;
+      List.iter
+        (fun (i, v) ->
+          rowi.(!t) <- i;
+          vals.(!t) <- v;
+          incr t)
+        (List.rev l))
+    cols;
+  colp.(total) <- !t;
+  let cvec = Array.make total Rat.zero in
+  let obj = Expr.normalize p.objective in
+  let obj_shift = ref obj.const in
+  List.iter
+    (fun (v, coef) ->
+      cvec.(col_of_var.(v)) <- Rat.add cvec.(col_of_var.(v)) coef;
+      if neg_col_of_var.(v) >= 0 then
+        cvec.(neg_col_of_var.(v)) <- Rat.sub cvec.(neg_col_of_var.(v)) coef;
+      match lower.(v) with
+      | Some l when not (Rat.is_zero l) -> obj_shift := Rat.add !obj_shift (Rat.mul coef l)
+      | _ -> ())
+    obj.terms;
+  let flip = p.obj_sense = Maximize in
+  let cvec = if flip then Array.map Rat.neg cvec else cvec in
+  ( { Revised.m; n = total; colp; rowi; vals },
+    b,
+    cvec,
+    {
+      ca = [||];
+      cb = [||];
+      cc = [||];
+      c_col_of_var = col_of_var;
+      c_neg_col_of_var = neg_col_of_var;
+      c_lower = lower;
+      c_flip = flip;
+      c_obj_shift = !obj_shift;
+    } )
+
+(* Map a raw standard-form optimum back to model coordinates; shared
+   by both engines. *)
+let extract_outcome ~nv cm raw duals =
   let duals =
     (* Standard form minimizes; for a Maximize model (costs negated)
        the caller-facing duals flip sign. *)
     match duals with
-    | Some y when c_flip -> Some (Array.map Rat.neg y)
+    | Some y when cm.c_flip -> Some (Array.map Rat.neg y)
     | d -> d
   in
-  match result with
-  | Simplex.Exact.Failed e -> (Failed e, None)
-  | Simplex.Exact.Optimal (raw_obj, x) ->
+  match raw with
+  | Error e -> (Failed e, None)
+  | Ok (raw_obj, (x : Rat.t array)) ->
     let values =
       Array.init nv (fun v ->
-          let base = x.(c_col_of_var.(v)) in
+          let base = x.(cm.c_col_of_var.(v)) in
           let value =
-            if c_neg_col_of_var.(v) >= 0 then Rat.sub base x.(c_neg_col_of_var.(v)) else base
+            if cm.c_neg_col_of_var.(v) >= 0 then Rat.sub base x.(cm.c_neg_col_of_var.(v))
+            else base
           in
-          match c_lower.(v) with Some l -> Rat.add value l | None -> value)
+          match cm.c_lower.(v) with Some l -> Rat.add value l | None -> value)
     in
     let objective =
-      let signed = if c_flip then Rat.neg raw_obj else raw_obj in
-      Rat.add signed c_obj_shift
+      let signed = if cm.c_flip then Rat.neg raw_obj else raw_obj in
+      Rat.add signed cm.c_obj_shift
     in
     Obs.observe_bits "lp.objective_bits" objective;
     (Optimal { objective; values }, duals)
 
-let solve ?pricing ?crash ?budget p =
-  fst (solve_internal ?pricing ?crash ?budget ~want_duals:false p)
+(* ------------------------------------------------------------------ *)
+(* Solver sessions                                                    *)
+(* ------------------------------------------------------------------ *)
 
-(* Per-constraint dual values (shadow prices), in the order constraints
-   were added. For a Minimize model: a Ge constraint's dual is >= 0, a
-   Le constraint's is <= 0; for Maximize the signs swap; Eq duals are
-   free. *)
-let solve_with_duals ?pricing ?crash ?budget p =
-  match solve_internal ?pricing ?crash ?budget ~want_duals:true p with
-  | (Optimal _ as o), Some duals -> (o, Some duals)
-  | o, _ -> (o, None)
+module Solver = struct
+  type engine = Revised | Tableau
+
+  type warm_status = Revised.warm_outcome = Cold | Warm_hit | Warm_miss
+
+  type stats = {
+    pivots : int;
+    refactorizations : int;
+    warm : warm_status;
+  }
+
+  type basis = { b_sig : string; b_cols : int array }
+
+  type result = {
+    outcome : outcome;
+    duals : Rat.t array option;
+    basis : basis option;
+    stats : stats;
+  }
+
+  (* analysis: domain-local — a session belongs to the single caller
+     driving a solve sequence; nothing in it crosses domains. *)
+  type t = {
+    engine : engine;
+    pricing : Simplex.Exact.pricing option;
+    crash : bool option;
+    cache : (string, int array) Hashtbl.t;  (** shape signature → last optimal basis *)
+  }
+
+  let create ?(engine = Revised) ?pricing ?crash () =
+    { engine; pricing; crash; cache = Hashtbl.create 8 }
+
+  (* The standard-form column/row layout is fully determined by the
+     variable count, the free/bounded pattern, and the relation
+     sequence — a basis is reusable exactly when these match. Both
+     lists are stored reversed; consistently so, which is all a
+     signature needs. *)
+  let shape_signature p =
+    let buf = Buffer.create (p.nvars + n_constraints p + 8) in
+    Buffer.add_string buf (string_of_int p.nvars);
+    Buffer.add_char buf ':';
+    List.iter
+      (fun lb -> Buffer.add_char buf (match lb with None -> 'f' | Some _ -> 'b'))
+      p.lower;
+    Buffer.add_char buf ':';
+    List.iter
+      (fun c -> Buffer.add_char buf (match c.rel with Le -> 'l' | Ge -> 'g' | Eq -> 'e'))
+      p.constraints;
+    Buffer.add_char buf (match p.obj_sense with Minimize -> 'm' | Maximize -> 'M');
+    Buffer.contents buf
+
+  let solve ?budget ?warm t p =
+    Obs.span
+      ~attrs:[ ("nvars", Obs.Int p.nvars); ("nconstraints", Obs.Int (n_constraints p)) ]
+      "lp.solve"
+    @@ fun () ->
+    Obs.incr "lp.solves";
+    let nv = p.nvars in
+    match t.engine with
+    | Tableau ->
+      let { ca; cb; cc; _ } as cm = compile p in
+      let pivots_before = Obs.counter_value "simplex.pivots" in
+      let r, duals =
+        Simplex.Exact.solve_standard_with_duals ?pricing:t.pricing ?crash:t.crash ?budget
+          ~a:ca ~b:cb ~c:cc ()
+      in
+      let raw =
+        match r with
+        | Simplex.Exact.Failed e -> Error e
+        | Simplex.Exact.Optimal (o, x) -> Ok (o, x)
+      in
+      let outcome, duals = extract_outcome ~nv cm raw duals in
+      {
+        outcome;
+        duals;
+        basis = None;
+        stats =
+          {
+            pivots = Obs.counter_value "simplex.pivots" - pivots_before;
+            refactorizations = 0;
+            warm = Cold;
+          };
+      }
+    | Revised ->
+      let a, b, c, cm = compile_sparse p in
+      let sg = shape_signature p in
+      let warm_cols =
+        match warm with
+        | Some h -> if String.equal h.b_sig sg then Some h.b_cols else None
+        | None -> Hashtbl.find_opt t.cache sg
+      in
+      let sv =
+        Revised.solve ?pricing:t.pricing ?crash:t.crash ?budget ?warm:warm_cols ~a ~b ~c ()
+      in
+      (match sv.Revised.basis with
+      | Some cols -> Hashtbl.replace t.cache sg (Array.copy cols)
+      | None -> ());
+      let raw =
+        match sv.Revised.res with
+        | Revised.Failed e -> Error e
+        | Revised.Optimal (o, x) -> Ok (o, x)
+      in
+      let outcome, duals = extract_outcome ~nv cm raw sv.Revised.duals in
+      {
+        outcome;
+        duals;
+        basis =
+          (match sv.Revised.basis with
+          | Some cols -> Some { b_sig = sg; b_cols = Array.copy cols }
+          | None -> None);
+        stats =
+          {
+            pivots = sv.Revised.stats.Revised.pivots;
+            refactorizations = sv.Revised.stats.Revised.refactorizations;
+            warm = sv.Revised.stats.Revised.warm;
+          };
+      }
+end
+
+(* One-shot wrapper: a fresh session per call, revised engine, no warm
+   start — cold solves replicate the tableau oracle pivot for pivot,
+   so this is a drop-in for the pre-session API. *)
+let solve ?pricing ?crash ?budget p =
+  (Solver.solve ?budget (Solver.create ?pricing ?crash ()) p).Solver.outcome
 
 type float_solution = { fobjective : float; fvalues : float array }
 type float_outcome = Foptimal of float_solution | Finfeasible | Funbounded
@@ -266,13 +476,21 @@ type float_outcome = Foptimal of float_solution | Finfeasible | Funbounded
    path: it reconstructs the solution in floating point so experiments
    can measure what exactness buys. *)
 let solve_float ?pricing p =
-  ignore pricing;
+  let pricing =
+    (* The float mirror shares the exact front end's pricing vocabulary;
+       translate to the Floating instance's constructors. *)
+    Option.map
+      (function
+        | Simplex.Exact.Dantzig_lex -> Simplex.Floating.Dantzig_lex
+        | Simplex.Exact.Bland -> Simplex.Floating.Bland)
+      pricing
+  in
   let nv = p.nvars in
   let { ca; cb; cc; c_col_of_var; c_neg_col_of_var; c_lower; c_flip; c_obj_shift } = compile p in
   let fa = Array.map (Array.map Rat.to_float) ca in
   let fb = Array.map Rat.to_float cb in
   let fc = Array.map Rat.to_float cc in
-  match Simplex.Floating.solve_standard ~a:fa ~b:fb ~c:fc () with
+  match Simplex.Floating.solve_standard ?pricing ~a:fa ~b:fb ~c:fc () with
   | Simplex.Floating.Failed Solver_error.Infeasible -> Finfeasible
   | Simplex.Floating.Failed Solver_error.Unbounded -> Funbounded
   | Simplex.Floating.Failed (Solver_error.Exhausted _ as e) ->

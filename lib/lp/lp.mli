@@ -8,6 +8,10 @@
 
 module Simplex = Simplex
 
+module Revised = Revised
+(** Re-export: the revised-simplex engine {!Solver} sessions run on;
+    exposed for tests that pit it against the tableau oracle. *)
+
 module Budget = Resilience.Budget
 (** Re-export: callers write [Lp.Budget.make ~deadline_ms:50 ()]
     without depending on [resilience] directly. *)
@@ -66,7 +70,7 @@ val var_name : problem -> var -> string
 val constraint_name : problem -> int -> string
 (** Name of the [i]-th constraint in addition order; anonymous
     constraints render as ["c<i>"]. Dual vectors from
-    {!solve_with_duals} are indexed compatibly.
+    {!Solver.solve} are indexed compatibly.
     @raise Invalid_argument when out of range. *)
 
 val add_constraint : ?name:string -> problem -> linexpr -> relation -> Rat.t -> unit
@@ -80,31 +84,77 @@ type solution = { objective : Rat.t; values : Rat.t array (** indexed by variabl
 
 type outcome = Optimal of solution | Failed of Solver_error.t
 
+(** Solver sessions: a stateful handle owning engine configuration and
+    a shape-keyed basis cache, so sweeps that solve many same-shaped
+    problems (α-sweeps, consumer-family loops) warm-start each solve
+    from the previous optimum's basis automatically. *)
+module Solver : sig
+  (** [Revised] (default) is the sparse revised simplex with a
+      product-form basis factorization; [Tableau] is the retained dense
+      full-tableau oracle. Cold solves of the two are byte-identical —
+      the revised engine replicates the oracle's pivot decisions in
+      exact arithmetic — which the qcheck property and the [@lp-bench]
+      gate both enforce. *)
+  type engine = Revised | Tableau
+
+  type warm_status = Revised.warm_outcome = Cold | Warm_hit | Warm_miss
+
+  type stats = {
+    pivots : int;  (** pivots executed by this solve *)
+    refactorizations : int;  (** eta-chain rebuilds during this solve *)
+    warm : warm_status;
+  }
+
+  type basis
+  (** An optimal basis tagged with the shape signature it belongs to;
+      opaque — obtained from a previous {!result} and passed back via
+      [?warm]. *)
+
+  type result = {
+    outcome : outcome;
+    duals : Rat.t array option;
+        (** On optimality, one dual value per constraint (in the order
+            added) — the shadow prices. Sign conventions: minimizing, a
+            [Ge] constraint's dual is non-negative and a [Le]
+            constraint's non-positive; maximizing swaps the signs; [Eq]
+            duals are unrestricted. The §2.5 minimax LP's loss-bound
+            duals are the adversary's {e least-favorable prior} (see
+            {!Minimax.Optimal_mechanism}). *)
+    basis : basis option;
+        (** Present for optima whose basis is artificial-free; feed to a
+            later [solve ~warm] of a same-shaped problem. *)
+    stats : stats;
+  }
+
+  type t
+
+  val create : ?engine:engine -> ?pricing:Simplex.Exact.pricing -> ?crash:bool -> unit -> t
+  (** A fresh session. [engine] defaults to [Revised]; the pricing and
+      crash knobs exist for the ablation bench and apply to every solve
+      through this session. *)
+
+  val solve : ?budget:Budget.t -> ?warm:basis -> t -> problem -> result
+  (** Exact solve through the session. Without [?warm], the session's
+      cache supplies the last optimal basis recorded for a problem of
+      the same shape, if any. A warm attempt that fails to refactorize
+      or is primal-infeasible for the new data silently degrades to a
+      cold solve ([Warm_miss] in [stats]). Warm optima carry the exact
+      optimal value but may sit at a different optimal vertex than the
+      cold solve would report — warm-start only where value equality is
+      what is certified (see DESIGN.md §4k). [budget] bounds the solve —
+      on exhaustion the outcome is [Failed (Exhausted _)] naming the
+      simplex stage and the budget spent, never a bare exception. *)
+end
+
 val solve :
   ?pricing:Simplex.Exact.pricing ->
   ?crash:bool ->
   ?budget:Budget.t ->
   problem ->
   outcome
-(** Exact solve. The optional solver knobs exist for the ablation
-    bench; the defaults are right for all other callers. [budget]
-    bounds the solve — on exhaustion the outcome is
-    [Failed (Exhausted _)] naming the simplex stage and the budget
-    spent, never a bare exception. *)
-
-val solve_with_duals :
-  ?pricing:Simplex.Exact.pricing ->
-  ?crash:bool ->
-  ?budget:Budget.t ->
-  problem ->
-  outcome * Rat.t array option
-(** Like {!solve} but also returns, on optimality, one dual value per
-    constraint (in the order added) — the shadow prices. Sign
-    conventions: minimizing, a [Ge] constraint's dual is non-negative
-    and a [Le] constraint's non-positive; maximizing swaps the signs;
-    [Eq] duals are unrestricted. The §2.5 minimax LP's loss-bound duals
-    are the adversary's {e least-favorable prior} (see
-    {!Minimax.Optimal_mechanism}). *)
+(** One-shot exact solve: a fresh {!Solver} session per call, revised
+    engine, no warm start. The optional solver knobs exist for the
+    ablation bench; the defaults are right for all other callers. *)
 
 val check_solution : problem -> solution -> bool
 (** Independent certificate: every constraint, bound, and the claimed
@@ -118,6 +168,7 @@ type float_solution = { fobjective : float; fvalues : float array }
 type float_outcome = Foptimal of float_solution | Finfeasible | Funbounded
 
 val solve_float : ?pricing:Simplex.Exact.pricing -> problem -> float_outcome
-(** The same compiled model, solved by the float simplex. Fast but
-    untrustworthy on degenerate instances — see the ABL2 bench. The
-    [pricing] argument is accepted for symmetry and ignored. *)
+(** The same compiled model, solved by the float simplex under the
+    requested pricing rule (translated to the float instance's
+    constructors). Fast but untrustworthy on degenerate instances — see
+    the ABL2 bench. *)

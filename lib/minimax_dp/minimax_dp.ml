@@ -6,6 +6,7 @@ module Seeder = Engine.Seeder
 module Serve = Minimax.Serve
 module Invariants = Check.Invariants
 module Budget = Resilience.Budget
+module Solver = Lp.Solver
 module Engine = Engine
 module Server = Server
 module Store = Store

@@ -18,6 +18,8 @@
     - {!Invariants} — independent certification of released matrices
       ({!Check.Invariants});
     - {!Budget} — solve budgets ({!Resilience.Budget});
+    - {!Solver} — stateful LP solver sessions with warm-started
+      revised simplex ({!Lp.Solver});
     - {!Store} — the crash-safe persistent artifact store behind
       warm restarts ([--store]);
     - {!Session} — multi-level release as a stateful service:
@@ -32,6 +34,7 @@ module Seeder = Engine.Seeder
 module Serve = Minimax.Serve
 module Invariants = Check.Invariants
 module Budget = Resilience.Budget
+module Solver = Lp.Solver
 module Engine = Engine
 module Server = Server
 module Store = Store

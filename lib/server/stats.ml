@@ -22,6 +22,11 @@ type t = {
   rejected_deadline : int;
   engine_requests : int;
   engine_samples : int;
+  lp_solves : int;
+  lp_pivots : int;
+  lp_warm_hits : int;
+  lp_warm_misses : int;
+  lp_refactor : int;
   cache : Engine.Cache.stats;
   cache_bypassed : int;
   store_hits : int;
@@ -60,6 +65,11 @@ let capture ?(session_live = (0, 0)) ~queue_depth ~queue_capacity ~cache () =
     rejected_deadline = Obs.counter_value "server.rejected.deadline";
     engine_requests = Obs.counter_value "engine.requests";
     engine_samples = Obs.counter_value "engine.samples";
+    lp_solves = Obs.counter_value "lp.solves";
+    lp_pivots = Obs.counter_value "simplex.pivots";
+    lp_warm_hits = Obs.counter_value "lp.warm.hits";
+    lp_warm_misses = Obs.counter_value "lp.warm.misses";
+    lp_refactor = Obs.counter_value "lp.refactor";
     cache;
     cache_bypassed = Obs.counter_value "engine.cache.bypassed";
     store_hits = Obs.counter_value "store.hits";
@@ -119,6 +129,15 @@ let to_json t =
       ( "engine",
         J.Obj
           [ ("requests", J.Int t.engine_requests); ("samples", J.Int t.engine_samples) ] );
+      ( "lp",
+        J.Obj
+          [
+            ("solves", J.Int t.lp_solves);
+            ("pivots", J.Int t.lp_pivots);
+            ("warm_hits", J.Int t.lp_warm_hits);
+            ("warm_misses", J.Int t.lp_warm_misses);
+            ("refactorizations", J.Int t.lp_refactor);
+          ] );
       ( "cache",
         J.Obj
           [
@@ -183,6 +202,12 @@ let to_prometheus t =
   add "dpserved_engine_requests_total %d\n" t.engine_requests;
   add "# TYPE dpserved_engine_samples_total counter\n";
   add "dpserved_engine_samples_total %d\n" t.engine_samples;
+  add "# TYPE dpserved_lp_events_total counter\n";
+  add "dpserved_lp_events_total{event=\"solves\"} %d\n" t.lp_solves;
+  add "dpserved_lp_events_total{event=\"pivots\"} %d\n" t.lp_pivots;
+  add "dpserved_lp_events_total{event=\"warm_hits\"} %d\n" t.lp_warm_hits;
+  add "dpserved_lp_events_total{event=\"warm_misses\"} %d\n" t.lp_warm_misses;
+  add "dpserved_lp_events_total{event=\"refactorizations\"} %d\n" t.lp_refactor;
   add "# TYPE dpserved_cache_events_total counter\n";
   add "dpserved_cache_events_total{event=\"hits\"} %d\n" t.cache.Engine.Cache.hits;
   add "dpserved_cache_events_total{event=\"misses\"} %d\n" t.cache.Engine.Cache.misses;

@@ -28,6 +28,11 @@ type t = {
   rejected_deadline : int;
   engine_requests : int;
   engine_samples : int;
+  lp_solves : int;  (** LP solves through the [Lp] facade *)
+  lp_pivots : int;  (** exact simplex pivots, both engines *)
+  lp_warm_hits : int;  (** warm-start attempts that skipped phase 1 *)
+  lp_warm_misses : int;  (** warm attempts that fell back to a cold solve *)
+  lp_refactor : int;  (** eta-chain rebuilds in the revised engine *)
   cache : Engine.Cache.stats;
   cache_bypassed : int;  (** compiles that skipped the cache (fault trips) *)
   store_hits : int;  (** memory misses answered by the artifact store *)
@@ -69,7 +74,9 @@ val capture :
 
 val to_json : t -> Obs.Json.t
 (** The stats snapshot object: [queue], [conns], [requests],
-    [rejected], [engine], [cache], [store] (tier counters plus its
+    [rejected], [engine], [lp] (solver-session counters: solves,
+    pivots, warm hits/misses, refactorizations), [cache], [store]
+    (tier counters plus its
     [probe_latency_us] rolling-quantile object), [session] (live
     gauges, event counters and its [epoch_latency_us] window) and
     [latency_us] (a rolling-quantile object, or [null] before any

@@ -309,7 +309,8 @@ let test_facade_duals_signs () =
   Lp.add_le p (Lp.Expr.var x) (q 10 1);
   Lp.add_ge p Lp.Expr.(add (term (q 3 1) x) (var y)) (q 6 1);
   Lp.set_objective p Lp.Minimize Lp.Expr.(add (var x) (var y));
-  match Lp.solve_with_duals p with
+  let r = Lp.Solver.solve (Lp.Solver.create ()) p in
+  match (r.Lp.Solver.outcome, r.Lp.Solver.duals) with
   | Lp.Optimal s, Some y_duals ->
     Alcotest.check rat "objective" (q 14 5) s.objective;
     Alcotest.(check int) "three duals" 3 (Array.length y_duals);
@@ -336,7 +337,8 @@ let test_facade_duals_sensitivity () =
     Lp.set_objective p Lp.Minimize Lp.Expr.(add (var x) (var y));
     p
   in
-  match Lp.solve_with_duals (build (q 4 1)) with
+  let r = Lp.Solver.solve (Lp.Solver.create ()) (build (q 4 1)) in
+  match (r.Lp.Solver.outcome, r.Lp.Solver.duals) with
   | Lp.Optimal s, Some duals -> (
     let delta = q 1 100 in
     match Lp.solve (build (Rat.add (q 4 1) delta)) with
@@ -356,7 +358,8 @@ let test_facade_duals_maximize () =
   Lp.add_le p (Lp.Expr.term (q 2 1) y) (q 12 1);
   Lp.add_le p Lp.Expr.(add (term (q 3 1) x) (term (q 2 1) y)) (q 18 1);
   Lp.set_objective p Lp.Maximize Lp.Expr.(add (term (q 3 1) x) (term (q 5 1) y));
-  match Lp.solve_with_duals p with
+  let r = Lp.Solver.solve (Lp.Solver.create ()) p in
+  match (r.Lp.Solver.outcome, r.Lp.Solver.duals) with
   | Lp.Optimal s, Some duals ->
     Array.iter
       (fun d -> Alcotest.(check bool) "Le dual nonneg when maximizing" true (Rat.sign d >= 0))
@@ -419,6 +422,147 @@ let prop_float_tracks_exact =
            Float.abs (Rat.to_float s.objective -. f.Lp.fobjective) < 1e-6
          | _ -> false))
 
+(* --------------------------------------------------------------- *)
+(* Revised engine vs the dense tableau oracle                        *)
+(* --------------------------------------------------------------- *)
+
+(* Random banded LPs: minimize a nonnegative objective over rows each
+   touching a window of ≤3 consecutive variables, with a mix of
+   Le/Ge/Eq relations. Never unbounded (costs >= 0, vars >= 0);
+   infeasibility is possible and must be classified identically. *)
+let arb_banded_lp =
+  let gen st =
+    let nv = 3 + QCheck.Gen.int_bound 3 st in
+    let nrows = 2 + QCheck.Gen.int_bound 4 st in
+    let rows =
+      List.init nrows (fun i ->
+          let lo = i mod nv in
+          let width = 1 + QCheck.Gen.int_bound 2 st in
+          let vars = List.filter (fun v -> v < nv) (List.init width (fun k -> lo + k)) in
+          let coefs = List.map (fun v -> (v, Rat.of_ints (1 + QCheck.Gen.int_bound 8 st) 1)) vars in
+          let rel = match QCheck.Gen.int_bound 3 st with 0 | 1 -> `Le | 2 -> `Ge | _ -> `Eq in
+          let rhs =
+            match rel with
+            | `Le -> Rat.of_ints (5 + QCheck.Gen.int_bound 20 st) 1
+            | `Ge | `Eq -> Rat.of_ints (QCheck.Gen.int_bound 4 st) 1
+          in
+          (coefs, rel, rhs))
+    in
+    let obj = List.init nv (fun v -> (v, Rat.of_ints (QCheck.Gen.int_bound 9 st) 1)) in
+    (nv, rows, obj)
+  in
+  QCheck.make
+    ~print:(fun (nv, rows, _) -> Printf.sprintf "banded LP: %d vars, %d rows" nv (List.length rows))
+    gen
+
+let build_banded (nv, rows, obj) =
+  let p = Lp.make () in
+  let xs = Array.init nv (fun _ -> Lp.fresh_var p) in
+  List.iter
+    (fun (coefs, rel, rhs) ->
+      let e = Lp.Expr.sum (List.map (fun (v, c) -> Lp.Expr.term c xs.(v)) coefs) in
+      match rel with
+      | `Le -> Lp.add_le p e rhs
+      | `Ge -> Lp.add_ge p e rhs
+      | `Eq -> Lp.add_eq p e rhs)
+    rows;
+  Lp.set_objective p Lp.Minimize
+    (Lp.Expr.sum (List.map (fun (v, c) -> Lp.Expr.term c xs.(v)) obj));
+  p
+
+(* The revised engine replicates the oracle decision-for-decision on
+   cold solves, so EVERYTHING must agree exactly: classification,
+   objective, the solution vertex, and the duals. *)
+let prop_revised_matches_oracle =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"revised simplex ≡ tableau oracle (banded)" ~count:200
+       arb_banded_lp (fun spec ->
+         let r_rev =
+           Lp.Solver.solve (Lp.Solver.create ~engine:Lp.Solver.Revised ()) (build_banded spec)
+         in
+         let r_tab =
+           Lp.Solver.solve (Lp.Solver.create ~engine:Lp.Solver.Tableau ()) (build_banded spec)
+         in
+         match (r_rev.Lp.Solver.outcome, r_tab.Lp.Solver.outcome) with
+         | Lp.Optimal a, Lp.Optimal b ->
+           Rat.equal a.Lp.objective b.Lp.objective
+           && Array.for_all2 Rat.equal a.Lp.values b.Lp.values
+           && (match (r_rev.Lp.Solver.duals, r_tab.Lp.Solver.duals) with
+              | Some da, Some db -> Array.for_all2 Rat.equal da db
+              | _ -> false)
+           && Lp.check_solution (build_banded spec) a
+         | Lp.Failed ea, Lp.Failed eb -> ea = eb
+         | _ -> false))
+
+(* Warm starts may land on a different optimal vertex but must report
+   the exact optimal value and a genuinely feasible solution. *)
+let prop_warm_start_exact_value =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"warm start: exact value, feasible vertex" ~count:100
+       arb_banded_lp (fun ((nv, rows, obj) as spec) ->
+         let session = Lp.Solver.create () in
+         let first = Lp.Solver.solve session (build_banded spec) in
+         (* Same shape, perturbed data: scale every Le rhs up by 1/7 —
+            relaxing Le rows keeps any feasible point feasible. *)
+         let perturbed =
+           ( nv,
+             List.map
+               (fun (coefs, rel, rhs) ->
+                 match rel with
+                 | `Le -> (coefs, rel, Rat.mul rhs (Rat.of_ints 8 7))
+                 | _ -> (coefs, rel, rhs))
+               rows,
+             obj )
+         in
+         let warm = Lp.Solver.solve session (build_banded perturbed) in
+         let cold = Lp.solve (build_banded perturbed) in
+         match (warm.Lp.Solver.outcome, cold) with
+         | Lp.Optimal w, Lp.Optimal c ->
+           Rat.equal w.Lp.objective c.Lp.objective
+           && Lp.check_solution (build_banded perturbed) w
+         | Lp.Failed ea, Lp.Failed eb -> ea = eb
+         | _ -> (
+           (* Only reachable if [first] failed too (shape never cached):
+              then warm ran cold and the mismatch is genuine. *)
+           match first.Lp.Solver.outcome with Lp.Failed _ -> false | _ -> false)))
+
+let test_warm_hit_telemetry () =
+  (* Two same-shaped solves through one session: the second must be a
+     warm hit and skip phase 1 entirely. *)
+  let build rhs =
+    let p = Lp.make () in
+    let x = Lp.fresh_var p and y = Lp.fresh_var p in
+    Lp.add_ge p Lp.Expr.(add (var x) (term (q 2 1) y)) rhs;
+    Lp.add_ge p Lp.Expr.(add (term (q 3 1) x) (var y)) (q 6 1);
+    Lp.set_objective p Lp.Minimize Lp.Expr.(add (var x) (var y));
+    p
+  in
+  let session = Lp.Solver.create () in
+  let r1 = Lp.Solver.solve session (build (q 4 1)) in
+  Alcotest.(check bool) "first solve cold" true
+    (r1.Lp.Solver.stats.Lp.Solver.warm = Lp.Solver.Cold);
+  let r2 = Lp.Solver.solve session (build (q 5 1)) in
+  (match (r2.Lp.Solver.outcome, Lp.solve (build (q 5 1))) with
+  | Lp.Optimal w, Lp.Optimal c -> Alcotest.check rat "warm value exact" c.objective w.objective
+  | _ -> Alcotest.fail "both optimal expected");
+  Alcotest.(check bool) "second solve warm hit" true
+    (r2.Lp.Solver.stats.Lp.Solver.warm = Lp.Solver.Warm_hit)
+
+let test_engine_stats_pivots () =
+  (* The per-solve pivot stat matches the Obs counter delta. *)
+  let p () =
+    let p = Lp.make () in
+    let x = Lp.fresh_var p and y = Lp.fresh_var p in
+    Lp.add_le p Lp.Expr.(add (var x) (var y)) (q 10 1);
+    Lp.set_objective p Lp.Maximize Lp.Expr.(add (term (q 3 1) x) (var y));
+    p
+  in
+  Obs.with_recorder (Obs.create ()) @@ fun () ->
+  let before = Obs.counter_value "simplex.pivots" in
+  let r = Lp.Solver.solve (Lp.Solver.create ()) (p ()) in
+  let delta = Obs.counter_value "simplex.pivots" - before in
+  Alcotest.(check int) "stats.pivots = counter delta" delta r.Lp.Solver.stats.Lp.Solver.pivots
+
 let () =
   Alcotest.run "lp"
     [
@@ -442,6 +586,13 @@ let () =
         ] );
       ( "randomized",
         [ prop_2d_matches_brute_force; prop_solution_feasible; prop_strong_duality ] );
+      ( "revised-vs-oracle",
+        [
+          prop_revised_matches_oracle;
+          prop_warm_start_exact_value;
+          Alcotest.test_case "warm-hit telemetry" `Quick test_warm_hit_telemetry;
+          Alcotest.test_case "stats pivots" `Quick test_engine_stats_pivots;
+        ] );
       ( "facade-duals",
         [
           Alcotest.test_case "signs and strong duality" `Quick test_facade_duals_signs;

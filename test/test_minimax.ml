@@ -243,6 +243,7 @@ let test_universality_sweep () =
             U.sweep ~alpha
               ~losses:[ L.absolute; L.zero_one ]
               ~side_infos:(U.default_side_infos n)
+              ()
           in
           List.iter
             (fun cmp ->

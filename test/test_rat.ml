@@ -153,6 +153,71 @@ let properties =
         Rat.to_float (Rat.of_float_dyadic f) = f);
   ]
 
+(* ----------------------------------------------------------------- *)
+(* Small-integer fast-path promotion boundary                          *)
+(* ----------------------------------------------------------------- *)
+
+(* The Bigint inline representation holds magnitudes of at most 62
+   bits; 2^62 is the first value forced into limb form. Arithmetic at
+   exactly that boundary must promote without losing exactness, and
+   [to_small] must expose the representation honestly. *)
+let test_promotion_boundary () =
+  let two62 = B.shift_left B.one 62 in
+  let below = B.sub two62 B.one in
+  (* 2^62 - 1 is the largest inline value; 2^62 must be promoted. *)
+  Alcotest.(check bool) "2^62-1 inline" true (B.to_small below <> None);
+  Alcotest.(check bool) "2^62 promoted" true (B.to_small two62 = None);
+  Alcotest.(check bool) "-(2^62-1) inline" true (B.to_small (B.neg below) <> None);
+  Alcotest.(check bool) "-2^62 promoted" true (B.to_small (B.neg two62) = None);
+  (* Crossing the boundary in both directions stays exact. *)
+  Alcotest.(check bool) "increment promotes exactly" true (B.equal (B.add below B.one) two62);
+  Alcotest.(check bool) "decrement demotes exactly" true (B.equal (B.sub two62 B.one) below);
+  Alcotest.(check bool) "demoted value inline again" true
+    (B.to_small (B.sub two62 B.one) <> None);
+  Alcotest.(check string) "2^62 prints" "4611686018427387904" (B.to_string two62)
+
+let test_rat_overflow_at_63_bits () =
+  (* Products of two near-2^31.5 components overflow a native int at
+     exactly 63 bits of magnitude; the slow path must take over with
+     the same reduced result. *)
+  let big = Rat.of_ints 0x3FFF_FFFF 1 in
+  (* (2^30-1)² needs ~60 bits: still native; scale by 16 to cross 63. *)
+  let p = Rat.mul big big in
+  Alcotest.(check string) "sub-boundary product exact" "1152921502459363329" (Rat.to_string p);
+  let p16 = Rat.mul (Rat.mul p (Rat.of_int 16)) (Rat.of_int 2) in
+  Alcotest.(check string) "promoted product exact" "36893488078699626528" (Rat.to_string p16);
+  (* A denominator at the boundary: 1/2^62 + 1/2^62 = 1/2^61. *)
+  let tiny = Rat.make B.one (B.shift_left B.one 62) in
+  let doubled = Rat.add tiny tiny in
+  Alcotest.check rat "1/2^62 + 1/2^62" (Rat.make B.one (B.shift_left B.one 61)) doubled;
+  (* Fast-path guard: components just below 2^30 stay native and
+     reduce; the same values via strings agree. *)
+  let a = Rat.of_ints 0x3FFF_FFFE 0x3FFF_FFFF in
+  let b = Rat.of_ints 0x3FFF_FFFF 0x3FFF_FFFE in
+  Alcotest.check rat "cross-boundary mul" Rat.one (Rat.mul a b);
+  Alcotest.(check int) "compare across boundary" (-1) (Rat.compare a b)
+
+let test_rat_slow_path_reduction_parity () =
+  (* The Knuth-4.5.1 slow paths must produce canonically reduced
+     results identical to naive make-based arithmetic. *)
+  let w = Rat.make (B.of_string "123456789012345678901") (B.of_string "987654321098765432109") in
+  let v = Rat.make (B.of_string "987654321") (B.of_string "123456789012345678901") in
+  let sum = Rat.add w v in
+  let naive_sum =
+    Rat.make
+      (B.add
+         (B.mul (Rat.num w) (Rat.den v))
+         (B.mul (Rat.num v) (Rat.den w)))
+      (B.mul (Rat.den w) (Rat.den v))
+  in
+  Alcotest.check rat "add parity" naive_sum sum;
+  let prod = Rat.mul w v in
+  let naive_prod = Rat.make (B.mul (Rat.num w) (Rat.num v)) (B.mul (Rat.den w) (Rat.den v)) in
+  Alcotest.check rat "mul parity" naive_prod prod;
+  let dv = Rat.div w v in
+  let naive_dv = Rat.make (B.mul (Rat.num w) (Rat.den v)) (B.mul (Rat.den w) (Rat.num v)) in
+  Alcotest.check rat "div parity" naive_dv dv
+
 let () =
   Alcotest.run "rat"
     [
@@ -168,6 +233,9 @@ let () =
           Alcotest.test_case "division by zero" `Quick test_division_by_zero;
           Alcotest.test_case "sum" `Quick test_sum;
           Alcotest.test_case "geometric series" `Quick test_geometric_series;
+          Alcotest.test_case "promotion boundary" `Quick test_promotion_boundary;
+          Alcotest.test_case "overflow at 63 bits" `Quick test_rat_overflow_at_63_bits;
+          Alcotest.test_case "slow-path reduction parity" `Quick test_rat_slow_path_reduction_parity;
         ] );
       ("properties", properties);
     ]
